@@ -1,0 +1,121 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+#include "gen/dataset_suite.h"
+#include "util/timer.h"
+
+namespace kvcc::bench {
+namespace {
+
+std::vector<std::string> SplitCsv(const std::string& value) {
+  std::vector<std::string> out;
+  std::stringstream stream(value);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+BenchArgs ParseArgs(int argc, char** argv, double default_scale) {
+  BenchArgs args;
+  args.scale = default_scale;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--scale=", 0) == 0) {
+      args.scale = std::stod(arg.substr(8));
+    } else if (arg == "--quick") {
+      args.quick = true;
+      args.scale = std::min(args.scale, default_scale * 0.25);
+    } else if (arg.rfind("--datasets=", 0) == 0) {
+      args.datasets = SplitCsv(arg.substr(11));
+    } else if (arg.rfind("--ks=", 0) == 0) {
+      args.ks.clear();
+      for (const auto& item : SplitCsv(arg.substr(5))) {
+        args.ks.push_back(
+            static_cast<std::uint32_t>(std::stoul(item)));
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      std::cerr << "usage: " << argv[0]
+                << " [--scale=S] [--quick] [--datasets=a,b,c]"
+                   " [--ks=20,25,...]\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown flag: " << arg << " (try --help)\n";
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+const Graph& CachedDataset(const std::string& name, double scale) {
+  static std::map<std::pair<std::string, double>, Graph> cache;
+  const auto key = std::make_pair(name, scale);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    Timer timer;
+    Graph g = GenerateDataset(name, scale);
+    std::cerr << "[gen] " << name << " scale=" << scale << ": |V|="
+              << g.NumVertices() << " |E|=" << g.NumEdges() << " ("
+              << FormatSeconds(timer.ElapsedSeconds()) << ")\n";
+    it = cache.emplace(key, std::move(g)).first;
+  }
+  return it->second;
+}
+
+void PrintBanner(const std::string& artifact, const std::string& what) {
+  std::cout << "\n=== " << artifact << " — " << what << " ===\n";
+  std::cout << "(synthetic SNAP stand-ins; compare shapes/ratios with the "
+               "paper, not absolute values)\n\n";
+}
+
+void PrintRow(const std::vector<std::string>& cells,
+              const std::vector<int>& widths) {
+  std::ostringstream line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const int width = i < widths.size() ? widths[i] : 12;
+    line << std::left << std::setw(width) << cells[i];
+  }
+  std::cout << line.str() << "\n";
+}
+
+std::string FormatDouble(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string FormatSeconds(double seconds) {
+  std::ostringstream out;
+  if (seconds < 1e-3) {
+    out << std::fixed << std::setprecision(1) << seconds * 1e6 << "us";
+  } else if (seconds < 1.0) {
+    out << std::fixed << std::setprecision(2) << seconds * 1e3 << "ms";
+  } else {
+    out << std::fixed << std::setprecision(2) << seconds << "s";
+  }
+  return out.str();
+}
+
+std::string FormatBytes(std::uint64_t bytes) {
+  std::ostringstream out;
+  const double mb = static_cast<double>(bytes) / (1024.0 * 1024.0);
+  if (mb < 1.0) {
+    out << std::fixed << std::setprecision(1)
+        << static_cast<double>(bytes) / 1024.0 << "KB";
+  } else if (mb < 1024.0) {
+    out << std::fixed << std::setprecision(1) << mb << "MB";
+  } else {
+    out << std::fixed << std::setprecision(2) << mb / 1024.0 << "GB";
+  }
+  return out.str();
+}
+
+}  // namespace kvcc::bench

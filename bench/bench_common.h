@@ -1,0 +1,48 @@
+// Shared plumbing for the per-table / per-figure benchmark harnesses:
+// flag parsing, fixed-width table printing, and the dataset cache.
+//
+// Every bench binary accepts:
+//   --scale=<double>     dataset size multiplier (default per binary)
+//   --datasets=a,b,c     restrict to a subset of the 7 stand-ins
+//   --ks=20,25,30        override the k sweep
+//   --quick              shrink everything for smoke runs
+#ifndef KVCC_BENCH_BENCH_COMMON_H_
+#define KVCC_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kvcc::bench {
+
+struct BenchArgs {
+  double scale = 1.0;
+  bool quick = false;
+  std::vector<std::string> datasets;      // empty = binary default
+  std::vector<std::uint32_t> ks;          // empty = binary default
+};
+
+/// Parses argv. Unknown flags abort with a usage message.
+BenchArgs ParseArgs(int argc, char** argv, double default_scale);
+
+/// Generates (and memoizes per process) a dataset stand-in at the given
+/// scale, reporting generation time to stderr.
+const Graph& CachedDataset(const std::string& name, double scale);
+
+/// Prints a header banner naming the paper artifact being reproduced.
+void PrintBanner(const std::string& artifact, const std::string& what);
+
+/// Fixed-width row helpers.
+void PrintRow(const std::vector<std::string>& cells,
+              const std::vector<int>& widths);
+
+std::string FormatDouble(double value, int precision = 3);
+std::string FormatSeconds(double seconds);
+std::string FormatBytes(std::uint64_t bytes);
+
+}  // namespace kvcc::bench
+
+#endif  // KVCC_BENCH_BENCH_COMMON_H_

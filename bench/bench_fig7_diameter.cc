@@ -1,0 +1,16 @@
+// Reproduces Fig. 7: average diameter of k-cores vs k-ECCs vs k-VCCs.
+
+#include "bench_common.h"
+#include "effectiveness_common.h"
+
+int main(int argc, char** argv) {
+  using namespace kvcc::bench;
+  const BenchArgs args = ParseArgs(argc, argv, /*default_scale=*/0.25);
+  PrintBanner("Figure 7", "average diameter per cohesive-subgraph model");
+  const auto rows = RunEffectiveness(args);
+  PrintEffectivenessTable(rows, "average diameter",
+                          [](const kvcc::CohesionSummary& s) {
+                            return s.avg_diameter;
+                          });
+  return 0;
+}

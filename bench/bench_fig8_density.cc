@@ -1,0 +1,16 @@
+// Reproduces Fig. 8: average edge density of k-cores vs k-ECCs vs k-VCCs.
+
+#include "bench_common.h"
+#include "effectiveness_common.h"
+
+int main(int argc, char** argv) {
+  using namespace kvcc::bench;
+  const BenchArgs args = ParseArgs(argc, argv, /*default_scale=*/0.25);
+  PrintBanner("Figure 8", "average edge density per cohesive-subgraph model");
+  const auto rows = RunEffectiveness(args);
+  PrintEffectivenessTable(rows, "average edge density",
+                          [](const kvcc::CohesionSummary& s) {
+                            return s.avg_edge_density;
+                          });
+  return 0;
+}

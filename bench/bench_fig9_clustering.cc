@@ -1,0 +1,18 @@
+// Reproduces Fig. 9: average clustering coefficient of k-cores vs k-ECCs
+// vs k-VCCs.
+
+#include "bench_common.h"
+#include "effectiveness_common.h"
+
+int main(int argc, char** argv) {
+  using namespace kvcc::bench;
+  const BenchArgs args = ParseArgs(argc, argv, /*default_scale=*/0.25);
+  PrintBanner("Figure 9",
+              "average clustering coefficient per cohesive-subgraph model");
+  const auto rows = RunEffectiveness(args);
+  PrintEffectivenessTable(rows, "average clustering coefficient",
+                          [](const kvcc::CohesionSummary& s) {
+                            return s.avg_clustering;
+                          });
+  return 0;
+}

@@ -1,0 +1,58 @@
+// google-benchmark micro benchmarks for the end-to-end k-VCC enumeration
+// across the four algorithm variants on a planted-community workload.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/planted_vcc.h"
+#include "kvcc/kvcc_enum.h"
+
+namespace {
+
+const kvcc::PlantedVccGraph& Workload() {
+  static const kvcc::PlantedVccGraph planted = [] {
+    kvcc::PlantedVccConfig config;
+    config.num_blocks = 12;
+    config.block_size_min = 40;
+    config.block_size_max = 64;
+    config.connectivities = {18, 22, 26, 30};
+    config.overlap = 3;
+    config.bridge_edges = 2;
+    config.seed = 31;
+    return kvcc::GeneratePlantedVcc(config);
+  }();
+  return planted;
+}
+
+void RunVariant(benchmark::State& state, const kvcc::KvccOptions& options) {
+  const auto& planted = Workload();
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  std::size_t count = 0;
+  for (auto _ : state) {
+    const auto result = kvcc::EnumerateKVccs(planted.graph, k, options);
+    count = result.components.size();
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["kvccs"] = static_cast<double>(count);
+}
+
+void BM_Vcce(benchmark::State& state) {
+  RunVariant(state, kvcc::KvccOptions::Vcce());
+}
+void BM_VcceN(benchmark::State& state) {
+  RunVariant(state, kvcc::KvccOptions::VcceN());
+}
+void BM_VcceG(benchmark::State& state) {
+  RunVariant(state, kvcc::KvccOptions::VcceG());
+}
+void BM_VcceStar(benchmark::State& state) {
+  RunVariant(state, kvcc::KvccOptions::VcceStar());
+}
+
+BENCHMARK(BM_Vcce)->Arg(16)->Arg(24)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_VcceN)->Arg(16)->Arg(24)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_VcceG)->Arg(16)->Arg(24)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_VcceStar)->Arg(16)->Arg(24)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// google-benchmark micro benchmarks for the substrate layers: peeling,
+// components, certificates, max-flow, min-cut, blocks, triangles, diameter.
+
+#include <benchmark/benchmark.h>
+
+#include "flow/stoer_wagner.h"
+#include "gen/erdos_renyi.h"
+#include "gen/harary.h"
+#include "gen/rmat.h"
+#include "graph/biconnected.h"
+#include "graph/connected_components.h"
+#include "graph/k_core.h"
+#include "kvcc/flow_graph.h"
+#include "kvcc/sparse_certificate.h"
+#include "metrics/clustering.h"
+#include "metrics/diameter.h"
+
+namespace {
+
+kvcc::Graph MakeRmat(int scale) {
+  kvcc::RmatConfig config;
+  config.scale = static_cast<std::uint32_t>(scale);
+  config.edges = static_cast<std::uint64_t>(8) << scale;
+  config.seed = 7;
+  return kvcc::Rmat(config);
+}
+
+void BM_KCorePeel(benchmark::State& state) {
+  const kvcc::Graph g = MakeRmat(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kvcc::KCoreVertices(g, 8));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          g.NumEdges());
+}
+BENCHMARK(BM_KCorePeel)->Arg(12)->Arg(14);
+
+void BM_CoreDecomposition(benchmark::State& state) {
+  const kvcc::Graph g = MakeRmat(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kvcc::CoreNumbers(g));
+  }
+}
+BENCHMARK(BM_CoreDecomposition)->Arg(12)->Arg(14);
+
+void BM_ConnectedComponents(benchmark::State& state) {
+  const kvcc::Graph g = MakeRmat(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kvcc::LabelComponents(g).count);
+  }
+}
+BENCHMARK(BM_ConnectedComponents)->Arg(12)->Arg(14);
+
+void BM_SparseCertificate(benchmark::State& state) {
+  const kvcc::Graph g = MakeRmat(12);
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kvcc::BuildSparseCertificate(g, k).groups);
+  }
+}
+BENCHMARK(BM_SparseCertificate)->Arg(8)->Arg(20)->Arg(40);
+
+void BM_LocalConnectivityFlow(benchmark::State& state) {
+  // Harary H_{16,n}: every flow test pushes exactly 16 augmenting units.
+  const auto n = static_cast<kvcc::VertexId>(state.range(0));
+  const kvcc::Graph g = kvcc::HararyGraph(16, n);
+  kvcc::DirectedFlowGraph oracle(g);
+  kvcc::VertexId v = 8;
+  for (auto _ : state) {
+    v = (v + 1) % n;
+    if (g.HasEdge(0, v) || v == 0) continue;
+    benchmark::DoNotOptimize(oracle.LocalConnectivity(0, v, 17));
+  }
+}
+BENCHMARK(BM_LocalConnectivityFlow)->Arg(256)->Arg(1024);
+
+void BM_StoerWagnerEarlyStop(benchmark::State& state) {
+  const kvcc::Graph g = kvcc::ErdosRenyiGnm(400, 2400, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kvcc::StoerWagnerMinCut(g, 4).weight);
+  }
+}
+BENCHMARK(BM_StoerWagnerEarlyStop);
+
+void BM_BiconnectedComponents(benchmark::State& state) {
+  const kvcc::Graph g = MakeRmat(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kvcc::BiconnectedComponents(g).blocks);
+  }
+}
+BENCHMARK(BM_BiconnectedComponents)->Arg(12)->Arg(14);
+
+void BM_TriangleCount(benchmark::State& state) {
+  const kvcc::Graph g = MakeRmat(12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kvcc::TriangleCount(g));
+  }
+}
+BENCHMARK(BM_TriangleCount);
+
+void BM_ExactDiameterIfub(benchmark::State& state) {
+  const kvcc::Graph g = kvcc::ErdosRenyiGnm(4000, 20000, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kvcc::ExactDiameter(g));
+  }
+}
+BENCHMARK(BM_ExactDiameterIfub);
+
+}  // namespace
+
+BENCHMARK_MAIN();

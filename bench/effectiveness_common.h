@@ -1,0 +1,35 @@
+// Shared driver for the effectiveness figures (7, 8, 9): computes the
+// k-core components, k-ECCs and k-VCCs of each dataset at each k, and
+// summarizes diameter / edge density / clustering per model.
+#ifndef KVCC_BENCH_EFFECTIVENESS_COMMON_H_
+#define KVCC_BENCH_EFFECTIVENESS_COMMON_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "metrics/cohesion_report.h"
+
+namespace kvcc::bench {
+
+struct EffectivenessRow {
+  std::string dataset;
+  std::uint32_t k = 0;
+  CohesionSummary core;  // k-core connected components ("k-CC")
+  CohesionSummary ecc;   // k-ECCs
+  CohesionSummary vcc;   // k-VCCs
+};
+
+/// Runs the three models over the standard effectiveness datasets
+/// (youtube, dblp, google, cnr — Figs. 7-9) at their per-dataset k values.
+std::vector<EffectivenessRow> RunEffectiveness(const BenchArgs& args);
+
+/// Prints one figure's table given a metric extractor.
+void PrintEffectivenessTable(
+    const std::vector<EffectivenessRow>& rows, const std::string& metric,
+    const std::function<double(const CohesionSummary&)>& extract);
+
+}  // namespace kvcc::bench
+
+#endif  // KVCC_BENCH_EFFECTIVENESS_COMMON_H_

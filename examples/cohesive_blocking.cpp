@@ -1,0 +1,60 @@
+// Cohesive blocking: the full k-VCC hierarchy of a social network.
+//
+// Moody & White's structural-cohesion program (the sociological root the
+// paper builds on) ranks groups by the number of members whose removal
+// disconnects them. BuildKvccHierarchy computes exactly that dendrogram:
+// level k holds the k-VCCs, each nested in its (k-1)-VCC parent.
+//
+// Run: ./cohesive_blocking
+
+#include <iomanip>
+#include <iostream>
+
+#include "gen/fixtures.h"
+#include "graph/dot_export.h"
+#include "kvcc/hierarchy.h"
+
+int main() {
+  using namespace kvcc;
+
+  const Figure1Fixture fig1 = MakeFigure1Graph();
+  const Graph& g = fig1.graph;
+
+  const KvccHierarchy hierarchy = BuildKvccHierarchy(g);
+  std::cout << "cohesion dendrogram of the Fig. 1 graph ("
+            << g.NumVertices() << " vertices):\n\n";
+  for (std::uint32_t k = 1; k <= hierarchy.MaxLevel(); ++k) {
+    std::cout << "level " << k << " (" << k << "-VCCs): ";
+    for (std::size_t index : hierarchy.NodesAtLevel(k)) {
+      std::cout << "[" << hierarchy.nodes[index].vertices.size() << "] ";
+    }
+    std::cout << "\n";
+  }
+
+  // Per-vertex cohesion: how deeply embedded is each vertex?
+  std::cout << "\nper-vertex cohesion (max k with a containing k-VCC):\n";
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    std::cout << std::setw(3) << hierarchy.CohesionOf(v);
+    if ((v + 1) % 12 == 0) std::cout << "\n";
+  }
+  std::cout << "\n";
+  std::cout << "note: the shared vertices a=0, b=1 (cohesion "
+            << hierarchy.CohesionOf(0)
+            << ") sit in the deepest blocks, while the G3/G4 cliques top "
+               "out at 5.\n";
+
+  // Export the level-4 coloring for Graphviz rendering.
+  DotOptions options;
+  options.groups_of.assign(g.NumVertices(), {});
+  const auto level4 = hierarchy.NodesAtLevel(4);
+  for (std::size_t gi = 0; gi < level4.size(); ++gi) {
+    for (VertexId v : hierarchy.nodes[level4[gi]].vertices) {
+      options.groups_of[v].push_back(gi);
+    }
+  }
+  const std::string path = "/tmp/kvcc_cohesive_blocking.dot";
+  WriteDotFile(g, path, options);
+  std::cout << "\nwrote " << path
+            << " (render with: dot -Tpng -o blocks.png " << path << ")\n";
+  return 0;
+}

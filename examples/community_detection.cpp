@@ -1,0 +1,67 @@
+// Overlapping community detection on a collaboration network.
+//
+// Scenario from the paper's case study (Section 6.4): find the research
+// groups around a prolific author. k-VCCs support *overlap* — hub authors
+// belong to several groups — while bounding it below k (Property 1), and
+// they exclude weakly attached "free riders" that k-core/k-ECC absorb.
+//
+// Run: ./community_detection [k]
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "gen/fixtures.h"
+#include "gen/planted_vcc.h"
+#include "kvcc/kvcc_enum.h"
+
+int main(int argc, char** argv) {
+  using namespace kvcc;
+  const std::uint32_t k =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 4;
+
+  // --- Part 1: the ego network ---------------------------------------
+  const CaseStudyFixture ego = MakeCaseStudyGraph();
+  std::cout << "== ego network (" << ego.graph.NumVertices()
+            << " authors) ==\n";
+  const KvccResult groups = EnumerateKVccs(ego.graph, k);
+  std::map<VertexId, int> memberships;
+  for (std::size_t i = 0; i < groups.components.size(); ++i) {
+    std::cout << "group " << i << ":";
+    for (VertexId v : groups.components[i]) {
+      std::cout << " " << ego.names[v];
+      ++memberships[v];
+    }
+    std::cout << "\n";
+  }
+  std::cout << "hub authors (in several groups):";
+  for (const auto& [v, count] : memberships) {
+    if (count > 1) std::cout << " " << ego.names[v] << "(x" << count << ")";
+  }
+  std::cout << "\n'" << ego.names[ego.bridge_author]
+            << "' assigned to a group: "
+            << (memberships.count(ego.bridge_author) ? "yes" : "no (weak ties"
+                                                              " only)")
+            << "\n\n";
+
+  // --- Part 2: recovering planted communities at scale ----------------
+  PlantedVccConfig config;
+  config.num_blocks = 10;
+  config.block_size_min = 30;
+  config.block_size_max = 50;
+  config.connectivity = 12;
+  config.overlap = 3;
+  config.bridge_edges = 2;
+  config.seed = 2024;
+  const PlantedVccGraph planted = GeneratePlantedVcc(config);
+  std::cout << "== planted communities (" << planted.graph.NumVertices()
+            << " vertices, " << planted.graph.NumEdges() << " edges) ==\n";
+  const std::uint32_t kp = planted.min_separating_k;
+  const KvccResult recovered = EnumerateKVccs(planted.graph, kp);
+  std::cout << "k=" << kp << ": recovered " << recovered.components.size()
+            << " of " << planted.blocks.size() << " planted communities; "
+            << (recovered.components == planted.blocks ? "exact match"
+                                                       : "MISMATCH")
+            << "\n";
+  return recovered.components == planted.blocks ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+#include "ecc/kecc.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "flow/stoer_wagner.h"
+#include "graph/connected_components.h"
+#include "graph/k_core.h"
+
+namespace kvcc {
+
+std::vector<std::vector<VertexId>> KEdgeConnectedComponents(const Graph& g,
+                                                            std::uint32_t k) {
+  std::vector<std::vector<VertexId>> result;
+  std::vector<Graph> stack;
+  stack.push_back(g.WithIdentityLabels());
+
+  while (!stack.empty()) {
+    Graph cur = std::move(stack.back());
+    stack.pop_back();
+
+    // kappa' <= delta (Whitney), so peeling the k-core is sound and fast.
+    const std::vector<VertexId> survivors = KCoreVertices(cur, k);
+    if (survivors.size() <= k) continue;
+    Graph core = survivors.size() == cur.NumVertices()
+                     ? std::move(cur)
+                     : cur.InducedSubgraph(survivors);
+
+    for (const std::vector<VertexId>& comp : ConnectedComponents(core)) {
+      if (comp.size() <= k) continue;
+      Graph sub = core.InducedSubgraph(comp);
+
+      const GlobalMinCut cut = StoerWagnerMinCut(sub, /*early_stop_below=*/k);
+      if (cut.weight >= k) {
+        // No edge cut below k: sub is a k-ECC.
+        std::vector<VertexId> ids;
+        ids.reserve(sub.NumVertices());
+        for (VertexId v = 0; v < sub.NumVertices(); ++v) {
+          ids.push_back(sub.LabelOf(v));
+        }
+        std::sort(ids.begin(), ids.end());
+        result.push_back(std::move(ids));
+        continue;
+      }
+      // Split along the edge cut: the two sides share no vertices.
+      std::vector<bool> in_side(sub.NumVertices(), false);
+      for (VertexId v : cut.side) in_side[v] = true;
+      std::vector<VertexId> side, rest;
+      for (VertexId v = 0; v < sub.NumVertices(); ++v) {
+        (in_side[v] ? side : rest).push_back(v);
+      }
+      if (side.size() > k) stack.push_back(sub.InducedSubgraph(side));
+      if (rest.size() > k) stack.push_back(sub.InducedSubgraph(rest));
+    }
+  }
+
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+bool IsKEdgeConnected(const Graph& g, std::uint32_t k) {
+  if (g.NumVertices() < 2) return false;
+  if (k == 0) return IsConnected(g);
+  const GlobalMinCut cut = StoerWagnerMinCut(g, /*early_stop_below=*/k);
+  return cut.weight >= k;
+}
+
+}  // namespace kvcc

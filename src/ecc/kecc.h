@@ -1,0 +1,31 @@
+// k-edge-connected components (k-ECC) — the comparison model of the paper's
+// effectiveness study (Figs. 7-9, 14).
+//
+// A k-ECC is a maximal subgraph that cannot be disconnected by removing
+// fewer than k edges. Unlike k-VCCs, k-ECCs never overlap, so the recursive
+// split by a < k edge cut partitions the vertex set directly (no
+// duplication). The implementation recursively peels the k-core and splits
+// by Stoer–Wagner cuts with early termination (cf. Zhou et al., EDBT'12).
+#ifndef KVCC_ECC_KECC_H_
+#define KVCC_ECC_KECC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kvcc {
+
+/// All k-ECCs of g (k >= 1), each as a sorted list of vertex ids of g;
+/// the list is sorted lexicographically. Components have > k vertices
+/// (a k-edge-connected graph has minimum degree >= k).
+std::vector<std::vector<VertexId>> KEdgeConnectedComponents(const Graph& g,
+                                                            std::uint32_t k);
+
+/// True iff g is k-edge-connected: >= 2 vertices and every edge cut has at
+/// least k edges.
+bool IsKEdgeConnected(const Graph& g, std::uint32_t k);
+
+}  // namespace kvcc
+
+#endif  // KVCC_ECC_KECC_H_

@@ -1,0 +1,132 @@
+#include "flow/stoer_wagner.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+
+namespace kvcc {
+namespace {
+
+// Contracted multigraph state: per-supernode weight maps plus the original
+// vertices each supernode represents.
+struct Contraction {
+  std::vector<std::unordered_map<VertexId, std::uint64_t>> weight;
+  std::vector<std::vector<VertexId>> members;
+  std::vector<bool> alive;
+
+  explicit Contraction(const Graph& g)
+      : weight(g.NumVertices()),
+        members(g.NumVertices()),
+        alive(g.NumVertices(), true) {
+    for (VertexId u = 0; u < g.NumVertices(); ++u) {
+      members[u] = {u};
+      for (VertexId v : g.Neighbors(u)) weight[u].emplace(v, 1);
+    }
+  }
+
+  /// Merges supernode `t` into supernode `s`.
+  void Merge(VertexId s, VertexId t) {
+    alive[t] = false;
+    weight[s].erase(t);
+    weight[t].erase(s);
+    for (const auto& [w, value] : weight[t]) {
+      weight[w].erase(t);
+      weight[s][w] += value;
+      weight[w][s] += value;
+    }
+    weight[t].clear();
+    members[s].insert(members[s].end(), members[t].begin(),
+                      members[t].end());
+    members[t].clear();
+    members[t].shrink_to_fit();
+  }
+};
+
+}  // namespace
+
+GlobalMinCut StoerWagnerMinCut(const Graph& g,
+                               std::uint64_t early_stop_below) {
+  GlobalMinCut best;
+  const VertexId n = g.NumVertices();
+  if (n < 2) return best;
+
+  Contraction state(g);
+  std::vector<VertexId> active;
+  active.reserve(n);
+  for (VertexId v = 0; v < n; ++v) active.push_back(v);
+
+  std::vector<std::uint64_t> attachment(n, 0);
+  std::vector<bool> in_order(n, false);
+
+  while (active.size() >= 2) {
+    // One maximum-adjacency phase over the current contracted graph.
+    for (VertexId v : active) {
+      attachment[v] = 0;
+      in_order[v] = false;
+    }
+    using HeapEntry = std::pair<std::uint64_t, VertexId>;  // (weight, node)
+    std::priority_queue<HeapEntry> heap;
+    const VertexId start = active.front();
+    heap.emplace(0, start);
+
+    VertexId last = kInvalidVertex;
+    VertexId second_last = kInvalidVertex;
+    std::uint64_t last_weight = 0;
+    std::size_t added = 0;
+
+    while (added < active.size()) {
+      VertexId u = kInvalidVertex;
+      std::uint64_t wu = 0;
+      // Lazy-deletion pop; a disconnected contracted graph is handled by
+      // pulling an arbitrary not-yet-ordered node with attachment 0.
+      while (!heap.empty()) {
+        auto [w, cand] = heap.top();
+        heap.pop();
+        if (!in_order[cand] && w == attachment[cand]) {
+          u = cand;
+          wu = w;
+          break;
+        }
+      }
+      if (u == kInvalidVertex) {
+        for (VertexId cand : active) {
+          if (!in_order[cand]) {
+            u = cand;
+            wu = 0;
+            break;
+          }
+        }
+      }
+      in_order[u] = true;
+      ++added;
+      second_last = last;
+      last = u;
+      last_weight = wu;
+      for (const auto& [w, value] : state.weight[u]) {
+        if (!in_order[w]) {
+          attachment[w] += value;
+          heap.emplace(attachment[w], w);
+        }
+      }
+    }
+
+    // Cut of the phase: members(last) vs the rest, weight = last_weight.
+    if (last_weight < best.weight) {
+      best.weight = last_weight;
+      best.side = state.members[last];
+      if (early_stop_below > 0 && best.weight < early_stop_below) {
+        std::sort(best.side.begin(), best.side.end());
+        return best;
+      }
+    }
+
+    state.Merge(second_last, last);
+    active.erase(std::find(active.begin(), active.end(), last));
+  }
+
+  std::sort(best.side.begin(), best.side.end());
+  return best;
+}
+
+}  // namespace kvcc

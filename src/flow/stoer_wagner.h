@@ -1,0 +1,43 @@
+// Stoer–Wagner global minimum edge cut with optional early termination.
+//
+// Used by the k-ECC baseline: a k-ECC split only needs *some* edge cut with
+// fewer than k edges, so the search can return the first cut-of-the-phase
+// whose weight drops below the threshold instead of completing all n-1
+// phases. The paper discusses this algorithm in Section 4 as a related
+// (but vertex-cut-unsuitable) technique.
+#ifndef KVCC_FLOW_STOER_WAGNER_H_
+#define KVCC_FLOW_STOER_WAGNER_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kvcc {
+
+struct GlobalMinCut {
+  /// Weight (= number of edges in an unweighted graph) of the cut found.
+  /// Infinite when the graph has fewer than 2 vertices.
+  std::uint64_t weight = kInfiniteCut;
+  /// One side of the cut, as vertex ids of the input graph. Never empty or
+  /// the full vertex set when weight is finite.
+  std::vector<VertexId> side;
+
+  static constexpr std::uint64_t kInfiniteCut =
+      std::numeric_limits<std::uint64_t>::max();
+};
+
+/// Computes a global minimum edge cut of g (which may be disconnected; a
+/// disconnected graph has a cut of weight 0).
+///
+/// If `early_stop_below` > 0, the search returns the first phase cut with
+/// weight < early_stop_below; the result is then a valid (not necessarily
+/// minimum) cut below the threshold. With the default 0 the exact minimum
+/// cut is returned. O(n * m log n) worst case.
+GlobalMinCut StoerWagnerMinCut(const Graph& g,
+                               std::uint64_t early_stop_below = 0);
+
+}  // namespace kvcc
+
+#endif  // KVCC_FLOW_STOER_WAGNER_H_

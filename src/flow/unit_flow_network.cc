@@ -1,0 +1,116 @@
+#include "flow/unit_flow_network.h"
+
+#include <algorithm>
+
+namespace kvcc {
+
+UnitFlowNetwork::UnitFlowNetwork(std::uint32_t num_nodes)
+    : first_(num_nodes, kNone) {}
+
+std::uint32_t UnitFlowNetwork::AddArc(std::uint32_t from, std::uint32_t to,
+                                      std::int32_t capacity) {
+  const auto forward = static_cast<std::uint32_t>(arc_to_.size());
+  arc_to_.push_back(to);
+  arc_cap_.push_back(capacity);
+  next_.push_back(first_[from]);
+  first_[from] = forward;
+
+  const auto backward = forward + 1;
+  arc_to_.push_back(from);
+  arc_cap_.push_back(0);
+  next_.push_back(first_[to]);
+  first_[to] = backward;
+
+  arc_init_cap_.push_back(capacity);
+  arc_init_cap_.push_back(0);
+  return forward;
+}
+
+bool UnitFlowNetwork::BuildLevels(std::uint32_t s, std::uint32_t t) {
+  level_.assign(first_.size(), kNone);
+  bfs_queue_.clear();
+  level_[s] = 0;
+  bfs_queue_.push_back(s);
+  for (std::size_t head = 0; head < bfs_queue_.size(); ++head) {
+    const std::uint32_t u = bfs_queue_[head];
+    for (std::uint32_t arc = first_[u]; arc != kNone; arc = next_[arc]) {
+      const std::uint32_t w = arc_to_[arc];
+      if (arc_cap_[arc] > 0 && level_[w] == kNone) {
+        level_[w] = level_[u] + 1;
+        if (w == t) return true;  // Shortest t level found; enough to phase.
+        bfs_queue_.push_back(w);
+      }
+    }
+  }
+  return level_[t] != kNone;
+}
+
+std::int32_t UnitFlowNetwork::FindAugmentingPath(std::uint32_t s,
+                                                 std::uint32_t t,
+                                                 std::int32_t limit) {
+  path_.clear();
+  std::uint32_t u = s;
+  while (true) {
+    if (u == t) {
+      std::int32_t bottleneck = limit;
+      for (std::uint32_t arc : path_) {
+        bottleneck = std::min(bottleneck, arc_cap_[arc]);
+      }
+      for (std::uint32_t arc : path_) {
+        arc_cap_[arc] -= bottleneck;
+        arc_cap_[arc ^ 1] += bottleneck;
+      }
+      return bottleneck;
+    }
+    std::uint32_t& arc = iter_[u];
+    while (arc != kNone && !(arc_cap_[arc] > 0 &&
+                             level_[arc_to_[arc]] == level_[u] + 1)) {
+      arc = next_[arc];
+    }
+    if (arc == kNone) {
+      level_[u] = kNone;  // Dead end within this phase.
+      if (path_.empty()) return 0;
+      u = arc_to_[path_.back() ^ 1];  // Retreat to the arc's tail node.
+      path_.pop_back();
+    } else {
+      path_.push_back(arc);
+      u = arc_to_[arc];
+    }
+  }
+}
+
+std::int32_t UnitFlowNetwork::MaxFlow(std::uint32_t s, std::uint32_t t,
+                                      std::int32_t limit) {
+  std::int32_t flow = 0;
+  while (flow < limit && BuildLevels(s, t)) {
+    iter_ = first_;
+    while (flow < limit) {
+      const std::int32_t got = FindAugmentingPath(s, t, limit - flow);
+      if (got == 0) break;
+      flow += got;
+    }
+  }
+  return flow;
+}
+
+void UnitFlowNetwork::ResetFlow() { arc_cap_ = arc_init_cap_; }
+
+std::vector<bool> UnitFlowNetwork::ResidualReachable(std::uint32_t s) const {
+  std::vector<bool> reachable(first_.size(), false);
+  std::vector<std::uint32_t> queue;
+  reachable[s] = true;
+  queue.push_back(s);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::uint32_t u = queue[head];
+    for (std::uint32_t arc = first_[u]; arc != kNone; arc = next_[arc]) {
+      const std::uint32_t w = arc_to_[arc];
+      if (arc_cap_[arc] > 0 && !reachable[w]) {
+        reachable[w] = true;
+        queue.push_back(w);
+      }
+    }
+  }
+  return reachable;
+}
+
+}  // namespace kvcc

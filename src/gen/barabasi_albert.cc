@@ -1,0 +1,45 @@
+#include "gen/barabasi_albert.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "util/random.h"
+
+namespace kvcc {
+
+Graph BarabasiAlbert(VertexId n, std::uint32_t edges_per_vertex,
+                     std::uint64_t seed) {
+  GraphBuilder builder(n);
+  const VertexId seed_size = std::min<VertexId>(n, edges_per_vertex + 1);
+  std::vector<VertexId> endpoints;  // Every edge endpoint, for degree bias.
+  for (VertexId u = 0; u < seed_size; ++u) {
+    for (VertexId v = u + 1; v < seed_size; ++v) {
+      builder.AddEdge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  Rng rng(seed);
+  std::vector<VertexId> targets;
+  for (VertexId u = seed_size; u < n; ++u) {
+    targets.clear();
+    // Draw `edges_per_vertex` distinct degree-biased targets.
+    while (targets.size() < edges_per_vertex && targets.size() < u) {
+      const VertexId candidate =
+          endpoints[rng.NextBounded(endpoints.size())];
+      if (std::find(targets.begin(), targets.end(), candidate) ==
+          targets.end()) {
+        targets.push_back(candidate);
+      }
+    }
+    for (VertexId t : targets) {
+      builder.AddEdge(u, t);
+      endpoints.push_back(u);
+      endpoints.push_back(t);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace kvcc

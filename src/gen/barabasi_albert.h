@@ -1,0 +1,20 @@
+// Barabási–Albert preferential attachment graphs (heavy-tailed degrees,
+// the stand-in shape for social / citation networks).
+#ifndef KVCC_GEN_BARABASI_ALBERT_H_
+#define KVCC_GEN_BARABASI_ALBERT_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace kvcc {
+
+/// n vertices; each new vertex attaches to `edges_per_vertex` distinct
+/// existing vertices chosen proportionally to degree (repeated-endpoint
+/// list method). The first edges_per_vertex+1 vertices form a clique seed.
+Graph BarabasiAlbert(VertexId n, std::uint32_t edges_per_vertex,
+                     std::uint64_t seed);
+
+}  // namespace kvcc
+
+#endif  // KVCC_GEN_BARABASI_ALBERT_H_

@@ -1,0 +1,29 @@
+#include "gen/clique_chain.h"
+
+#include <stdexcept>
+
+#include "graph/graph_builder.h"
+
+namespace kvcc {
+
+Graph CliqueChain(std::uint32_t num_cliques, VertexId clique_size,
+                  VertexId overlap) {
+  if (num_cliques == 0 || overlap == 0 || overlap >= clique_size) {
+    throw std::invalid_argument(
+        "CliqueChain requires num_cliques >= 1 and 0 < overlap < size");
+  }
+  const VertexId stride = clique_size - overlap;
+  const VertexId n = stride * num_cliques + overlap;
+  GraphBuilder builder(n);
+  for (std::uint32_t c = 0; c < num_cliques; ++c) {
+    const VertexId base = c * stride;
+    for (VertexId i = 0; i < clique_size; ++i) {
+      for (VertexId j = i + 1; j < clique_size; ++j) {
+        builder.AddEdge(base + i, base + j);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace kvcc

@@ -1,0 +1,279 @@
+#include "gen/dataset_suite.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "gen/barabasi_albert.h"
+#include "gen/clique_chain.h"
+#include "gen/planted_vcc.h"
+#include "gen/rmat.h"
+#include "graph/graph_builder.h"
+#include "util/random.h"
+
+namespace kvcc {
+namespace {
+
+enum class BackgroundKind { kRmat, kBa };
+
+struct DatasetRecipe {
+  DatasetInfo info;
+  BackgroundKind background;
+  VertexId background_n;      // scaled by `scale`
+  double background_density;  // target average degree of the background
+  PlantedVccConfig chain;     // block chain overlaid on the background
+  std::uint32_t attach_edges_per_block;
+  // Large, dense "web cores" (mirror the big k-cores of the real SNAP
+  // graphs): (connectivity, size) pairs, sizes decreasing as connectivity
+  // rises. A core survives peeling while k <= its connectivity and then
+  // forces a full phase-1 confirmation pass — the regime where the sweep
+  // optimizations pay off — and because lower-connectivity cores peel away
+  // as k grows, total work *decreases* in k as in the paper's Fig. 10.
+  std::vector<std::pair<std::uint32_t, VertexId>> cores;
+  // Optional clique-chain core (clique-rich web-core structure; zero
+  // cliques = none). With overlap 50 the chain stays one k-VCC through the
+  // whole k = 20..40 sweep and every vertex is a strong side-vertex for
+  // k <= 48, the best case for neighbor sweep rule 1 (large VCCE / VCCE*
+  // gaps as in the paper's Stanford and Cit plots).
+  std::uint32_t chain_cliques = 0;
+  VertexId chain_clique_size = 100;
+  VertexId chain_overlap = 50;
+  std::uint64_t seed;
+};
+
+DatasetRecipe RecipeFor(const std::string& name) {
+  DatasetRecipe r;
+  r.attach_edges_per_block = 2;
+  r.cores = {{24, 650}, {32, 420}, {40, 280}, {48, 170}};
+  r.chain.overlap = 3;
+  r.chain.bridge_edges = 2;
+  // Keep the densification mild so a block's actual connectivity stays
+  // near its Harary value and the k sweeps see counts change.
+  r.chain.extra_edge_factor = 0.35;
+  // Efficiency sweep (k = 20..40) needs blocks across [22, 48]; the
+  // effectiveness sweeps need a few low-k blocks as well.
+  r.chain.connectivities = {22, 26, 30, 34, 38, 42, 46, 24, 32, 40};
+  r.chain.block_size_min = 52;
+  r.chain.block_size_max = 88;
+
+  if (name == "stanford") {
+    r.info = {"stanford", "web-Stanford (SNAP)", "web"};
+    r.background = BackgroundKind::kRmat;
+    r.background_n = 16384;
+    r.background_density = 8.2;
+    r.chain.num_blocks = 18;
+    r.chain_cliques = 14;
+    r.seed = 1001;
+  } else if (name == "dblp") {
+    r.info = {"dblp", "com-DBLP (SNAP)", "collaboration"};
+    r.background = BackgroundKind::kBa;
+    r.background_n = 20000;
+    r.background_density = 3.3;
+    r.chain.num_blocks = 24;
+    r.chain.connectivities = {16, 18, 20, 24, 28, 32, 36, 40, 44, 22};
+    r.chain.block_size_min = 48;
+    r.chain.block_size_max = 76;
+    r.seed = 1002;
+  } else if (name == "cnr") {
+    r.info = {"cnr", "cnr-2000 (LAW/SNAP)", "web"};
+    r.background = BackgroundKind::kRmat;
+    r.background_n = 16384;
+    r.background_density = 9.9;
+    r.chain.num_blocks = 20;
+    r.chain.connectivities = {19, 22, 26, 30, 34, 38, 42, 46, 21, 28};
+    r.seed = 1003;
+  } else if (name == "nd") {
+    r.info = {"nd", "web-NotreDame (SNAP)", "web"};
+    r.background = BackgroundKind::kRmat;
+    r.background_n = 16384;
+    r.background_density = 4.6;
+    r.chain.num_blocks = 16;
+    r.seed = 1004;
+  } else if (name == "google") {
+    r.info = {"google", "web-Google (SNAP)", "web"};
+    r.background = BackgroundKind::kRmat;
+    r.background_n = 32768;
+    r.background_density = 5.8;
+    r.chain.num_blocks = 28;
+    r.chain.connectivities = {20, 23, 26, 30, 34, 38, 42, 46, 22, 28};
+    r.seed = 1005;
+  } else if (name == "youtube") {
+    r.info = {"youtube", "com-Youtube (SNAP)", "social"};
+    r.background = BackgroundKind::kBa;
+    r.background_n = 24000;
+    r.background_density = 2.6;
+    // youtube is only used by the effectiveness sweep (k = 6..9), so its
+    // planted blocks stay in the low-connectivity regime.
+    r.chain.num_blocks = 26;
+    r.chain.connectivities = {7, 8, 9, 10, 12, 14};
+    r.chain.overlap = 1;
+    r.chain.bridge_edges = 1;
+    r.chain.block_size_min = 24;
+    r.chain.block_size_max = 56;
+    r.cores = {{10, 500}, {16, 260}};
+    r.seed = 1006;
+  } else if (name == "cit") {
+    r.info = {"cit", "cit-Patents (SNAP/NBER)", "citation"};
+    r.background = BackgroundKind::kBa;
+    r.background_n = 48000;
+    r.background_density = 4.4;
+    r.chain.num_blocks = 32;
+    r.chain_cliques = 20;
+    r.seed = 1007;
+  } else {
+    throw std::invalid_argument("unknown dataset: " + name);
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<std::string> DatasetNames() {
+  return {"stanford", "dblp", "cnr", "nd", "google", "youtube", "cit"};
+}
+
+DatasetInfo GetDatasetInfo(const std::string& name) {
+  return RecipeFor(name).info;
+}
+
+Graph GenerateDataset(const std::string& name, double scale) {
+  if (scale <= 0) throw std::invalid_argument("scale must be positive");
+  DatasetRecipe r = RecipeFor(name);
+
+  // --- planted chain (blocks scale in count, not size) ---
+  r.chain.num_blocks = static_cast<std::uint32_t>(
+      std::max(2.0, std::round(r.chain.num_blocks * std::sqrt(scale))));
+  r.chain.seed = r.seed * 7919 + 13;
+  const PlantedVccGraph planted = GeneratePlantedVcc(r.chain);
+
+  // --- the large web cores (one k-connected block each) ---
+  std::vector<Graph> cores;
+  for (std::size_t i = 0; i < r.cores.size(); ++i) {
+    const auto [conn, size] = r.cores[i];
+    PlantedVccConfig cc;
+    cc.num_blocks = 1;
+    cc.block_size_min = cc.block_size_max = std::max<VertexId>(
+        conn + 2, static_cast<VertexId>(std::round(size * scale)));
+    cc.connectivity = conn;
+    cc.extra_edge_factor = 0.3;
+    cc.overlap = 0;
+    cc.bridge_edges = 0;
+    cc.seed = r.seed * 31 + 5 + i;
+    cores.push_back(GeneratePlantedVcc(cc).graph);
+  }
+  if (r.chain_cliques > 0) {
+    const auto cliques = static_cast<std::uint32_t>(
+        std::max(2.0, std::round(r.chain_cliques * scale)));
+    cores.push_back(
+        CliqueChain(cliques, r.chain_clique_size, r.chain_overlap));
+  }
+  std::uint64_t cores_vertices = 0, cores_edges = 0;
+  for (const Graph& core : cores) {
+    cores_vertices += core.NumVertices();
+    cores_edges += core.NumEdges();
+  }
+
+  // --- background; its edge budget is the density target minus what the
+  //     planted blocks already contribute ---
+  const auto background_n = static_cast<VertexId>(
+      std::max(1.0, std::round(r.background_n * scale)));
+  const double target_edges =
+      r.background_density *
+      static_cast<double>(background_n + planted.graph.NumVertices() +
+                          cores_vertices) /
+      2.0;
+  const double budget =
+      std::max(static_cast<double>(background_n),
+               target_edges - static_cast<double>(planted.graph.NumEdges()) -
+                   static_cast<double>(cores_edges));
+  Graph background;
+  if (r.background == BackgroundKind::kRmat) {
+    RmatConfig rc;
+    rc.scale = 1;
+    while ((static_cast<VertexId>(1) << rc.scale) < background_n) ++rc.scale;
+    // Oversample: R-MAT self-loops/duplicates shrink the final count.
+    rc.edges = static_cast<std::uint64_t>(budget * 1.15);
+    rc.seed = r.seed;
+    background = Rmat(rc);
+  } else {
+    const auto per_vertex = static_cast<std::uint32_t>(std::max(
+        1.0, std::round(budget / static_cast<double>(background_n))));
+    background = BarabasiAlbert(background_n, per_vertex, r.seed);
+  }
+
+  // --- merge; planted chain then cores are offset past the background ---
+  const VertexId offset = background.NumVertices();
+  GraphBuilder merged(
+      static_cast<VertexId>(offset + planted.graph.NumVertices() +
+                            cores_vertices));
+  for (const auto& [u, v] : background.Edges()) merged.AddEdge(u, v);
+  for (const auto& [u, v] : planted.graph.Edges()) {
+    merged.AddEdge(offset + u, offset + v);
+  }
+  Rng rng(r.seed * 104729 + 7);
+  VertexId core_offset = offset + planted.graph.NumVertices();
+  VertexId previous_core_offset = kInvalidVertex;
+  VertexId previous_core_size = 0;
+  for (const Graph& core : cores) {
+    for (const auto& [u, v] : core.Edges()) {
+      merged.AddEdge(core_offset + u, core_offset + v);
+    }
+    // Attach each core to the background with a couple of edges.
+    for (std::uint32_t e = 0; e < r.attach_edges_per_block; ++e) {
+      const VertexId c = static_cast<VertexId>(
+          rng.NextBounded(core.NumVertices()));
+      const VertexId g = static_cast<VertexId>(
+          rng.NextBounded(background.NumVertices()));
+      merged.AddEdge(core_offset + c, g);
+    }
+    // Tie consecutive cores together with 3 edges (< every evaluated k):
+    // the k-core keeps them in one component while every k-ECC and k-VCC
+    // still splits — the free-rider structure of the paper's Fig. 1.
+    if (previous_core_offset != kInvalidVertex) {
+      for (std::uint32_t e = 0; e < 3; ++e) {
+        merged.AddEdge(
+            previous_core_offset +
+                static_cast<VertexId>(rng.NextBounded(previous_core_size)),
+            core_offset +
+                static_cast<VertexId>(rng.NextBounded(core.NumVertices())));
+      }
+    }
+    previous_core_offset = core_offset;
+    previous_core_size = core.NumVertices();
+    core_offset += core.NumVertices();
+  }
+  // Likewise tie the planted chain to the first core.
+  if (!cores.empty() && planted.graph.NumVertices() > 0) {
+    const VertexId first_core = offset + planted.graph.NumVertices();
+    for (std::uint32_t e = 0; e < 3; ++e) {
+      merged.AddEdge(
+          offset + static_cast<VertexId>(
+                       rng.NextBounded(planted.graph.NumVertices())),
+          first_core + static_cast<VertexId>(
+                           rng.NextBounded(cores.front().NumVertices())));
+    }
+  }
+  // Sparse attachments so the whole graph is (mostly) one component while
+  // blocks keep a small boundary.
+  for (const auto& block : planted.blocks) {
+    for (std::uint32_t e = 0; e < r.attach_edges_per_block; ++e) {
+      const VertexId b = block[rng.NextBounded(block.size())];
+      const VertexId g = static_cast<VertexId>(
+          rng.NextBounded(background.NumVertices()));
+      merged.AddEdge(offset + b, g);
+    }
+  }
+  return merged.Build();
+}
+
+std::vector<std::uint32_t> EffectivenessKs(const std::string& name) {
+  // Per the x-axes of Figs. 7-9.
+  if (name == "youtube") return {6, 7, 8, 9};
+  if (name == "dblp") return {15, 16, 17, 18};
+  if (name == "google") return {18, 19, 20, 21};
+  if (name == "cnr") return {17, 18, 19, 20};
+  return {15, 16, 17, 18};  // Other datasets are not in Figs. 7-9.
+}
+
+std::vector<std::uint32_t> EfficiencyKs() { return {20, 25, 30, 35, 40}; }
+
+}  // namespace kvcc

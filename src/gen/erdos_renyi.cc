@@ -1,0 +1,67 @@
+#include "gen/erdos_renyi.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "graph/graph_builder.h"
+#include "util/random.h"
+
+namespace kvcc {
+
+Graph ErdosRenyiGnm(VertexId n, std::uint64_t m, std::uint64_t seed) {
+  GraphBuilder builder(n);
+  if (n >= 2) {
+    const std::uint64_t max_pairs =
+        static_cast<std::uint64_t>(n) * (n - 1) / 2;
+    if (m > max_pairs) m = max_pairs;
+    Rng rng(seed);
+    std::unordered_set<std::uint64_t> chosen;
+    chosen.reserve(m * 2);
+    while (chosen.size() < m) {
+      const auto u = static_cast<VertexId>(rng.NextBounded(n));
+      const auto v = static_cast<VertexId>(rng.NextBounded(n));
+      if (u == v) continue;
+      const std::uint64_t key =
+          static_cast<std::uint64_t>(std::min(u, v)) << 32 | std::max(u, v);
+      if (chosen.insert(key).second) builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+Graph ErdosRenyiGnp(VertexId n, double p, std::uint64_t seed) {
+  GraphBuilder builder(n);
+  if (p > 0 && n >= 2) {
+    Rng rng(seed);
+    if (p >= 1.0) {
+      for (VertexId u = 0; u < n; ++u) {
+        for (VertexId v = u + 1; v < n; ++v) builder.AddEdge(u, v);
+      }
+    } else {
+      // Geometric skipping over the linearized strict upper triangle.
+      const double log_q = std::log1p(-p);
+      std::uint64_t index = 0;
+      const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+      while (true) {
+        const double r = rng.NextDouble();
+        const auto skip = static_cast<std::uint64_t>(
+            std::floor(std::log1p(-r) / log_q));
+        index += skip;
+        if (index >= total) break;
+        // Unrank `index` into (u, v), u < v: row u has n-1-u entries.
+        VertexId u = 0;
+        std::uint64_t remaining = index;
+        while (remaining >= static_cast<std::uint64_t>(n - 1 - u)) {
+          remaining -= n - 1 - u;
+          ++u;
+        }
+        const auto v = static_cast<VertexId>(u + 1 + remaining);
+        builder.AddEdge(u, v);
+        ++index;
+      }
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace kvcc

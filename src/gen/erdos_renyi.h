@@ -1,0 +1,21 @@
+// Erdős–Rényi random graphs.
+#ifndef KVCC_GEN_ERDOS_RENYI_H_
+#define KVCC_GEN_ERDOS_RENYI_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace kvcc {
+
+/// G(n, m): n vertices, m distinct uniform random edges (m is clamped to
+/// the number of available vertex pairs). Deterministic in `seed`.
+Graph ErdosRenyiGnm(VertexId n, std::uint64_t m, std::uint64_t seed);
+
+/// G(n, p): each pair independently with probability p, via geometric
+/// skipping (O(n + m) expected). Deterministic in `seed`.
+Graph ErdosRenyiGnp(VertexId n, double p, std::uint64_t seed);
+
+}  // namespace kvcc
+
+#endif  // KVCC_GEN_ERDOS_RENYI_H_

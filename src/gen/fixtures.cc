@@ -1,0 +1,191 @@
+#include "gen/fixtures.h"
+
+#include <algorithm>
+
+#include "graph/graph_builder.h"
+
+namespace kvcc {
+namespace {
+
+void AddClique(GraphBuilder& builder, const std::vector<VertexId>& members) {
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (std::size_t j = i + 1; j < members.size(); ++j) {
+      builder.AddEdge(members[i], members[j]);
+    }
+  }
+}
+
+std::vector<VertexId> Sorted(std::vector<VertexId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+}  // namespace
+
+Figure1Fixture MakeFigure1Graph() {
+  Figure1Fixture f;
+  f.a = 0;
+  f.b = 1;
+  f.c = 7;
+  // G1 = K7 on {a, b, 2..6}; G2 = K7 on {a, b, c, 8..11};
+  // G3 = K6 on {c, 12..16}; G4 = K6 on {17..22};
+  // plus the two independent edges (12,17) and (13,18).
+  const std::vector<VertexId> g1 = {0, 1, 2, 3, 4, 5, 6};
+  const std::vector<VertexId> g2 = {0, 1, 7, 8, 9, 10, 11};
+  const std::vector<VertexId> g3 = {7, 12, 13, 14, 15, 16};
+  const std::vector<VertexId> g4 = {17, 18, 19, 20, 21, 22};
+  GraphBuilder builder(23);
+  AddClique(builder, g1);
+  AddClique(builder, g2);
+  AddClique(builder, g3);
+  AddClique(builder, g4);
+  builder.AddEdge(12, 17);
+  builder.AddEdge(13, 18);
+  f.graph = builder.Build();
+
+  f.expected_vccs = {Sorted(g1), Sorted(g2), Sorted(g3), Sorted(g4)};
+  std::sort(f.expected_vccs.begin(), f.expected_vccs.end());
+
+  std::vector<VertexId> g123;
+  for (VertexId v = 0; v <= 16; ++v) g123.push_back(v);
+  f.expected_eccs = {g123, Sorted(g4)};
+  std::sort(f.expected_eccs.begin(), f.expected_eccs.end());
+
+  for (VertexId v = 0; v < 23; ++v) f.expected_core.push_back(v);
+  return f;
+}
+
+CaseStudyFixture MakeCaseStudyGraph() {
+  CaseStudyFixture f;
+  // Layout: 0 = ego, 1 = hub1, 2 = hub2, 3 = bridge author; members follow.
+  f.ego = 0;
+  f.hubs = {1, 2};
+  f.bridge_author = 3;
+  VertexId next = 4;
+  auto fresh = [&next](std::size_t count) {
+    std::vector<VertexId> out;
+    for (std::size_t i = 0; i < count; ++i) out.push_back(next++);
+    return out;
+  };
+
+  std::vector<std::vector<VertexId>> groups;
+  {
+    auto m = fresh(4);
+    groups.push_back({0, 1, m[0], m[1], m[2], m[3]});  // group 0: ego+hub1
+  }
+  {
+    auto m = fresh(3);
+    groups.push_back({0, 1, 2, m[0], m[1], m[2]});  // group 1: ego+both hubs
+  }
+  {
+    auto m = fresh(4);
+    groups.push_back({0, 1, m[0], m[1], m[2], m[3]});  // group 2: ego+hub1
+  }
+  {
+    auto m = fresh(4);
+    groups.push_back({0, 2, m[0], m[1], m[2], m[3]});  // group 3: ego+hub2
+  }
+  for (int i = 0; i < 3; ++i) {
+    auto m = fresh(5);
+    groups.push_back({0, m[0], m[1], m[2], m[3], m[4]});  // groups 4-6
+  }
+
+  GraphBuilder builder(next);
+  for (const auto& group : groups) AddClique(builder, group);
+  // The bridge author co-authored with two members of group 0 and two of
+  // group 1 — enough edges to stay in the 4-core and 4-ECC, but without 4
+  // vertex-independent paths into any single group.
+  builder.AddEdge(3, groups[0][2]);
+  builder.AddEdge(3, groups[0][3]);
+  builder.AddEdge(3, groups[1][3]);
+  builder.AddEdge(3, groups[1][4]);
+  f.graph = builder.Build();
+  f.expected_vcc_count = groups.size();
+
+  f.names.assign(next, "");
+  f.names[0] = "Ego Scholar";
+  f.names[1] = "Hub Alpha";
+  f.names[2] = "Hub Beta";
+  f.names[3] = "Bridge Author";
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    int member = 0;
+    for (VertexId v : groups[gi]) {
+      if (f.names[v].empty()) {
+        std::string name = "G";
+        name += std::to_string(gi);
+        name += "-member-";
+        name += std::to_string(member++);
+        f.names[v] = std::move(name);
+      }
+    }
+  }
+  return f;
+}
+
+Graph CompleteGraph(VertexId n) {
+  GraphBuilder builder(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+Graph CycleGraph(VertexId n) {
+  GraphBuilder builder(n);
+  for (VertexId u = 0; u + 1 < n; ++u) builder.AddEdge(u, u + 1);
+  if (n >= 3) builder.AddEdge(n - 1, 0);
+  return builder.Build();
+}
+
+Graph PathGraph(VertexId n) {
+  GraphBuilder builder(n);
+  for (VertexId u = 0; u + 1 < n; ++u) builder.AddEdge(u, u + 1);
+  return builder.Build();
+}
+
+Graph PetersenGraph() {
+  GraphBuilder builder(10);
+  // Outer 5-cycle, inner pentagram, spokes.
+  for (VertexId i = 0; i < 5; ++i) {
+    builder.AddEdge(i, (i + 1) % 5);
+    builder.AddEdge(5 + i, 5 + (i + 2) % 5);
+    builder.AddEdge(i, 5 + i);
+  }
+  return builder.Build();
+}
+
+Graph GridGraph(VertexId rows, VertexId cols) {
+  GraphBuilder builder(rows * cols);
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) builder.AddEdge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) builder.AddEdge(id(r, c), id(r + 1, c));
+    }
+  }
+  return builder.Build();
+}
+
+Graph TwoCliquesSharing(VertexId clique, VertexId shared) {
+  // Vertices: [0, clique) = first clique; the second clique reuses the last
+  // `shared` of those plus fresh ids.
+  GraphBuilder builder(2 * clique - shared);
+  std::vector<VertexId> first, second;
+  for (VertexId v = 0; v < clique; ++v) first.push_back(v);
+  for (VertexId v = clique - shared; v < 2 * clique - shared; ++v) {
+    second.push_back(v);
+  }
+  AddClique(builder, first);
+  AddClique(builder, second);
+  return builder.Build();
+}
+
+Graph CompleteBipartite(VertexId a, VertexId b) {
+  GraphBuilder builder(a + b);
+  for (VertexId u = 0; u < a; ++u) {
+    for (VertexId v = 0; v < b; ++v) builder.AddEdge(u, a + v);
+  }
+  return builder.Build();
+}
+
+}  // namespace kvcc

@@ -1,0 +1,71 @@
+// Hand-built graphs with known structure: the paper's Figure 1, the DBLP
+// case study shape (Figure 14), and classic graphs used throughout the
+// tests and examples.
+#ifndef KVCC_GEN_FIXTURES_H_
+#define KVCC_GEN_FIXTURES_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kvcc {
+
+/// The paper's Fig. 1 motivation graph: four dense blocks where, at k = 4,
+///   * the 4-core is the union of all four blocks,
+///   * the 4-ECCs are {G1 ∪ G2 ∪ G3, G4},
+///   * the 4-VCCs are {G1, G2, G3, G4}.
+/// G1 and G2 share the edge (a, b); G2 and G3 share the single vertex c;
+/// G3 and G4 are joined by two independent edges.
+struct Figure1Fixture {
+  Graph graph;
+  VertexId a, b, c;
+  /// Expected 4-VCC vertex sets (sorted lists, sorted lexicographically).
+  std::vector<std::vector<VertexId>> expected_vccs;
+  /// Expected 4-ECC vertex sets.
+  std::vector<std::vector<VertexId>> expected_eccs;
+  /// Expected 4-core vertex set (single component).
+  std::vector<VertexId> expected_core;
+};
+Figure1Fixture MakeFigure1Graph();
+
+/// A collaboration ego-network shaped like the paper's Fig. 14 case study:
+/// an ego author, several dense research groups all containing the ego,
+/// hub co-authors shared between some groups, and one "bridge" author who
+/// belongs to the 4-ECC and the 4-core but to no 4-VCC.
+struct CaseStudyFixture {
+  Graph graph;
+  VertexId ego;
+  std::vector<VertexId> hubs;
+  VertexId bridge_author;
+  std::vector<std::string> names;  // display name per vertex
+  std::size_t expected_vcc_count;  // number of 4-VCCs (research groups)
+};
+CaseStudyFixture MakeCaseStudyGraph();
+
+// --- classic small graphs (test vocabulary) ---
+
+/// Complete graph K_n (kappa = n-1).
+Graph CompleteGraph(VertexId n);
+
+/// Cycle C_n (kappa = 2).
+Graph CycleGraph(VertexId n);
+
+/// Path P_n (kappa = 1).
+Graph PathGraph(VertexId n);
+
+/// Petersen graph (10 vertices, 3-regular, kappa = 3).
+Graph PetersenGraph();
+
+/// rows x cols grid (kappa = 2 for rows, cols >= 2).
+Graph GridGraph(VertexId rows, VertexId cols);
+
+/// Two cliques of size `clique` sharing `shared` vertices.
+Graph TwoCliquesSharing(VertexId clique, VertexId shared);
+
+/// Complete bipartite graph K_{a,b} (kappa = min(a, b)).
+Graph CompleteBipartite(VertexId a, VertexId b);
+
+}  // namespace kvcc
+
+#endif  // KVCC_GEN_FIXTURES_H_

@@ -1,0 +1,51 @@
+#include "gen/harary.h"
+
+#include <stdexcept>
+
+#include "graph/graph_builder.h"
+
+namespace kvcc {
+
+std::vector<std::pair<VertexId, VertexId>> HararyEdges(std::uint32_t k,
+                                                       VertexId n) {
+  if (k < 1 || k >= n) {
+    throw std::invalid_argument("HararyEdges requires 1 <= k < n");
+  }
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  if (k == 1) {
+    // H_{1,n} is any tree with minimum edges; use the path.
+    for (VertexId u = 0; u + 1 < n; ++u) edges.emplace_back(u, u + 1);
+    return edges;
+  }
+  const std::uint32_t r = k / 2;
+  // Circulant base C_n(1..r): 2r-connected.
+  for (VertexId u = 0; u < n; ++u) {
+    for (std::uint32_t off = 1; off <= r; ++off) {
+      edges.emplace_back(u, static_cast<VertexId>((u + off) % n));
+    }
+  }
+  if (k % 2 == 1) {
+    if (n % 2 == 0) {
+      // Odd k, even n: add all diameters.
+      for (VertexId u = 0; u < n / 2; ++u) {
+        edges.emplace_back(u, static_cast<VertexId>(u + n / 2));
+      }
+    } else {
+      // Odd k, odd n: near-diameters i -> i + (n+1)/2 for i in [0, (n-1)/2]
+      // (vertex 0 ends up with degree k+1; all others degree k).
+      const VertexId half = (n + 1) / 2;
+      for (VertexId u = 0; u <= (n - 1) / 2; ++u) {
+        edges.emplace_back(u, static_cast<VertexId>((u + half) % n));
+      }
+    }
+  }
+  return edges;
+}
+
+Graph HararyGraph(std::uint32_t k, VertexId n) {
+  GraphBuilder builder(n);
+  for (const auto& [u, v] : HararyEdges(k, n)) builder.AddEdge(u, v);
+  return builder.Build();
+}
+
+}  // namespace kvcc

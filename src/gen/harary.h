@@ -1,0 +1,26 @@
+// Harary graphs H_{k,n}: the minimum-edge graphs with vertex connectivity
+// exactly k. Used as the deterministic k-connected core of every planted
+// block, so planted k-VCC ground truth never depends on a probabilistic
+// "whp" argument.
+#ifndef KVCC_GEN_HARARY_H_
+#define KVCC_GEN_HARARY_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kvcc {
+
+/// Edges of H_{k,n} over vertices 0..n-1 (requires 1 <= k < n).
+/// kappa(H_{k,n}) = k exactly.
+std::vector<std::pair<VertexId, VertexId>> HararyEdges(std::uint32_t k,
+                                                       VertexId n);
+
+/// H_{k,n} as a Graph.
+Graph HararyGraph(std::uint32_t k, VertexId n);
+
+}  // namespace kvcc
+
+#endif  // KVCC_GEN_HARARY_H_

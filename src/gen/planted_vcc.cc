@@ -1,0 +1,145 @@
+#include "gen/planted_vcc.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "gen/harary.h"
+#include "graph/graph_builder.h"
+#include "util/random.h"
+
+namespace kvcc {
+namespace {
+
+std::uint32_t ConnectivityOfBlock(const PlantedVccConfig& config,
+                                  std::uint32_t block) {
+  if (config.connectivities.empty()) return config.connectivity;
+  return config.connectivities[block % config.connectivities.size()];
+}
+
+}  // namespace
+
+PlantedVccGraph GeneratePlantedVcc(const PlantedVccConfig& config) {
+  if (config.num_blocks == 0) {
+    throw std::invalid_argument("PlantedVcc: need at least one block");
+  }
+  if (config.block_size_min > config.block_size_max) {
+    throw std::invalid_argument("PlantedVcc: size range inverted");
+  }
+  std::uint32_t min_connectivity = ConnectivityOfBlock(config, 0);
+  for (std::uint32_t b = 1; b < config.num_blocks; ++b) {
+    min_connectivity =
+        std::min(min_connectivity, ConnectivityOfBlock(config, b));
+  }
+  const std::uint32_t boundary_budget =
+      2 * (config.overlap + config.bridge_edges);
+  if (config.num_blocks > 1 && boundary_budget >= min_connectivity) {
+    throw std::invalid_argument(
+        "PlantedVcc: 2*(overlap + bridge_edges) must stay below the "
+        "smallest block connectivity, or blocks may merge");
+  }
+  // Sizes must host the densest Harary core and keep the two shared ranges
+  // (head and tail of each block) disjoint.
+  std::uint32_t max_connectivity = ConnectivityOfBlock(config, 0);
+  for (std::uint32_t b = 1; b < config.num_blocks; ++b) {
+    max_connectivity =
+        std::max(max_connectivity, ConnectivityOfBlock(config, b));
+  }
+  const VertexId min_feasible = std::max<VertexId>(
+      max_connectivity + 1, 2 * config.overlap + 2 * config.bridge_edges + 2);
+  if (config.block_size_min < min_feasible) {
+    throw std::invalid_argument(
+        "PlantedVcc: block_size_min too small for the requested "
+        "connectivity / overlap / bridges");
+  }
+  if (config.ring && config.num_blocks < 3) {
+    throw std::invalid_argument("PlantedVcc: a ring needs >= 3 blocks");
+  }
+
+  Rng rng(config.seed);
+  PlantedVccGraph out;
+  out.min_separating_k = config.num_blocks > 1 ? boundary_budget + 1 : 1;
+  out.max_connected_k = min_connectivity;
+
+  // --- allocate vertex ranges; consecutive blocks share `overlap` ids ---
+  std::vector<std::vector<VertexId>> blocks(config.num_blocks);
+  VertexId next_free = 0;
+  for (std::uint32_t b = 0; b < config.num_blocks; ++b) {
+    const VertexId size = static_cast<VertexId>(
+        rng.NextInRange(config.block_size_min, config.block_size_max));
+    std::vector<VertexId>& vertices = blocks[b];
+    if (b > 0 && config.overlap > 0) {
+      // First `overlap` vertices = last `overlap` of the previous block.
+      const auto& prev = blocks[b - 1];
+      vertices.insert(vertices.end(), prev.end() - config.overlap,
+                      prev.end());
+    }
+    while (vertices.size() < size) vertices.push_back(next_free++);
+  }
+  if (config.ring && config.overlap > 0) {
+    // Close the ring: the last block additionally absorbs the first
+    // `overlap` vertices of block 0 (replacing its tail).
+    auto& last = blocks.back();
+    const auto& first = blocks.front();
+    last.erase(last.end() - config.overlap, last.end());
+    // The erased ids end up isolated in the final graph; they belong to no
+    // block and are removed by any k-core peel, so ground truth is intact.
+    last.insert(last.end(), first.begin(),
+                first.begin() + config.overlap);
+  }
+
+  GraphBuilder builder(next_free);
+
+  // --- per-block Harary core + densifying edges ---
+  for (std::uint32_t b = 0; b < config.num_blocks; ++b) {
+    const auto& vertices = blocks[b];
+    const std::uint32_t k_block = ConnectivityOfBlock(config, b);
+    const auto harary =
+        HararyEdges(k_block, static_cast<VertexId>(vertices.size()));
+    for (const auto& [u, v] : harary) {
+      builder.AddEdge(vertices[u], vertices[v]);
+    }
+    const auto extra = static_cast<std::uint64_t>(
+        static_cast<double>(harary.size()) * config.extra_edge_factor);
+    for (std::uint64_t e = 0; e < extra; ++e) {
+      const VertexId u = vertices[rng.NextBounded(vertices.size())];
+      const VertexId v = vertices[rng.NextBounded(vertices.size())];
+      builder.AddEdge(u, v);  // Self-loops dropped by the builder.
+    }
+  }
+
+  // --- bridges between consecutive blocks (interior endpoints only) ---
+  const std::uint32_t num_links =
+      config.num_blocks - (config.ring ? 0 : 1);
+  for (std::uint32_t b = 0; b + 1 <= num_links && config.num_blocks > 1;
+       ++b) {
+    const auto& left = blocks[b];
+    const auto& right = blocks[(b + 1) % config.num_blocks];
+    // Interior = exclude the first/last `overlap` vertices of each block.
+    const std::size_t lo = config.overlap;
+    auto pick_interior = [&](const std::vector<VertexId>& block,
+                             std::vector<VertexId>& used) -> VertexId {
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const std::size_t span = block.size() - 2 * lo;
+        const VertexId v = block[lo + rng.NextBounded(span)];
+        if (std::find(used.begin(), used.end(), v) == used.end()) {
+          used.push_back(v);
+          return v;
+        }
+      }
+      return block[lo];  // Degenerate fallback (tiny blocks).
+    };
+    std::vector<VertexId> used_left, used_right;
+    for (std::uint32_t e = 0; e < config.bridge_edges; ++e) {
+      builder.AddEdge(pick_interior(left, used_left),
+                      pick_interior(right, used_right));
+    }
+  }
+
+  out.graph = builder.Build();
+  for (auto& block : blocks) std::sort(block.begin(), block.end());
+  std::sort(blocks.begin(), blocks.end());
+  out.blocks = std::move(blocks);
+  return out;
+}
+
+}  // namespace kvcc

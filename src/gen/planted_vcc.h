@@ -1,0 +1,64 @@
+// Planted k-VCC workload generator with provable ground truth.
+//
+// Builds a chain (optionally a ring) of dense blocks. Every block carries a
+// Harary H_{connectivity, size} core (deterministically `connectivity`-
+// vertex-connected) plus random densifying edges. Consecutive blocks share
+// `overlap` vertices and are joined by `bridge_edges` single edges.
+//
+// Ground truth: for every k with
+//     separation_threshold() < k <= min block connectivity,
+// the k-VCCs of the generated graph are exactly the planted blocks,
+// because each block's boundary (shared vertices + bridge endpoints) is a
+// vertex set smaller than k that cuts it off from the rest, while the block
+// itself is k-connected. The generator enforces the budget
+//     2*overlap + bridge_edges < min block connectivity.
+#ifndef KVCC_GEN_PLANTED_VCC_H_
+#define KVCC_GEN_PLANTED_VCC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kvcc {
+
+struct PlantedVccConfig {
+  std::uint32_t num_blocks = 6;
+  VertexId block_size_min = 24;
+  VertexId block_size_max = 40;
+  /// Harary core connectivity per block. If `connectivities` is non-empty
+  /// it overrides this with one value per block (cycled).
+  std::uint32_t connectivity = 8;
+  std::vector<std::uint32_t> connectivities;
+  /// Extra random intra-block edges, as a fraction of the Harary edge count.
+  double extra_edge_factor = 0.8;
+  /// Vertices shared between consecutive blocks (must keep the separation
+  /// budget below the smallest connectivity).
+  std::uint32_t overlap = 2;
+  /// Extra single edges between consecutive blocks (endpoints not shared).
+  std::uint32_t bridge_edges = 1;
+  /// Close the chain into a ring (first and last block also overlap).
+  bool ring = false;
+  std::uint64_t seed = 42;
+};
+
+struct PlantedVccGraph {
+  Graph graph;
+  /// Ground-truth blocks: sorted vertex-id lists (including shared
+  /// vertices), sorted lexicographically.
+  std::vector<std::vector<VertexId>> blocks;
+  /// Smallest k for which the blocks are guaranteed separated
+  /// (= 2*overlap + bridge_edges + 1).
+  std::uint32_t min_separating_k = 0;
+  /// Largest k for which every block is guaranteed k-connected
+  /// (= min over blocks of their Harary connectivity).
+  std::uint32_t max_connected_k = 0;
+};
+
+/// Throws std::invalid_argument if the separation budget is violated or the
+/// block sizes cannot host the requested connectivity.
+PlantedVccGraph GeneratePlantedVcc(const PlantedVccConfig& config);
+
+}  // namespace kvcc
+
+#endif  // KVCC_GEN_PLANTED_VCC_H_

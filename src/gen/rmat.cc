@@ -1,0 +1,37 @@
+#include "gen/rmat.h"
+
+#include "graph/graph_builder.h"
+#include "util/random.h"
+
+namespace kvcc {
+
+Graph Rmat(const RmatConfig& config) {
+  const VertexId n = static_cast<VertexId>(1) << config.scale;
+  GraphBuilder builder(n);
+  Rng rng(config.seed);
+  const double ab = config.a + config.b;
+  const double abc = ab + config.c;
+  for (std::uint64_t e = 0; e < config.edges; ++e) {
+    VertexId row = 0, col = 0;
+    for (std::uint32_t bit = 0; bit < config.scale; ++bit) {
+      const double r = rng.NextDouble();
+      row <<= 1;
+      col <<= 1;
+      if (r >= ab) {
+        if (r < abc) {
+          col |= 0;
+          row |= 1;
+        } else {
+          row |= 1;
+          col |= 1;
+        }
+      } else if (r >= config.a) {
+        col |= 1;
+      }
+    }
+    builder.AddEdge(row, col);  // Self-loops dropped by the builder.
+  }
+  return builder.Build();
+}
+
+}  // namespace kvcc

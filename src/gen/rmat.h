@@ -1,0 +1,30 @@
+// R-MAT recursive-matrix random graphs (Chakrabarti, Zhan, Faloutsos):
+// skewed degrees and community-ish blocks; the stand-in shape for web
+// graphs (Stanford, Cnr, NotreDame, Google).
+#ifndef KVCC_GEN_RMAT_H_
+#define KVCC_GEN_RMAT_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace kvcc {
+
+struct RmatConfig {
+  /// log2 of the vertex-id space (n = 2^scale).
+  std::uint32_t scale = 14;
+  /// Number of (pre-dedup) undirected edges to sample.
+  std::uint64_t edges = 1 << 17;
+  /// Quadrant probabilities; must sum to ~1.
+  double a = 0.57, b = 0.19, c = 0.19, d = 0.05;
+  std::uint64_t seed = 1;
+};
+
+/// Samples edges by recursive quadrant descent; self-loops dropped and
+/// duplicates collapsed, so the final edge count is slightly below
+/// config.edges. Isolated ids are kept (callers typically k-core anyway).
+Graph Rmat(const RmatConfig& config);
+
+}  // namespace kvcc
+
+#endif  // KVCC_GEN_RMAT_H_

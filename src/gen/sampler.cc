@@ -1,0 +1,48 @@
+#include "gen/sampler.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "util/random.h"
+
+namespace kvcc {
+
+Graph SampleVerticesInduced(const Graph& g, double fraction,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<VertexId> keep;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (rng.NextBernoulli(fraction)) keep.push_back(v);
+  }
+  return g.InducedSubgraph(keep);
+}
+
+Graph SampleEdges(const Graph& g, double fraction, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<VertexId, VertexId>> kept;
+  std::vector<VertexId> endpoints;
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v : g.Neighbors(u)) {
+      if (u < v && rng.NextBernoulli(fraction)) {
+        kept.emplace_back(u, v);
+        endpoints.push_back(u);
+        endpoints.push_back(v);
+      }
+    }
+  }
+  std::sort(endpoints.begin(), endpoints.end());
+  endpoints.erase(std::unique(endpoints.begin(), endpoints.end()),
+                  endpoints.end());
+  // Compact ids to the endpoint set; labels map back to g.
+  std::vector<VertexId> local(g.NumVertices(), kInvalidVertex);
+  for (VertexId i = 0; i < endpoints.size(); ++i) local[endpoints[i]] = i;
+  GraphBuilder builder(static_cast<VertexId>(endpoints.size()));
+  for (const auto& [u, v] : kept) builder.AddEdge(local[u], local[v]);
+  std::vector<VertexId> labels(endpoints.begin(), endpoints.end());
+  for (auto& l : labels) l = g.LabelOf(l);
+  builder.SetLabels(std::move(labels));
+  return builder.Build();
+}
+
+}  // namespace kvcc

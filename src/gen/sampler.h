@@ -1,0 +1,25 @@
+// Random vertex / edge sampling for the scalability study (paper Fig. 13):
+// "we vary the graph size and graph density by randomly sampling vertices
+// and edges respectively from 20% to 100%".
+#ifndef KVCC_GEN_SAMPLER_H_
+#define KVCC_GEN_SAMPLER_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace kvcc {
+
+/// Keeps each vertex independently with probability `fraction` and returns
+/// the induced subgraph (labels point back to g).
+Graph SampleVerticesInduced(const Graph& g, double fraction,
+                            std::uint64_t seed);
+
+/// Keeps each edge independently with probability `fraction`; the vertex
+/// set is the set of incident endpoints of the kept edges (as in the
+/// paper's edge-sampling protocol).
+Graph SampleEdges(const Graph& g, double fraction, std::uint64_t seed);
+
+}  // namespace kvcc
+
+#endif  // KVCC_GEN_SAMPLER_H_

@@ -1,0 +1,29 @@
+#include "gen/watts_strogatz.h"
+
+#include "graph/graph_builder.h"
+#include "util/random.h"
+
+namespace kvcc {
+
+Graph WattsStrogatz(VertexId n, std::uint32_t neighbors_each_side,
+                    double beta, std::uint64_t seed) {
+  GraphBuilder builder(n);
+  if (n >= 2) {
+    Rng rng(seed);
+    for (VertexId u = 0; u < n; ++u) {
+      for (std::uint32_t off = 1; off <= neighbors_each_side; ++off) {
+        VertexId v = (u + off) % n;
+        if (rng.NextBernoulli(beta)) {
+          // Rewire to a uniform random non-self endpoint.
+          VertexId w = u;
+          while (w == u) w = static_cast<VertexId>(rng.NextBounded(n));
+          v = w;
+        }
+        builder.AddEdge(u, v);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace kvcc

@@ -1,0 +1,19 @@
+// Watts–Strogatz small-world graphs (ring lattice + rewiring).
+#ifndef KVCC_GEN_WATTS_STROGATZ_H_
+#define KVCC_GEN_WATTS_STROGATZ_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace kvcc {
+
+/// Ring of n vertices, each joined to its `neighbors_each_side` nearest
+/// neighbors on both sides; every edge is rewired to a uniform random
+/// endpoint with probability beta.
+Graph WattsStrogatz(VertexId n, std::uint32_t neighbors_each_side,
+                    double beta, std::uint64_t seed);
+
+}  // namespace kvcc
+
+#endif  // KVCC_GEN_WATTS_STROGATZ_H_

@@ -1,0 +1,100 @@
+#include "graph/biconnected.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace kvcc {
+namespace {
+
+struct Frame {
+  VertexId vertex;
+  VertexId parent;
+  std::uint32_t next_neighbor;  // index into Neighbors(vertex)
+};
+
+}  // namespace
+
+BiconnectedDecomposition BiconnectedComponents(const Graph& g) {
+  const VertexId n = g.NumVertices();
+  BiconnectedDecomposition out;
+
+  std::vector<std::uint32_t> disc(n, 0), low(n, 0);
+  std::vector<bool> is_cut(n, false);
+  std::vector<std::pair<VertexId, VertexId>> edge_stack;
+  std::vector<Frame> call_stack;
+  std::uint32_t timestamp = 0;
+
+  auto pop_block = [&](VertexId u, VertexId w) {
+    // Pop edges up to and including (u, w); their endpoints form one block.
+    std::vector<VertexId> members;
+    while (!edge_stack.empty()) {
+      const auto [a, b] = edge_stack.back();
+      edge_stack.pop_back();
+      members.push_back(a);
+      members.push_back(b);
+      if (a == u && b == w) break;
+    }
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()), members.end());
+    out.blocks.push_back(std::move(members));
+  };
+
+  for (VertexId root = 0; root < n; ++root) {
+    if (disc[root] != 0) continue;
+    std::uint32_t root_children = 0;
+    disc[root] = low[root] = ++timestamp;
+    call_stack.push_back({root, kInvalidVertex, 0});
+
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const VertexId u = frame.vertex;
+      const auto nbrs = g.Neighbors(u);
+
+      if (frame.next_neighbor < nbrs.size()) {
+        const VertexId w = nbrs[frame.next_neighbor++];
+        if (disc[w] == 0) {
+          // Tree edge: descend.
+          edge_stack.emplace_back(u, w);
+          disc[w] = low[w] = ++timestamp;
+          if (u == root) ++root_children;
+          call_stack.push_back({w, u, 0});
+        } else if (w != frame.parent && disc[w] < disc[u]) {
+          // Back edge to an ancestor.
+          edge_stack.emplace_back(u, w);
+          low[u] = std::min(low[u], disc[w]);
+        }
+      } else {
+        // All neighbors done: return to parent.
+        call_stack.pop_back();
+        if (call_stack.empty()) break;
+        const VertexId parent = call_stack.back().vertex;
+        low[parent] = std::min(low[parent], low[u]);
+        if (low[u] >= disc[parent]) {
+          // `parent` separates u's subtree: close a block.
+          if (parent != root || root_children >= 1) {
+            pop_block(parent, u);
+          }
+          if (parent != root) is_cut[parent] = true;
+        }
+      }
+    }
+    if (root_children >= 2) is_cut[root] = true;
+  }
+
+  for (VertexId v = 0; v < n; ++v) {
+    if (is_cut[v]) out.cut_vertices.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::vector<VertexId>> BlocksOfAtLeast(const Graph& g,
+                                                   std::size_t min_size) {
+  BiconnectedDecomposition decomposition = BiconnectedComponents(g);
+  std::vector<std::vector<VertexId>> out;
+  for (auto& block : decomposition.blocks) {
+    if (block.size() >= min_size) out.push_back(std::move(block));
+  }
+  return out;
+}
+
+}  // namespace kvcc

@@ -1,0 +1,33 @@
+// Biconnected components (blocks) and cut vertices via Hopcroft–Tarjan.
+//
+// Blocks with >= 3 vertices are exactly the maximal 2-vertex-connected
+// subgraphs, so this module doubles as an independent reference for k = 2
+// in the k-VCC property tests.
+#ifndef KVCC_GRAPH_BICONNECTED_H_
+#define KVCC_GRAPH_BICONNECTED_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kvcc {
+
+struct BiconnectedDecomposition {
+  /// Vertex sets of each block (sorted ascending). Bridge edges form
+  /// 2-vertex blocks; isolated vertices form no block.
+  std::vector<std::vector<VertexId>> blocks;
+  /// Articulation points, sorted ascending.
+  std::vector<VertexId> cut_vertices;
+};
+
+/// Iterative Hopcroft–Tarjan. O(n + m).
+BiconnectedDecomposition BiconnectedComponents(const Graph& g);
+
+/// Blocks with at least `min_size` vertices (e.g. 3 to obtain the maximal
+/// 2-vertex-connected subgraphs).
+std::vector<std::vector<VertexId>> BlocksOfAtLeast(const Graph& g,
+                                                   std::size_t min_size);
+
+}  // namespace kvcc
+
+#endif  // KVCC_GRAPH_BICONNECTED_H_

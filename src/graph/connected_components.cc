@@ -1,0 +1,43 @@
+#include "graph/connected_components.h"
+
+namespace kvcc {
+
+ComponentLabeling LabelComponents(const Graph& g) {
+  const VertexId n = g.NumVertices();
+  ComponentLabeling out;
+  out.component_of.assign(n, static_cast<std::uint32_t>(-1));
+  std::vector<VertexId> queue;
+  for (VertexId start = 0; start < n; ++start) {
+    if (out.component_of[start] != static_cast<std::uint32_t>(-1)) continue;
+    const std::uint32_t id = out.count++;
+    out.component_of[start] = id;
+    queue.clear();
+    queue.push_back(start);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const VertexId u = queue[head];
+      for (VertexId w : g.Neighbors(u)) {
+        if (out.component_of[w] == static_cast<std::uint32_t>(-1)) {
+          out.component_of[w] = id;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<VertexId>> ConnectedComponents(const Graph& g) {
+  const ComponentLabeling labeling = LabelComponents(g);
+  std::vector<std::vector<VertexId>> components(labeling.count);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    components[labeling.component_of[v]].push_back(v);
+  }
+  return components;  // Vertex order within each component is ascending.
+}
+
+bool IsConnected(const Graph& g) {
+  if (g.NumVertices() == 0) return true;
+  return LabelComponents(g).count == 1;
+}
+
+}  // namespace kvcc

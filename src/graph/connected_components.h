@@ -1,0 +1,30 @@
+// Connected components of an undirected graph.
+#ifndef KVCC_GRAPH_CONNECTED_COMPONENTS_H_
+#define KVCC_GRAPH_CONNECTED_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kvcc {
+
+/// Assigns a component id in [0, count) to every vertex.
+struct ComponentLabeling {
+  std::vector<std::uint32_t> component_of;  // size n
+  std::uint32_t count = 0;
+};
+
+/// BFS-based component labeling. O(n + m).
+ComponentLabeling LabelComponents(const Graph& g);
+
+/// Vertex sets of all connected components, each sorted ascending; the list
+/// is ordered by smallest contained vertex.
+std::vector<std::vector<VertexId>> ConnectedComponents(const Graph& g);
+
+/// True iff g is connected (the empty graph counts as connected).
+bool IsConnected(const Graph& g);
+
+}  // namespace kvcc
+
+#endif  // KVCC_GRAPH_CONNECTED_COMPONENTS_H_

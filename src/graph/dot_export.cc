@@ -1,0 +1,56 @@
+#include "graph/dot_export.h"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace kvcc {
+namespace {
+
+const char* const kPalette[] = {"lightblue",   "lightgreen", "lightsalmon",
+                                "gold",        "plum",       "khaki",
+                                "lightcyan",   "mistyrose",  "palegreen",
+                                "lavender"};
+constexpr std::size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+
+}  // namespace
+
+void WriteDot(const Graph& g, std::ostream& out, const DotOptions& options) {
+  out << "graph " << options.graph_name << " {\n";
+  out << "  node [style=filled, fillcolor=white];\n";
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    out << "  " << v << " [label=\"";
+    if (v < options.names.size() && !options.names[v].empty()) {
+      out << options.names[v];
+    } else {
+      out << g.LabelOf(v);
+    }
+    out << "\"";
+    if (v < options.groups_of.size()) {
+      const auto& groups = options.groups_of[v];
+      if (groups.size() > 1) {
+        out << ", fillcolor=black, fontcolor=white";
+      } else if (groups.size() == 1) {
+        out << ", fillcolor=" << kPalette[groups[0] % kPaletteSize];
+      }
+    }
+    out << "];\n";
+  }
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v : g.Neighbors(u)) {
+      if (u < v) out << "  " << u << " -- " << v << ";\n";
+    }
+  }
+  out << "}\n";
+}
+
+void WriteDotFile(const Graph& g, const std::string& path,
+                  const DotOptions& options) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("WriteDotFile: cannot create " + path);
+  }
+  WriteDot(g, out, options);
+}
+
+}  // namespace kvcc

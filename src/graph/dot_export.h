@@ -1,0 +1,34 @@
+// Graphviz (.dot) export for visual inspection of decompositions — used by
+// the case-study harness to render the paper's Fig. 14 panels.
+#ifndef KVCC_GRAPH_DOT_EXPORT_H_
+#define KVCC_GRAPH_DOT_EXPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kvcc {
+
+struct DotOptions {
+  /// Optional display name per vertex (falls back to the label/id).
+  std::vector<std::string> names;
+  /// Optional group id per vertex (-1 = none); groups get distinct colors
+  /// and vertices in 2+ groups are rendered black, as in the paper's
+  /// Fig. 14(a).
+  std::vector<std::vector<std::size_t>> groups_of;  // groups per vertex
+  std::string graph_name = "G";
+};
+
+/// Writes an undirected Graphviz representation of g.
+void WriteDot(const Graph& g, std::ostream& out,
+              const DotOptions& options = {});
+
+/// Writes to a file; throws std::runtime_error on IO failure.
+void WriteDotFile(const Graph& g, const std::string& path,
+                  const DotOptions& options = {});
+
+}  // namespace kvcc
+
+#endif  // KVCC_GRAPH_DOT_EXPORT_H_

@@ -1,0 +1,69 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace kvcc {
+
+void GraphBuilder::AddEdge(VertexId u, VertexId v) {
+  if (u == v) return;
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+  if (v >= num_vertices_) num_vertices_ = v + 1;
+}
+
+void GraphBuilder::EnsureVertex(VertexId v) {
+  if (v >= num_vertices_) num_vertices_ = v + 1;
+}
+
+void GraphBuilder::SetLabels(std::vector<VertexId> labels) {
+  labels_ = std::move(labels);
+}
+
+Graph GraphBuilder::Build() {
+  if (!labels_.empty() && labels_.size() != num_vertices_) {
+    throw std::invalid_argument("GraphBuilder: label count != vertex count");
+  }
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  Graph g;
+  g.num_vertices_ = num_vertices_;
+  g.num_edges_ = edges_.size();
+  g.offsets_.assign(num_vertices_ + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (VertexId i = 0; i < num_vertices_; ++i) {
+    g.offsets_[i + 1] += g.offsets_[i];
+  }
+  g.adjacency_.resize(2 * edges_.size());
+  std::vector<std::uint64_t> cursor(g.offsets_.begin(),
+                                    g.offsets_.end() - 1);
+  // Edges are sorted by (u, v) with u < v, so per-vertex neighbor lists come
+  // out sorted: for each u the v's arrive ascending, and for each v the u's
+  // arrive ascending (outer sort is by u).
+  for (const auto& [u, v] : edges_) {
+    g.adjacency_[cursor[u]++] = v;
+  }
+  for (const auto& [u, v] : edges_) {
+    g.adjacency_[cursor[v]++] = u;
+  }
+  // The two insertion waves above leave each list as "all larger neighbors,
+  // then all smaller neighbors" — merge them by sorting each range once.
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    std::sort(g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]),
+              g.adjacency_.begin() +
+                  static_cast<std::ptrdiff_t>(g.offsets_[v + 1]));
+  }
+  g.labels_ = std::move(labels_);
+
+  edges_.clear();
+  labels_.clear();
+  num_vertices_ = 0;
+  return g;
+}
+
+}  // namespace kvcc

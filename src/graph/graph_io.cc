@@ -1,0 +1,75 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "graph/graph_builder.h"
+
+namespace kvcc {
+
+Graph ReadEdgeList(std::istream& in) {
+  GraphBuilder builder;
+  std::unordered_map<std::uint64_t, VertexId> compact;
+  std::vector<VertexId> labels;
+  auto intern = [&](std::uint64_t raw) -> VertexId {
+    auto [it, inserted] =
+        compact.try_emplace(raw, static_cast<VertexId>(labels.size()));
+    if (inserted) labels.push_back(static_cast<VertexId>(raw));
+    return it->second;
+  };
+
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream fields(line);
+    std::uint64_t u = 0, v = 0;
+    if (!(fields >> u >> v)) {
+      throw std::runtime_error("ReadEdgeList: malformed line " +
+                               std::to_string(line_number) + ": '" + line +
+                               "'");
+    }
+    // Sequence the interning explicitly: argument evaluation order is
+    // unspecified, and label order must follow first appearance in the file.
+    const VertexId cu = intern(u);
+    const VertexId cv = intern(v);
+    builder.AddEdge(cu, cv);
+  }
+  builder.EnsureVertex(labels.empty()
+                           ? 0
+                           : static_cast<VertexId>(labels.size() - 1));
+  builder.SetLabels(std::move(labels));
+  return builder.Build();
+}
+
+Graph ReadEdgeListFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("ReadEdgeListFile: cannot open " + path);
+  }
+  return ReadEdgeList(in);
+}
+
+void WriteEdgeList(const Graph& g, std::ostream& out) {
+  out << "# nodes " << g.NumVertices() << " edges " << g.NumEdges() << "\n";
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v : g.Neighbors(u)) {
+      if (u < v) out << g.LabelOf(u) << ' ' << g.LabelOf(v) << "\n";
+    }
+  }
+}
+
+void WriteEdgeListFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("WriteEdgeListFile: cannot create " + path);
+  }
+  WriteEdgeList(g, out);
+}
+
+}  // namespace kvcc

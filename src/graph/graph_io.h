@@ -1,0 +1,34 @@
+// Plain-text edge-list IO in the SNAP dataset format.
+//
+// Input lines: `u v` (whitespace separated); lines starting with '#' or '%'
+// are comments. Vertex ids may be arbitrary non-negative integers; they are
+// compacted to [0, n) and the original id is preserved as the vertex label.
+#ifndef KVCC_GRAPH_GRAPH_IO_H_
+#define KVCC_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace kvcc {
+
+/// Parses an edge list from a stream. Throws std::runtime_error on malformed
+/// input.
+Graph ReadEdgeList(std::istream& in);
+
+/// Parses an edge list file. Throws std::runtime_error if the file cannot be
+/// opened or is malformed.
+Graph ReadEdgeListFile(const std::string& path);
+
+/// Writes `g` as an edge list (one `u v` pair per line, labels used as ids),
+/// preceded by a `# nodes edges` comment header.
+void WriteEdgeList(const Graph& g, std::ostream& out);
+
+/// Writes `g` to a file. Throws std::runtime_error if the file cannot be
+/// created.
+void WriteEdgeListFile(const Graph& g, const std::string& path);
+
+}  // namespace kvcc
+
+#endif  // KVCC_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,97 @@
+#include "graph/k_core.h"
+
+#include <algorithm>
+
+namespace kvcc {
+
+std::vector<VertexId> KCoreVertices(const Graph& g, std::uint32_t k) {
+  const VertexId n = g.NumVertices();
+  std::vector<std::uint32_t> degree(n);
+  std::vector<bool> removed(n, false);
+  std::vector<VertexId> queue;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = g.Degree(v);
+    if (degree[v] < k) {
+      removed[v] = true;
+      queue.push_back(v);
+    }
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const VertexId u = queue[head];
+    for (VertexId w : g.Neighbors(u)) {
+      if (removed[w]) continue;
+      if (--degree[w] < k) {
+        removed[w] = true;
+        queue.push_back(w);
+      }
+    }
+  }
+  std::vector<VertexId> survivors;
+  for (VertexId v = 0; v < n; ++v) {
+    if (!removed[v]) survivors.push_back(v);
+  }
+  return survivors;
+}
+
+Graph KCoreSubgraph(const Graph& g, std::uint32_t k) {
+  const std::vector<VertexId> survivors = KCoreVertices(g, k);
+  return g.InducedSubgraph(survivors);
+}
+
+std::vector<std::uint32_t> CoreNumbers(const Graph& g) {
+  const VertexId n = g.NumVertices();
+  std::vector<std::uint32_t> degree(n), core(n, 0);
+  std::uint32_t max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = g.Degree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  // Bucket sort vertices by degree.
+  std::vector<std::uint32_t> bin(max_degree + 2, 0);
+  for (VertexId v = 0; v < n; ++v) ++bin[degree[v]];
+  std::uint32_t start = 0;
+  for (std::uint32_t d = 0; d <= max_degree; ++d) {
+    const std::uint32_t count = bin[d];
+    bin[d] = start;
+    start += count;
+  }
+  std::vector<VertexId> order(n);
+  std::vector<std::uint32_t> position(n);
+  {
+    std::vector<std::uint32_t> cursor(bin.begin(), bin.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+      position[v] = cursor[degree[v]]++;
+      order[position[v]] = v;
+    }
+  }
+  // Peel in nondecreasing degree order, lowering neighbor degrees in place.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const VertexId v = order[i];
+    core[v] = degree[v];
+    for (VertexId w : g.Neighbors(v)) {
+      if (degree[w] > degree[v]) {
+        // Swap w to the front of its degree bucket, then shrink its degree.
+        const std::uint32_t dw = degree[w];
+        const std::uint32_t pw = position[w];
+        const std::uint32_t pfront = bin[dw];
+        const VertexId front = order[pfront];
+        if (front != w) {
+          std::swap(order[pw], order[pfront]);
+          position[w] = pfront;
+          position[front] = pw;
+        }
+        ++bin[dw];
+        --degree[w];
+      }
+    }
+  }
+  return core;
+}
+
+std::uint32_t Degeneracy(const Graph& g) {
+  std::uint32_t best = 0;
+  for (std::uint32_t c : CoreNumbers(g)) best = std::max(best, c);
+  return best;
+}
+
+}  // namespace kvcc

@@ -1,0 +1,33 @@
+// k-core peeling and full core decomposition.
+//
+// The k-core of G is the maximal subgraph with minimum degree >= k. By the
+// Whitney theorem (paper Thm 3) every k-VCC and every k-ECC is contained in
+// the k-core, so peeling is the first size-reduction step of KVCC-ENUM
+// (Alg. 1 line 2).
+#ifndef KVCC_GRAPH_K_CORE_H_
+#define KVCC_GRAPH_K_CORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kvcc {
+
+/// Vertices (sorted) surviving iterative removal of degree < k vertices.
+/// O(n + m).
+std::vector<VertexId> KCoreVertices(const Graph& g, std::uint32_t k);
+
+/// Induced subgraph on KCoreVertices(g, k).
+Graph KCoreSubgraph(const Graph& g, std::uint32_t k);
+
+/// Core number of every vertex (Batagelj–Zaversnik bucket peeling, O(n + m)).
+/// core[v] = largest k such that v belongs to the k-core.
+std::vector<std::uint32_t> CoreNumbers(const Graph& g);
+
+/// Degeneracy of the graph = max core number (0 for the empty graph).
+std::uint32_t Degeneracy(const Graph& g);
+
+}  // namespace kvcc
+
+#endif  // KVCC_GRAPH_K_CORE_H_

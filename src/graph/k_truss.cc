@@ -1,0 +1,163 @@
+#include "graph/k_truss.h"
+
+#include <algorithm>
+
+#include "graph/graph_builder.h"
+
+namespace kvcc {
+namespace {
+
+/// Edge-id lookup: edges indexed as in Graph::Edges() ((u,v), u < v,
+/// lexicographic).
+struct EdgeIndex {
+  explicit EdgeIndex(const Graph& g) : offsets(g.NumVertices() + 1, 0) {
+    for (VertexId u = 0; u < g.NumVertices(); ++u) {
+      std::uint64_t larger = 0;
+      for (VertexId v : g.Neighbors(u)) {
+        if (v > u) ++larger;
+      }
+      offsets[u + 1] = offsets[u] + larger;
+    }
+  }
+
+  /// Id of edge (u, v) with u < v: rank of v among u's larger neighbors.
+  std::uint64_t IdOf(const Graph& g, VertexId u, VertexId v) const {
+    const auto nbrs = g.Neighbors(u);
+    const auto first_larger =
+        std::upper_bound(nbrs.begin(), nbrs.end(), u);
+    const auto it = std::lower_bound(first_larger, nbrs.end(), v);
+    return offsets[u] + static_cast<std::uint64_t>(it - first_larger);
+  }
+
+  std::vector<std::uint64_t> offsets;
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> TrussNumbers(const Graph& g) {
+  const auto edges = g.Edges();
+  const std::uint64_t m = edges.size();
+  const EdgeIndex index(g);
+
+  // Support = number of triangles containing each edge.
+  std::vector<std::uint32_t> support(m, 0);
+  for (std::uint64_t e = 0; e < m; ++e) {
+    const auto [u, v] = edges[e];
+    const auto nu = g.Neighbors(u);
+    const auto nv = g.Neighbors(v);
+    std::size_t i = 0, j = 0;
+    while (i < nu.size() && j < nv.size()) {
+      if (nu[i] < nv[j]) {
+        ++i;
+      } else if (nu[i] > nv[j]) {
+        ++j;
+      } else {
+        ++support[e];
+        ++i;
+        ++j;
+      }
+    }
+  }
+
+  // Peel edges in nondecreasing support order (bucket queue).
+  std::vector<std::uint32_t> truss(m, 2);
+  std::vector<bool> removed(m, false);
+  std::uint32_t max_support = 0;
+  for (std::uint32_t s : support) max_support = std::max(max_support, s);
+  std::vector<std::vector<std::uint64_t>> buckets(max_support + 1);
+  for (std::uint64_t e = 0; e < m; ++e) buckets[support[e]].push_back(e);
+
+  std::uint32_t current = 0;
+  std::uint64_t processed = 0;
+  while (processed < m) {
+    // Find the lowest non-empty bucket at or below any reachable level.
+    std::uint64_t e = static_cast<std::uint64_t>(-1);
+    for (std::uint32_t s = 0; s <= max_support; ++s) {
+      while (!buckets[s].empty()) {
+        const std::uint64_t candidate = buckets[s].back();
+        if (removed[candidate] || support[candidate] != s) {
+          buckets[s].pop_back();  // Stale entry.
+          continue;
+        }
+        e = candidate;
+        break;
+      }
+      if (e != static_cast<std::uint64_t>(-1)) break;
+    }
+    if (e == static_cast<std::uint64_t>(-1)) break;
+
+    current = std::max(current, support[e] + 2);
+    truss[e] = current;
+    removed[e] = true;
+    ++processed;
+    buckets[support[e]].pop_back();
+
+    // Decrement the support of the two companion edges of every triangle
+    // through e.
+    const auto [u, v] = edges[e];
+    const auto nu = g.Neighbors(u);
+    const auto nv = g.Neighbors(v);
+    std::size_t i = 0, j = 0;
+    while (i < nu.size() && j < nv.size()) {
+      if (nu[i] < nv[j]) {
+        ++i;
+      } else if (nu[i] > nv[j]) {
+        ++j;
+      } else {
+        const VertexId w = nu[i];
+        const std::uint64_t eu =
+            index.IdOf(g, std::min(u, w), std::max(u, w));
+        const std::uint64_t ev =
+            index.IdOf(g, std::min(v, w), std::max(v, w));
+        if (!removed[eu] && !removed[ev]) {
+          for (const std::uint64_t other : {eu, ev}) {
+            --support[other];
+            buckets[support[other]].push_back(other);
+          }
+        }
+        ++i;
+        ++j;
+      }
+    }
+  }
+  return truss;
+}
+
+Graph KTrussSubgraph(const Graph& g, std::uint32_t k) {
+  const auto edges = g.Edges();
+  const auto truss = TrussNumbers(g);
+  std::vector<VertexId> keep_vertices;
+  std::vector<bool> touched(g.NumVertices(), false);
+  std::vector<std::pair<VertexId, VertexId>> kept;
+  for (std::uint64_t e = 0; e < edges.size(); ++e) {
+    if (truss[e] >= k) {
+      kept.push_back(edges[e]);
+      touched[edges[e].first] = true;
+      touched[edges[e].second] = true;
+    }
+  }
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (touched[v]) keep_vertices.push_back(v);
+  }
+  // Induced on the touched vertices, then drop the sub-threshold edges by
+  // rebuilding from the kept list (an induced subgraph would re-add them).
+  std::vector<VertexId> local(g.NumVertices(), kInvalidVertex);
+  for (VertexId i = 0; i < keep_vertices.size(); ++i) {
+    local[keep_vertices[i]] = i;
+  }
+  GraphBuilder builder(static_cast<VertexId>(keep_vertices.size()));
+  for (const auto& [u, v] : kept) builder.AddEdge(local[u], local[v]);
+  std::vector<VertexId> labels;
+  labels.reserve(keep_vertices.size());
+  for (VertexId v : keep_vertices) labels.push_back(g.LabelOf(v));
+  builder.SetLabels(std::move(labels));
+  return builder.Build();
+}
+
+std::uint32_t Trussness(const Graph& g) {
+  std::uint32_t best = 0;
+  for (std::uint32_t t : TrussNumbers(g)) best = std::max(best, t);
+  return best;
+}
+
+}  // namespace kvcc

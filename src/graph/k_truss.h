@@ -1,0 +1,32 @@
+// k-truss decomposition (Cohen 2008; paper Section 7, "local degree and
+// triangulation" family). A k-truss is the maximal subgraph in which every
+// edge participates in at least k-2 triangles. Like k-core it is cheap and
+// unique; like k-core it suffers the free-rider effect the paper's k-VCCs
+// eliminate — the library ships it as the third comparison model.
+#ifndef KVCC_GRAPH_K_TRUSS_H_
+#define KVCC_GRAPH_K_TRUSS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kvcc {
+
+/// Truss number per edge (aligned with Graph::Edges() order): the largest
+/// k such that the edge survives in the k-truss. Edges in no triangle get
+/// truss number 2. O(m^1.5) peeling.
+std::vector<std::uint32_t> TrussNumbers(const Graph& g);
+
+/// The k-truss subgraph (vertices with at least one surviving edge).
+/// k >= 2; the 2-truss is g itself minus isolated vertices.
+Graph KTrussSubgraph(const Graph& g, std::uint32_t k);
+
+/// Maximum k with a non-empty k-truss (2 for triangle-free graphs with
+/// edges, 0 for edgeless graphs).
+std::uint32_t Trussness(const Graph& g);
+
+}  // namespace kvcc
+
+#endif  // KVCC_GRAPH_K_TRUSS_H_

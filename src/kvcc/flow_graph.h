@@ -1,0 +1,57 @@
+// The directed flow graph (vertex splitting) and the LOC-CUT primitive.
+//
+// Construction (paper Section 4.1, Fig. 3): every vertex v of the undirected
+// graph becomes an arc v_in -> v_out of capacity 1; every undirected edge
+// (u, v) becomes two arcs u_out -> v_in and v_out -> u_in of capacity 1.
+// The max flow from u_out to v_in equals the local vertex connectivity
+// kappa(u, v) for non-adjacent u, v (Menger), and every node of the network
+// has in-degree 1 or out-degree 1, so Dinic runs in O(sqrt(n) m).
+#ifndef KVCC_KVCC_FLOW_GRAPH_H_
+#define KVCC_KVCC_FLOW_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/unit_flow_network.h"
+#include "graph/graph.h"
+
+namespace kvcc {
+
+/// Reusable vertex-connectivity oracle over a fixed undirected graph.
+/// Queries reset the flow state internally, so a single instance serves all
+/// LOC-CUT calls of one GLOBAL-CUT invocation.
+class DirectedFlowGraph {
+ public:
+  explicit DirectedFlowGraph(const Graph& g);
+
+  DirectedFlowGraph(const DirectedFlowGraph&) = delete;
+  DirectedFlowGraph& operator=(const DirectedFlowGraph&) = delete;
+
+  /// min(kappa(u, v), limit) for non-adjacent u != v. The caller must not
+  /// pass adjacent vertices (kappa is infinite there; Lemma 5).
+  std::int32_t LocalConnectivity(VertexId u, VertexId v, std::int32_t limit);
+
+  /// LOC-CUT (paper Alg. 2 lines 12-17): empty result when u == v, u and v
+  /// are adjacent, or kappa(u, v) >= k; otherwise a u-v vertex cut with
+  /// fewer than k vertices (excluding u and v themselves).
+  std::vector<VertexId> LocCut(VertexId u, VertexId v, std::uint32_t k);
+
+  /// Number of flow computations run so far (for KvccStats).
+  std::uint64_t flow_calls() const { return flow_calls_; }
+
+  static std::uint32_t InNode(VertexId v) { return 2 * v; }
+  static std::uint32_t OutNode(VertexId v) { return 2 * v + 1; }
+
+ private:
+  /// Extracts the vertex cut after a LocalConnectivity call that returned a
+  /// value < limit (i.e., a true max flow).
+  std::vector<VertexId> ExtractVertexCut(VertexId u, VertexId v);
+
+  const Graph& graph_;
+  UnitFlowNetwork network_;
+  std::uint64_t flow_calls_ = 0;
+};
+
+}  // namespace kvcc
+
+#endif  // KVCC_KVCC_FLOW_GRAPH_H_

@@ -1,0 +1,226 @@
+#include "kvcc/global_cut.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "graph/bfs.h"
+#include "graph/connected_components.h"
+#include "kvcc/flow_graph.h"
+#include "kvcc/sparse_certificate.h"
+#include "kvcc/sweep_context.h"
+
+namespace kvcc {
+namespace {
+
+/// True iff removing `cut` disconnects g (or empties it).
+bool CutDisconnects(const Graph& g, const std::vector<VertexId>& cut) {
+  std::vector<bool> removed(g.NumVertices(), false);
+  for (VertexId v : cut) removed[v] = true;
+  VertexId start = kInvalidVertex;
+  VertexId alive = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (!removed[v]) {
+      if (start == kInvalidVertex) start = v;
+      ++alive;
+    }
+  }
+  if (alive == 0) return false;  // Removing everything is not a cut.
+  std::vector<VertexId> queue{start};
+  std::vector<bool> seen(g.NumVertices(), false);
+  seen[start] = true;
+  VertexId reached = 1;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    for (VertexId w : g.Neighbors(queue[head])) {
+      if (!removed[w] && !seen[w]) {
+        seen[w] = true;
+        ++reached;
+        queue.push_back(w);
+      }
+    }
+  }
+  return reached < alive;
+}
+
+/// Phase-1 processing order: non-ascending BFS distance from the source,
+/// ties by ascending id (deterministic). Counting sort over distances.
+std::vector<VertexId> DistanceDescendingOrder(const Graph& g,
+                                              VertexId source) {
+  std::vector<std::uint32_t> dist;
+  BfsDistances(g, source, dist);
+  std::uint32_t max_dist = 0;
+  for (std::uint32_t d : dist) {
+    if (d != kUnreachable) max_dist = std::max(max_dist, d);
+  }
+  std::vector<std::vector<VertexId>> buckets(max_dist + 1);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (v == source) continue;
+    assert(dist[v] != kUnreachable && "GlobalCut requires a connected graph");
+    buckets[dist[v]].push_back(v);
+  }
+  std::vector<VertexId> order;
+  order.reserve(g.NumVertices() - 1);
+  for (std::size_t d = buckets.size(); d-- > 0;) {
+    for (VertexId v : buckets[d]) order.push_back(v);
+  }
+  return order;
+}
+
+void CountPrunedVertex(SweepCause cause, KvccStats* stats) {
+  switch (cause) {
+    case SweepCause::kNeighborSweepSide:
+      ++stats->phase1_pruned_ns1;
+      break;
+    case SweepCause::kNeighborSweepDeposit:
+      ++stats->phase1_pruned_ns2;
+      break;
+    case SweepCause::kGroupSweep:
+      ++stats->phase1_pruned_gs;
+      break;
+    case SweepCause::kTested:
+      // Only the source carries kTested before the loop reaches a vertex,
+      // and the source is excluded from the order; nothing to count.
+      break;
+  }
+}
+
+}  // namespace
+
+GlobalCutResult GlobalCut(const Graph& g, std::uint32_t k,
+                          const std::vector<SideVertexHint>& hints,
+                          const KvccOptions& options, KvccStats* stats) {
+  const VertexId n = g.NumVertices();
+  assert(n > k);
+  assert(hints.empty() || hints.size() == n);
+  ++stats->global_cut_calls;
+
+  GlobalCutResult result;
+
+  // --- sparse certificate (Alg. 2/3 line 1) ---
+  SparseCertificate sc;
+  const bool use_certificate = options.sparse_certificate;
+  if (use_certificate) {
+    sc = BuildSparseCertificate(g, k);
+    stats->certificate_edges_input += g.NumEdges();
+    stats->certificate_edges_kept += sc.certificate.NumEdges();
+    stats->side_groups_found += sc.groups.size();
+  }
+  const Graph& test_graph = use_certificate ? sc.certificate : g;
+  const bool group_sweep = options.group_sweep && use_certificate;
+  static const std::vector<std::vector<VertexId>> kNoGroups;
+  static const std::vector<std::uint32_t> kNoGroupOf;
+  const auto& groups = group_sweep ? sc.groups : kNoGroups;
+  const auto& group_of = group_sweep ? sc.group_of : kNoGroupOf;
+
+  // --- strong side-vertices (Alg. 3 line 3) ---
+  SideVertexResult side;
+  if (options.neighbor_sweep) {
+    static const std::vector<SideVertexHint> kNoHints;
+    const auto& effective_hints =
+        options.maintain_side_vertices ? hints : kNoHints;
+    side = ComputeStrongSideVertices(g, k, effective_hints,
+                                     options.side_vertex_degree_cap);
+    stats->strong_side_vertices_found += side.strong_count;
+    stats->strong_side_checks_run += side.checks_run;
+    stats->strong_side_verdicts_reused += side.reused;
+    result.strong_side = side.strong;
+    result.strong_side_valid = true;
+  } else {
+    side.strong.assign(n, false);
+  }
+
+  // --- source selection (Alg. 3 lines 4-7) ---
+  VertexId source = kInvalidVertex;
+  if (options.neighbor_sweep) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (side.strong[v]) {
+        source = v;
+        break;
+      }
+    }
+  }
+  if (source == kInvalidVertex) source = test_graph.MinDegreeVertex();
+  const bool source_is_strong =
+      options.neighbor_sweep && side.strong[source];
+
+  DirectedFlowGraph oracle(test_graph);
+  SweepContext sweep(g, k, side.strong, groups, group_of,
+                     options.neighbor_sweep, group_sweep);
+  sweep.Sweep(source, SweepCause::kTested);
+
+  auto finish_with_cut = [&](std::vector<VertexId> cut) {
+    if (use_certificate && options.verify_cuts && !CutDisconnects(g, cut)) {
+      // By the certificate theorem this cannot happen; if it ever does,
+      // fall back to an exact search on the full graph.
+      ++stats->certificate_cut_fallbacks;
+      KvccOptions fallback = options;
+      fallback.sparse_certificate = false;
+      return GlobalCut(g, k, hints, fallback, stats);
+    }
+    std::sort(cut.begin(), cut.end());
+    result.cut = std::move(cut);
+    return result;
+  };
+
+  // --- phase 1 (Alg. 3 lines 8-15): covers every cut avoiding the source ---
+  std::vector<VertexId> order;
+  if (options.distance_order) {
+    order = DistanceDescendingOrder(g, source);
+  } else {
+    order.reserve(n - 1);
+    for (VertexId v = 0; v < n; ++v) {
+      if (v != source) order.push_back(v);
+    }
+  }
+  for (VertexId v : order) {
+    if (sweep.IsSwept(v)) {
+      CountPrunedVertex(sweep.CauseOf(v), stats);
+      continue;
+    }
+    if (g.HasEdge(source, v)) {
+      // Lemma 5: adjacent vertices are locally k-connected for free.
+      ++stats->phase1_tested_trivial;
+      sweep.Sweep(v, SweepCause::kTested);
+      continue;
+    }
+    ++stats->phase1_tested_flow;
+    ++stats->loc_cut_flow_calls;
+    std::vector<VertexId> cut = oracle.LocCut(source, v, k);
+    if (!cut.empty()) return finish_with_cut(std::move(cut));
+    sweep.Sweep(v, SweepCause::kTested);
+  }
+
+  // --- phase 2 (Alg. 3 lines 16-21): covers cuts containing the source ---
+  // A strong side-vertex source is in no minimum cut; skip entirely.
+  if (!source_is_strong) {
+    const auto nbrs = test_graph.Neighbors(source);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+        const VertexId va = nbrs[i];
+        const VertexId vb = nbrs[j];
+        if (group_sweep && group_of[va] != kNoGroup &&
+            group_of[va] == group_of[vb]) {
+          // Group sweep rule 3: same side-group => locally k-connected.
+          ++stats->phase2_pairs_skipped_group;
+          continue;
+        }
+        if (g.HasEdge(va, vb)) {
+          ++stats->phase2_pairs_skipped_adjacent;  // Lemma 5.
+          continue;
+        }
+        if (options.phase2_common_neighbor_skip &&
+            CommonNeighborsAtLeast(g, va, vb, k)) {
+          ++stats->phase2_pairs_skipped_common;  // Lemma 13.
+          continue;
+        }
+        ++stats->phase2_pairs_tested;
+        ++stats->loc_cut_flow_calls;
+        std::vector<VertexId> cut = oracle.LocCut(va, vb, k);
+        if (!cut.empty()) return finish_with_cut(std::move(cut));
+      }
+    }
+  }
+
+  return result;  // Empty cut: g is k-vertex-connected.
+}
+
+}  // namespace kvcc

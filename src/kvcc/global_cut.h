@@ -1,0 +1,42 @@
+// GLOBAL-CUT (paper Alg. 2) and GLOBAL-CUT* (paper Alg. 3).
+//
+// Given a connected graph g with minimum degree >= k and more than k
+// vertices, finds a vertex cut with fewer than k vertices, or reports that
+// none exists (g is then k-vertex-connected). The search follows
+// Esfahanian–Hakimi: phase 1 tests the local connectivity between a source
+// u and every other vertex (covers every cut avoiding u); phase 2 tests all
+// pairs of u's neighbors (covers cuts containing u, Lemma 4). All flow
+// tests run on a sparse certificate; sweeps (KvccOptions) skip most tests.
+#ifndef KVCC_KVCC_GLOBAL_CUT_H_
+#define KVCC_KVCC_GLOBAL_CUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "kvcc/options.h"
+#include "kvcc/side_vertex.h"
+#include "kvcc/stats.h"
+
+namespace kvcc {
+
+struct GlobalCutResult {
+  /// A vertex cut of g with fewer than k vertices; empty iff g is
+  /// k-vertex-connected.
+  std::vector<VertexId> cut;
+
+  /// Strong side-vertex flags of g computed during the search (valid only
+  /// when strong_side_valid; used for Lemma 15/16 maintenance in children).
+  std::vector<bool> strong_side;
+  bool strong_side_valid = false;
+};
+
+/// Preconditions: g is connected, |V(g)| > k, and (for the intended use)
+/// min degree >= k. `hints` is either empty or one entry per vertex of g.
+GlobalCutResult GlobalCut(const Graph& g, std::uint32_t k,
+                          const std::vector<SideVertexHint>& hints,
+                          const KvccOptions& options, KvccStats* stats);
+
+}  // namespace kvcc
+
+#endif  // KVCC_KVCC_GLOBAL_CUT_H_

@@ -1,0 +1,85 @@
+#include "kvcc/hierarchy.h"
+
+#include <algorithm>
+
+#include "graph/k_core.h"
+#include "kvcc/kvcc_enum.h"
+
+namespace kvcc {
+
+const std::vector<std::size_t>& KvccHierarchy::NodesAtLevel(
+    std::uint32_t k) const {
+  static const std::vector<std::size_t> kEmpty;
+  if (k == 0 || k > levels.size()) return kEmpty;
+  return levels[k - 1];
+}
+
+std::vector<std::vector<VertexId>> KvccHierarchy::ComponentsAtLevel(
+    std::uint32_t k) const {
+  std::vector<std::vector<VertexId>> out;
+  for (std::size_t index : NodesAtLevel(k)) {
+    out.push_back(nodes[index].vertices);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint32_t KvccHierarchy::CohesionOf(VertexId v) const {
+  return v < cohesion_.size() ? cohesion_[v] : 0;
+}
+
+KvccHierarchy BuildKvccHierarchy(const Graph& g, std::uint32_t max_level,
+                                 const KvccOptions& options) {
+  KvccHierarchy hierarchy;
+  hierarchy.cohesion_.assign(g.NumVertices(), 0);
+  if (max_level == 0) {
+    max_level = Degeneracy(g) + 1;  // kappa <= delta <= degeneracy... + slack
+  }
+
+  // Level 1 over the whole graph; level k inside each level-(k-1) node.
+  std::vector<std::size_t> frontier;
+  for (std::uint32_t k = 1; k <= max_level; ++k) {
+    std::vector<std::size_t> next;
+    const std::vector<std::size_t> parents =
+        k == 1 ? std::vector<std::size_t>{HierarchyNode::kNoParent}
+               : frontier;
+    for (std::size_t parent_index : parents) {
+      // The subgraph to decompose: whole graph at level 1, otherwise the
+      // parent component.
+      const bool root = parent_index == HierarchyNode::kNoParent;
+      const Graph sub =
+          root ? g : g.InducedSubgraph(hierarchy.nodes[parent_index].vertices);
+      const KvccResult result = EnumerateKVccs(sub, k, options);
+      hierarchy.stats.Add(result.stats);
+      for (const auto& component : result.components) {
+        HierarchyNode node;
+        node.level = k;
+        node.parent = parent_index;
+        if (root) {
+          node.vertices = component;
+        } else {
+          // Map back from the parent-subgraph ids to input ids.
+          node.vertices.reserve(component.size());
+          for (VertexId v : component) {
+            node.vertices.push_back(
+                hierarchy.nodes[parent_index].vertices[v]);
+          }
+          std::sort(node.vertices.begin(), node.vertices.end());
+        }
+        for (VertexId v : node.vertices) {
+          hierarchy.cohesion_[v] = std::max(hierarchy.cohesion_[v], k);
+        }
+        const std::size_t index = hierarchy.nodes.size();
+        if (!root) hierarchy.nodes[parent_index].children.push_back(index);
+        next.push_back(index);
+        hierarchy.nodes.push_back(std::move(node));
+      }
+    }
+    if (next.empty()) break;
+    hierarchy.levels.push_back(next);
+    frontier = std::move(next);
+  }
+  return hierarchy;
+}
+
+}  // namespace kvcc

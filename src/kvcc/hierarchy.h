@@ -1,0 +1,68 @@
+// The k-VCC hierarchy: k-VCCs for every k = 1..k_max, organized as a
+// dendrogram of structural cohesion (Moody & White's "cohesive blocking",
+// which the paper cites as the sociological root of vertex connectivity).
+//
+// Built on a nesting fact: every k-VCC is (k-1)-vertex-connected, so it is
+// contained in exactly one (k-1)-VCC (two parents would overlap in >= k-1
+// vertices, violating Property 1 at level k-1). Level k is therefore
+// computed *inside* each level-(k-1) component instead of on the whole
+// graph, which both speeds the sweep up and yields parent links for free.
+#ifndef KVCC_KVCC_HIERARCHY_H_
+#define KVCC_KVCC_HIERARCHY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "kvcc/options.h"
+#include "kvcc/stats.h"
+
+namespace kvcc {
+
+struct HierarchyNode {
+  /// Connectivity level of this component (it is a level-VCC).
+  std::uint32_t level = 0;
+  /// Sorted vertex ids (in the input graph's id space).
+  std::vector<VertexId> vertices;
+  /// Index of the enclosing node at level-1, or kNoParent for level 1.
+  std::size_t parent = kNoParent;
+  /// Indices of the nodes at level+1 nested inside this one.
+  std::vector<std::size_t> children;
+
+  static constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+};
+
+struct KvccHierarchy {
+  /// All nodes, grouped by level: levels[k-1] lists node indices of level k.
+  std::vector<HierarchyNode> nodes;
+  std::vector<std::vector<std::size_t>> levels;
+  KvccStats stats;
+
+  /// The deepest level that still has components.
+  std::uint32_t MaxLevel() const {
+    return static_cast<std::uint32_t>(levels.size());
+  }
+
+  /// Node indices of the k-VCCs (empty if k is beyond the hierarchy).
+  const std::vector<std::size_t>& NodesAtLevel(std::uint32_t k) const;
+
+  /// The components at level k in EnumerateKVccs output format.
+  std::vector<std::vector<VertexId>> ComponentsAtLevel(std::uint32_t k) const;
+
+  /// Largest k such that some k-VCC contains vertex v (0 if none does).
+  std::uint32_t CohesionOf(VertexId v) const;
+
+ private:
+  friend KvccHierarchy BuildKvccHierarchy(const Graph&, std::uint32_t,
+                                          const KvccOptions&);
+  std::vector<std::uint32_t> cohesion_;  // per input vertex
+};
+
+/// Builds the hierarchy up to `max_level` (0 = until no components remain,
+/// bounded by the degeneracy since a k-VCC needs minimum degree >= k).
+KvccHierarchy BuildKvccHierarchy(const Graph& g, std::uint32_t max_level = 0,
+                                 const KvccOptions& options = {});
+
+}  // namespace kvcc
+
+#endif  // KVCC_KVCC_HIERARCHY_H_

@@ -1,0 +1,196 @@
+#include "kvcc/kvcc_enum.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+#include "graph/connected_components.h"
+#include "graph/k_core.h"
+#include "kvcc/global_cut.h"
+#include "kvcc/side_vertex.h"
+
+namespace kvcc {
+namespace {
+
+struct WorkItem {
+  Graph graph;
+  /// Strong side-vertex carry-over verdicts (Lemmas 15/16); empty = none.
+  std::vector<SideVertexHint> hints;
+};
+
+/// Vertices of g with at least one neighbor in `sources` (the 1-hop
+/// dilation, excluding the sources themselves unless they qualify). Used
+/// for the partition-time maintenance rule: a strong side-vertex verdict
+/// survives a partition by cut S iff N(v) ∩ S = ∅ (Lemma 16).
+std::vector<bool> NeighborsOfSet(const Graph& g,
+                                 const std::vector<VertexId>& sources) {
+  std::vector<bool> in_set(g.NumVertices(), false);
+  for (VertexId s : sources) in_set[s] = true;
+  std::vector<bool> touched(g.NumVertices(), false);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (VertexId w : g.Neighbors(v)) {
+      if (in_set[w]) {
+        touched[v] = true;
+        break;
+      }
+    }
+  }
+  return touched;
+}
+
+}  // namespace
+
+std::vector<PartitionPiece> OverlapPartition(
+    const Graph& g, const std::vector<VertexId>& cut) {
+  const VertexId n = g.NumVertices();
+  std::vector<bool> in_cut(n, false);
+  for (VertexId v : cut) in_cut[v] = true;
+
+  std::vector<PartitionPiece> pieces;
+  std::vector<bool> seen(n, false);
+  std::vector<VertexId> queue;
+  for (VertexId start = 0; start < n; ++start) {
+    if (seen[start] || in_cut[start]) continue;
+    // BFS one component of g - cut.
+    queue.clear();
+    queue.push_back(start);
+    seen[start] = true;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      for (VertexId w : g.Neighbors(queue[head])) {
+        if (!seen[w] && !in_cut[w]) {
+          seen[w] = true;
+          queue.push_back(w);
+        }
+      }
+    }
+    PartitionPiece piece;
+    piece.vertices.reserve(queue.size() + cut.size());
+    piece.vertices.insert(piece.vertices.end(), queue.begin(), queue.end());
+    piece.vertices.insert(piece.vertices.end(), cut.begin(), cut.end());
+    std::sort(piece.vertices.begin(), piece.vertices.end());
+    piece.graph = g.InducedSubgraph(piece.vertices);
+    pieces.push_back(std::move(piece));
+  }
+  assert(pieces.size() >= 2 && "OverlapPartition requires a real vertex cut");
+  return pieces;
+}
+
+Graph MaterializeComponent(const Graph& g,
+                           const std::vector<VertexId>& component) {
+  return g.InducedSubgraph(component);
+}
+
+KvccResult EnumerateKVccs(const Graph& g, std::uint32_t k,
+                          const KvccOptions& options) {
+  if (k == 0) {
+    throw std::invalid_argument("EnumerateKVccs: k must be at least 1");
+  }
+  KvccResult result;
+  const bool maintain =
+      options.maintain_side_vertices && options.neighbor_sweep;
+
+  std::vector<WorkItem> stack;
+  stack.push_back({g.WithIdentityLabels(), {}});
+
+  while (!stack.empty()) {
+    WorkItem item = std::move(stack.back());
+    stack.pop_back();
+    const Graph& cur = item.graph;
+
+    // --- k-core peel (Alg. 1 line 2) ---
+    const std::vector<VertexId> survivors = KCoreVertices(cur, k);
+    ++result.stats.kcore_rounds;
+    result.stats.kcore_removed_vertices +=
+        cur.NumVertices() - survivors.size();
+    if (survivors.size() <= k) continue;  // A k-VCC needs > k vertices.
+
+    // Peeling invalidates side-vertex verdicts within 2 hops of a removed
+    // vertex (common-neighbor counts may have dropped).
+    std::vector<bool> peel_touched;
+    const bool have_hints = maintain && !item.hints.empty();
+    if (have_hints && survivors.size() != cur.NumVertices()) {
+      std::vector<bool> survives(cur.NumVertices(), false);
+      for (VertexId v : survivors) survives[v] = true;
+      std::vector<VertexId> removed;
+      removed.reserve(cur.NumVertices() - survivors.size());
+      for (VertexId v = 0; v < cur.NumVertices(); ++v) {
+        if (!survives[v]) removed.push_back(v);
+      }
+      peel_touched = TwoHopBall(cur, removed);
+    }
+
+    Graph core = cur.InducedSubgraph(survivors);
+
+    // --- connected components (Alg. 1 line 3) ---
+    std::vector<std::vector<VertexId>> components = ConnectedComponents(core);
+    const bool single_component = components.size() == 1;
+    for (const std::vector<VertexId>& comp : components) {
+      if (comp.size() <= k) continue;  // Cannot contain a k-VCC (Def. 2).
+
+      // core vertex comp[i] corresponds to cur vertex survivors[comp[i]].
+      Graph sub = single_component ? std::move(core)
+                                   : core.InducedSubgraph(comp);
+
+      std::vector<SideVertexHint> sub_hints;
+      if (have_hints) {
+        sub_hints.resize(sub.NumVertices());
+        for (VertexId i = 0; i < sub.NumVertices(); ++i) {
+          const VertexId cur_v = survivors[comp[i]];
+          SideVertexHint h = item.hints[cur_v];
+          if (h == SideVertexHint::kStrong && !peel_touched.empty() &&
+              peel_touched[cur_v]) {
+            h = SideVertexHint::kRecheck;
+          }
+          sub_hints[i] = h;
+        }
+      }
+
+      // --- cut search (Alg. 1 line 5) ---
+      GlobalCutResult found =
+          GlobalCut(sub, k, sub_hints, options, &result.stats);
+
+      if (found.cut.empty()) {
+        // sub is k-vertex-connected and maximal within this branch: k-VCC.
+        std::vector<VertexId> ids;
+        ids.reserve(sub.NumVertices());
+        for (VertexId v = 0; v < sub.NumVertices(); ++v) {
+          ids.push_back(sub.LabelOf(v));
+        }
+        std::sort(ids.begin(), ids.end());
+        result.components.push_back(std::move(ids));
+        ++result.stats.kvccs_found;
+        continue;
+      }
+
+      // --- overlapped partition (Alg. 1 line 9) ---
+      ++result.stats.overlap_partitions;
+      std::vector<bool> cut_touched;
+      if (maintain && found.strong_side_valid) {
+        cut_touched = NeighborsOfSet(sub, found.cut);
+      }
+      for (PartitionPiece& piece : OverlapPartition(sub, found.cut)) {
+        std::vector<SideVertexHint> child_hints;
+        if (maintain && found.strong_side_valid) {
+          child_hints.resize(piece.graph.NumVertices());
+          for (VertexId i = 0; i < piece.graph.NumVertices(); ++i) {
+            const VertexId sub_v = piece.vertices[i];
+            if (!found.strong_side[sub_v]) {
+              child_hints[i] = SideVertexHint::kNotStrong;  // Lemma 15.
+            } else if (cut_touched[sub_v]) {
+              child_hints[i] = SideVertexHint::kRecheck;
+            } else {
+              child_hints[i] = SideVertexHint::kStrong;  // Lemma 16.
+            }
+          }
+        }
+        stack.push_back({std::move(piece.graph), std::move(child_hints)});
+      }
+    }
+  }
+
+  std::sort(result.components.begin(), result.components.end());
+  return result;
+}
+
+}  // namespace kvcc

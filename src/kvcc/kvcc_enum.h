@@ -1,0 +1,57 @@
+// KVCC-ENUM (paper Algorithm 1): enumerate all k-vertex connected
+// components of a graph by recursive overlapped partitioning.
+//
+// Outline: peel the k-core; for every connected component, search for a
+// vertex cut with fewer than k vertices (GLOBAL-CUT); components without
+// such a cut are k-VCCs; otherwise the cut S is *duplicated* into every
+// component of G - S (OVERLAP-PARTITION) and the pieces are processed
+// recursively. Correctness: paper Theorem 4; the number of partitions and
+// of k-VCCs are both < n/2 (Lemma 10, Theorem 6), giving polynomial total
+// time O(min(n^1/2, k) * m * (n + delta^2) * n) (Theorem 7).
+#ifndef KVCC_KVCC_KVCC_ENUM_H_
+#define KVCC_KVCC_KVCC_ENUM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "kvcc/options.h"
+#include "kvcc/stats.h"
+
+namespace kvcc {
+
+struct KvccResult {
+  /// All k-VCCs, each as a sorted list of vertex ids of the *input* graph;
+  /// the list of components is sorted lexicographically. (If the input
+  /// graph carries labels, map with Graph::LabelsOf.)
+  std::vector<std::vector<VertexId>> components;
+
+  /// Execution counters accumulated over the whole run.
+  KvccStats stats;
+};
+
+/// Enumerates all k-VCCs of g (k >= 1; g need not be connected).
+/// Deterministic: identical inputs and options give identical output order.
+KvccResult EnumerateKVccs(const Graph& g, std::uint32_t k,
+                          const KvccOptions& options = {});
+
+/// OVERLAP-PARTITION (Algorithm 1 lines 13-18): removes `cut` from g,
+/// splits the remainder into connected components, and returns for each
+/// component the induced subgraph on (component ∪ cut) together with the
+/// vertex ids (in g's id space) it was built from. `cut` must be a real
+/// vertex cut of g, so at least two pieces are returned.
+struct PartitionPiece {
+  Graph graph;
+  std::vector<VertexId> vertices;  // sorted ids in g's space
+};
+std::vector<PartitionPiece> OverlapPartition(const Graph& g,
+                                             const std::vector<VertexId>& cut);
+
+/// Materializes one k-VCC (as returned in KvccResult::components) as an
+/// induced subgraph of the input graph.
+Graph MaterializeComponent(const Graph& g,
+                           const std::vector<VertexId>& component);
+
+}  // namespace kvcc
+
+#endif  // KVCC_KVCC_KVCC_ENUM_H_

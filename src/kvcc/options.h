@@ -1,0 +1,89 @@
+// Configuration knobs for the k-VCC enumeration algorithms.
+//
+// The four presets correspond to the paper's four evaluated variants:
+//   VCCE    = basic algorithm (Section 4)
+//   VCCE-N  = + neighbor sweep (Section 5.1)
+//   VCCE-G  = + group sweep (Section 5.2)
+//   VCCE*   = + both (Section 5.3, GLOBAL-CUT*)
+#ifndef KVCC_KVCC_OPTIONS_H_
+#define KVCC_KVCC_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace kvcc {
+
+struct KvccOptions {
+  /// Enables neighbor sweep (strong side-vertices + vertex deposits,
+  /// Section 5.1). Off = never prune phase-1 tests via neighborhoods.
+  bool neighbor_sweep = true;
+
+  /// Enables group sweep (side-groups + group deposits, Section 5.2),
+  /// including the phase-2 same-group pair skip (rule 3).
+  bool group_sweep = true;
+
+  /// Runs connectivity tests on a sparse certificate instead of the full
+  /// graph (Section 4.2). Disabling is only useful for ablation studies;
+  /// group sweep requires the certificate (side-groups come from F_k) and is
+  /// silently unavailable without it.
+  bool sparse_certificate = true;
+
+  /// Processes phase-1 vertices in non-ascending BFS-distance order from the
+  /// source (Alg. 3 line 11). Off = ascending vertex id (basic algorithm).
+  bool distance_order = true;
+
+  /// Reuses strong side-vertex verdicts across partitions when a vertex's
+  /// 2-hop neighbourhood is untouched (Lemmas 15/16). Off = recompute from
+  /// scratch on every subgraph.
+  bool maintain_side_vertices = true;
+
+  /// Also skip phase-2 pair tests when the two neighbors share >= k common
+  /// neighbors (Lemma 13). A cheap, sound extension the paper applies in
+  /// Theorem 8; kept optional for ablation.
+  bool phase2_common_neighbor_skip = true;
+
+  /// Vertices with degree above this cap are never *checked* for the strong
+  /// side-vertex property (checking is Theta(d^2) pair work); they are
+  /// conservatively treated as non-strong, which is sound. The default
+  /// keeps detection cheap on hub-heavy graphs where the pair work would
+  /// exceed the flow tests it saves. 0 = no cap.
+  std::uint32_t side_vertex_degree_cap = 128;
+
+  /// Defensive verification that every cut found on the sparse certificate
+  /// actually disconnects the working graph (it must, by the certificate
+  /// theorem). Costs O(n + m) per cut; keep on in production.
+  bool verify_cuts = true;
+
+  // ---- presets matching the paper's evaluated variants ----
+  static KvccOptions Vcce() {
+    KvccOptions o;
+    o.neighbor_sweep = false;
+    o.group_sweep = false;
+    o.distance_order = false;
+    o.maintain_side_vertices = false;
+    o.phase2_common_neighbor_skip = false;
+    return o;
+  }
+  static KvccOptions VcceN() {
+    KvccOptions o = Vcce();
+    o.neighbor_sweep = true;
+    o.distance_order = true;
+    o.maintain_side_vertices = true;
+    return o;
+  }
+  static KvccOptions VcceG() {
+    KvccOptions o = Vcce();
+    o.group_sweep = true;
+    o.distance_order = true;
+    return o;
+  }
+  static KvccOptions VcceStar() { return KvccOptions(); }
+
+  /// Preset by name ("VCCE", "VCCE-N", "VCCE-G", "VCCE*"); throws
+  /// std::invalid_argument for unknown names.
+  static KvccOptions FromVariantName(const std::string& name);
+};
+
+}  // namespace kvcc
+
+#endif  // KVCC_KVCC_OPTIONS_H_

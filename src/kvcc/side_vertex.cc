@@ -1,0 +1,134 @@
+#include "kvcc/side_vertex.h"
+
+#include <unordered_map>
+
+namespace kvcc {
+namespace {
+
+/// Memoized Theorem-8 pair check. In clique-rich graphs the same neighbor
+/// pair (v, v') appears in N(u) for every common neighbor u, so caching the
+/// verdict turns Theta(d^2 * common) repeated work into a hash lookup.
+class PairVerdictCache {
+ public:
+  PairVerdictCache(const Graph& g, std::uint32_t k) : graph_(g), k_(k) {}
+
+  bool PairIsGood(VertexId v, VertexId w) {
+    if (graph_.HasEdge(v, w)) return true;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(std::min(v, w)) << 32) | std::max(v, w);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    const bool good = CommonNeighborsAtLeast(graph_, v, w, k_);
+    cache_.emplace(key, good);
+    return good;
+  }
+
+ private:
+  const Graph& graph_;
+  const std::uint32_t k_;
+  std::unordered_map<std::uint64_t, bool> cache_;
+};
+
+}  // namespace
+
+bool CommonNeighborsAtLeast(const Graph& g, VertexId a, VertexId b,
+                            std::uint32_t k) {
+  if (k == 0) return true;
+  const auto na = g.Neighbors(a);
+  const auto nb = g.Neighbors(b);
+  std::uint32_t common = 0;
+  std::size_t i = 0, j = 0;
+  while (i < na.size() && j < nb.size()) {
+    // Even if every remaining candidate matched, k would be unreachable.
+    const std::size_t remaining = std::min(na.size() - i, nb.size() - j);
+    if (common + remaining < k) return false;
+    if (na[i] < nb[j]) {
+      ++i;
+    } else if (na[i] > nb[j]) {
+      ++j;
+    } else {
+      if (++common >= k) return true;
+      ++i;
+      ++j;
+    }
+  }
+  return false;
+}
+
+bool IsStrongSideVertex(const Graph& g, VertexId u, std::uint32_t k) {
+  const auto nbrs = g.Neighbors(u);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+      const VertexId v = nbrs[i];
+      const VertexId w = nbrs[j];
+      if (g.HasEdge(v, w)) continue;
+      if (CommonNeighborsAtLeast(g, v, w, k)) continue;
+      return false;
+    }
+  }
+  return true;
+}
+
+SideVertexResult ComputeStrongSideVertices(
+    const Graph& g, std::uint32_t k, const std::vector<SideVertexHint>& hints,
+    std::uint32_t degree_cap) {
+  const VertexId n = g.NumVertices();
+  SideVertexResult out;
+  out.strong.assign(n, false);
+  PairVerdictCache pairs(g, k);
+  for (VertexId u = 0; u < n; ++u) {
+    if (!hints.empty()) {
+      if (hints[u] == SideVertexHint::kStrong) {
+        out.strong[u] = true;
+        ++out.reused;
+        ++out.strong_count;
+        continue;
+      }
+      if (hints[u] == SideVertexHint::kNotStrong) {
+        ++out.reused;
+        continue;
+      }
+    }
+    if (degree_cap != 0 && g.Degree(u) > degree_cap) continue;
+    ++out.checks_run;
+    const auto nbrs = g.Neighbors(u);
+    bool strong = true;
+    for (std::size_t i = 0; i < nbrs.size() && strong; ++i) {
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+        if (!pairs.PairIsGood(nbrs[i], nbrs[j])) {
+          strong = false;
+          break;
+        }
+      }
+    }
+    if (strong) {
+      out.strong[u] = true;
+      ++out.strong_count;
+    }
+  }
+  return out;
+}
+
+std::vector<bool> TwoHopBall(const Graph& g,
+                             const std::vector<VertexId>& sources) {
+  const VertexId n = g.NumVertices();
+  std::vector<bool> ball(n, false);
+  for (VertexId s : sources) ball[s] = true;
+  // Two whole-graph dilation passes: O(n + m) independent of |sources|.
+  for (int pass = 0; pass < 2; ++pass) {
+    std::vector<bool> next = ball;
+    for (VertexId v = 0; v < n; ++v) {
+      if (next[v]) continue;
+      for (VertexId w : g.Neighbors(v)) {
+        if (ball[w]) {
+          next[v] = true;
+          break;
+        }
+      }
+    }
+    ball = std::move(next);
+  }
+  return ball;
+}
+
+}  // namespace kvcc

@@ -1,0 +1,64 @@
+// Strong side-vertex detection (paper Section 5.1.1).
+//
+// A vertex u is a *strong side-vertex* (Thm 8 / Def 10) if every pair of its
+// neighbors is either adjacent or shares >= k common neighbors. Such a
+// vertex cannot belong to any minimum vertex cut, which makes the
+// transitivity rule of Lemma 11 applicable: once the source is known to be
+// locally k-connected to u, all of u's neighbors can be swept.
+//
+// Soundness note: over-reporting strong side-vertices would let sweeps hide
+// real cuts, so detection errs strictly on the side of under-reporting
+// (degree caps and unverified maintenance hints downgrade to "not strong").
+#ifndef KVCC_KVCC_SIDE_VERTEX_H_
+#define KVCC_KVCC_SIDE_VERTEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kvcc {
+
+/// Carry-over verdict for one vertex when a graph is derived from a parent
+/// graph (overlap partition and/or k-core peeling), per Lemmas 15/16.
+enum class SideVertexHint : std::uint8_t {
+  /// No usable parent verdict; run the full check.
+  kRecheck,
+  /// Strong in the parent and 2-hop neighbourhood untouched: still strong.
+  kStrong,
+  /// Not strong in the parent: conservatively treated as not strong
+  /// (Lemma 15 direction; sound under-detection).
+  kNotStrong,
+};
+
+struct SideVertexResult {
+  std::vector<bool> strong;       // size n
+  std::uint64_t checks_run = 0;   // full Theta(d^2) checks executed
+  std::uint64_t reused = 0;       // verdicts taken from hints
+  std::uint64_t strong_count = 0;
+};
+
+/// True iff a and b have at least k common neighbors in g (Lemma 13 gives
+/// a ≡k b then). Linear merge of the sorted adjacency lists, early exit.
+bool CommonNeighborsAtLeast(const Graph& g, VertexId a, VertexId b,
+                            std::uint32_t k);
+
+/// Full Theorem-8 check for a single vertex. O(d(u)^2 * d_max) worst case.
+bool IsStrongSideVertex(const Graph& g, VertexId u, std::uint32_t k);
+
+/// Computes the strong side-vertex set of g. `hints` may be empty (check
+/// everything) or size n. Vertices with degree above `degree_cap` (if
+/// nonzero) are reported not strong without checking.
+SideVertexResult ComputeStrongSideVertices(
+    const Graph& g, std::uint32_t k, const std::vector<SideVertexHint>& hints,
+    std::uint32_t degree_cap);
+
+/// Vertices within distance <= 2 of any vertex in `sources` (including the
+/// sources themselves). Used to invalidate side-vertex verdicts around a
+/// cut / peeled set before deriving child graphs.
+std::vector<bool> TwoHopBall(const Graph& g,
+                             const std::vector<VertexId>& sources);
+
+}  // namespace kvcc
+
+#endif  // KVCC_KVCC_SIDE_VERTEX_H_

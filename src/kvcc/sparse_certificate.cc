@@ -1,0 +1,124 @@
+#include "kvcc/sparse_certificate.h"
+
+#include <algorithm>
+
+#include "graph/graph_builder.h"
+
+namespace kvcc {
+namespace {
+
+/// Positions of each adjacency entry's reverse entry, so forest edges can be
+/// retired from both endpoints in O(1).
+std::vector<std::uint64_t> BuildMatePositions(const Graph& g) {
+  std::vector<std::uint64_t> mate;
+  std::vector<std::uint64_t> entry_offset(g.NumVertices() + 1, 0);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    entry_offset[v + 1] = entry_offset[v] + g.Degree(v);
+  }
+  mate.resize(entry_offset[g.NumVertices()]);
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    const auto nbrs = g.Neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId v = nbrs[i];
+      // Position of u within v's sorted neighbor list.
+      const auto vn = g.Neighbors(v);
+      const auto it = std::lower_bound(vn.begin(), vn.end(), u);
+      mate[entry_offset[u] + i] =
+          entry_offset[v] + static_cast<std::uint64_t>(it - vn.begin());
+    }
+  }
+  return mate;
+}
+
+}  // namespace
+
+SparseCertificate BuildSparseCertificate(const Graph& g, std::uint32_t k) {
+  const VertexId n = g.NumVertices();
+  SparseCertificate out;
+  out.group_of.assign(n, kNoGroup);
+
+  std::vector<std::uint64_t> entry_offset(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    entry_offset[v + 1] = entry_offset[v] + g.Degree(v);
+  }
+  const std::vector<std::uint64_t> mate = BuildMatePositions(g);
+  std::vector<bool> used(entry_offset[n], false);
+
+  GraphBuilder certificate_builder(n);
+  std::vector<bool> visited(n);
+  std::vector<VertexId> queue;
+  std::vector<std::pair<VertexId, VertexId>> last_forest;
+
+  for (std::uint32_t round = 0; round < k; ++round) {
+    std::fill(visited.begin(), visited.end(), false);
+    last_forest.clear();
+    bool any_edge = false;
+
+    for (VertexId root = 0; root < n; ++root) {
+      if (visited[root]) continue;
+      visited[root] = true;
+      queue.clear();
+      queue.push_back(root);
+      for (std::size_t head = 0; head < queue.size(); ++head) {
+        const VertexId u = queue[head];
+        // Scan u: claim one unused edge to every unvisited neighbor.
+        const auto nbrs = g.Neighbors(u);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          const std::uint64_t pos = entry_offset[u] + i;
+          if (used[pos]) continue;
+          const VertexId w = nbrs[i];
+          if (visited[w]) continue;
+          visited[w] = true;
+          used[pos] = true;
+          used[mate[pos]] = true;
+          certificate_builder.AddEdge(u, w);
+          last_forest.emplace_back(u, w);
+          any_edge = true;
+          queue.push_back(w);
+        }
+      }
+    }
+    if (!any_edge) break;  // Graph exhausted before k rounds.
+  }
+
+  // Side-groups: components of the k-th (= last completed) forest. When the
+  // graph ran out of edges early, the final forest is empty and there are
+  // no groups; that is sound (groups are a pure optimization).
+  {
+    std::vector<std::vector<VertexId>> adjacency(n);
+    for (const auto& [u, w] : last_forest) {
+      adjacency[u].push_back(w);
+      adjacency[w].push_back(u);
+    }
+    std::vector<bool> seen(n, false);
+    for (VertexId root = 0; root < n; ++root) {
+      if (seen[root] || adjacency[root].empty()) continue;
+      seen[root] = true;
+      std::vector<VertexId> component{root};
+      for (std::size_t head = 0; head < component.size(); ++head) {
+        for (VertexId w : adjacency[component[head]]) {
+          if (!seen[w]) {
+            seen[w] = true;
+            component.push_back(w);
+          }
+        }
+      }
+      if (component.size() < 2) continue;
+      const auto group_id = static_cast<std::uint32_t>(out.groups.size());
+      std::sort(component.begin(), component.end());
+      for (VertexId v : component) out.group_of[v] = group_id;
+      out.groups.push_back(std::move(component));
+    }
+  }
+
+  // Preserve the input graph's labels on the certificate (same vertex ids).
+  if (g.HasLabels()) {
+    std::vector<VertexId> labels(n);
+    for (VertexId v = 0; v < n; ++v) labels[v] = g.LabelOf(v);
+    certificate_builder.SetLabels(std::move(labels));
+  }
+  out.certificate = certificate_builder.Build();
+  return out;
+}
+
+}  // namespace kvcc

@@ -1,0 +1,45 @@
+// Sparse certificate for k-vertex connectivity (Cheriyan–Kao–Thurimella)
+// and the side-groups used by the group-sweep optimization.
+//
+// For i = 1..k, F_i is a scan-first-search forest of G_{i-1} where
+// G_0 = G and G_i = G_{i-1} - E(F_i). SC = F_1 ∪ ... ∪ F_k has at most
+// k(n-1) edges, and for every vertex set S with |S| < k, G - S and SC - S
+// have the same connected components (paper Thm 5). Consequently:
+//   * any vertex cut of SC with fewer than k vertices is a cut of G, and
+//   * min(kappa(u,v), k) is identical in SC and G,
+// which lets GLOBAL-CUT run all flow tests on the much sparser SC.
+//
+// Side-groups (paper Thm 10): the connected components of the last forest
+// F_k are sets in which every vertex pair is locally k-connected in G.
+#ifndef KVCC_KVCC_SPARSE_CERTIFICATE_H_
+#define KVCC_KVCC_SPARSE_CERTIFICATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kvcc {
+
+/// Group id meaning "vertex belongs to no side-group".
+inline constexpr std::uint32_t kNoGroup = static_cast<std::uint32_t>(-1);
+
+struct SparseCertificate {
+  /// The certificate subgraph. Same vertex ids (and labels) as the input.
+  Graph certificate;
+
+  /// Side-groups: connected components of F_k with at least 2 vertices.
+  /// groups[i] is sorted ascending.
+  std::vector<std::vector<VertexId>> groups;
+
+  /// Per-vertex group id, or kNoGroup.
+  std::vector<std::uint32_t> group_of;
+};
+
+/// Builds the certificate by k rounds of BFS forests (BFS is a valid
+/// scan-first search). O(k (n + m)).
+SparseCertificate BuildSparseCertificate(const Graph& g, std::uint32_t k);
+
+}  // namespace kvcc
+
+#endif  // KVCC_KVCC_SPARSE_CERTIFICATE_H_

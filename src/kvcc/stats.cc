@@ -1,0 +1,77 @@
+#include "kvcc/stats.h"
+
+#include <sstream>
+
+namespace kvcc {
+namespace {
+
+double Share(std::uint64_t part, std::uint64_t total) {
+  return total == 0 ? 0.0 : static_cast<double>(part) / static_cast<double>(total);
+}
+
+}  // namespace
+
+double KvccStats::Ns1Share() const {
+  return Share(phase1_pruned_ns1, Phase1Total());
+}
+
+double KvccStats::Ns2Share() const {
+  return Share(phase1_pruned_ns2, Phase1Total());
+}
+
+double KvccStats::GsShare() const {
+  return Share(phase1_pruned_gs, Phase1Total());
+}
+
+double KvccStats::NonPrunedShare() const {
+  return Share(phase1_tested_flow + phase1_tested_trivial, Phase1Total());
+}
+
+void KvccStats::Add(const KvccStats& other) {
+  phase1_pruned_ns1 += other.phase1_pruned_ns1;
+  phase1_pruned_ns2 += other.phase1_pruned_ns2;
+  phase1_pruned_gs += other.phase1_pruned_gs;
+  phase1_tested_flow += other.phase1_tested_flow;
+  phase1_tested_trivial += other.phase1_tested_trivial;
+  phase2_pairs_tested += other.phase2_pairs_tested;
+  phase2_pairs_skipped_group += other.phase2_pairs_skipped_group;
+  phase2_pairs_skipped_adjacent += other.phase2_pairs_skipped_adjacent;
+  phase2_pairs_skipped_common += other.phase2_pairs_skipped_common;
+  global_cut_calls += other.global_cut_calls;
+  loc_cut_flow_calls += other.loc_cut_flow_calls;
+  overlap_partitions += other.overlap_partitions;
+  kvccs_found += other.kvccs_found;
+  kcore_rounds += other.kcore_rounds;
+  kcore_removed_vertices += other.kcore_removed_vertices;
+  certificate_edges_input += other.certificate_edges_input;
+  certificate_edges_kept += other.certificate_edges_kept;
+  side_groups_found += other.side_groups_found;
+  strong_side_vertices_found += other.strong_side_vertices_found;
+  strong_side_checks_run += other.strong_side_checks_run;
+  strong_side_verdicts_reused += other.strong_side_verdicts_reused;
+  certificate_cut_fallbacks += other.certificate_cut_fallbacks;
+}
+
+std::string KvccStats::ToString() const {
+  std::ostringstream out;
+  out << "phase1: ns1=" << phase1_pruned_ns1 << " ns2=" << phase1_pruned_ns2
+      << " gs=" << phase1_pruned_gs << " flow=" << phase1_tested_flow
+      << " trivial=" << phase1_tested_trivial << "\n"
+      << "phase2: tested=" << phase2_pairs_tested
+      << " skip_group=" << phase2_pairs_skipped_group
+      << " skip_adj=" << phase2_pairs_skipped_adjacent
+      << " skip_common=" << phase2_pairs_skipped_common << "\n"
+      << "framework: global_cut=" << global_cut_calls
+      << " flow_calls=" << loc_cut_flow_calls
+      << " partitions=" << overlap_partitions << " kvccs=" << kvccs_found
+      << " kcore_removed=" << kcore_removed_vertices << "\n"
+      << "certificate: edges " << certificate_edges_input << " -> "
+      << certificate_edges_kept << ", side_groups=" << side_groups_found
+      << ", strong_side=" << strong_side_vertices_found
+      << " (checks=" << strong_side_checks_run
+      << ", reused=" << strong_side_verdicts_reused
+      << "), fallbacks=" << certificate_cut_fallbacks << "\n";
+  return out.str();
+}
+
+}  // namespace kvcc

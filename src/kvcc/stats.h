@@ -1,0 +1,78 @@
+// Execution counters for the k-VCC algorithms.
+//
+// These drive the paper's Table 2 (proportion of phase-1 vertices handled by
+// each sweep rule) and the micro-benchmarks; they also make regressions in
+// pruning effectiveness visible in tests.
+#ifndef KVCC_KVCC_STATS_H_
+#define KVCC_KVCC_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace kvcc {
+
+struct KvccStats {
+  // --- phase-1 vertex outcomes (the paper's Table 2 categories) ---
+  /// Vertices skipped because a strong side-vertex sweep covered them
+  /// (neighbor sweep rule 1).
+  std::uint64_t phase1_pruned_ns1 = 0;
+  /// Vertices skipped because their deposit reached k (neighbor sweep
+  /// rule 2).
+  std::uint64_t phase1_pruned_ns2 = 0;
+  /// Vertices skipped by a group sweep (rules 1 and 2 of Section 5.2).
+  std::uint64_t phase1_pruned_gs = 0;
+  /// Vertices that required a real max-flow test ("Non-Pru").
+  std::uint64_t phase1_tested_flow = 0;
+  /// Vertices adjacent to the source: locally k-connected for free
+  /// (Lemma 5), no flow run.
+  std::uint64_t phase1_tested_trivial = 0;
+
+  // --- phase-2 pair outcomes ---
+  std::uint64_t phase2_pairs_tested = 0;
+  std::uint64_t phase2_pairs_skipped_group = 0;     // group sweep rule 3
+  std::uint64_t phase2_pairs_skipped_adjacent = 0;  // Lemma 5
+  std::uint64_t phase2_pairs_skipped_common = 0;    // Lemma 13
+
+  // --- framework-level counters ---
+  std::uint64_t global_cut_calls = 0;
+  std::uint64_t loc_cut_flow_calls = 0;
+  std::uint64_t overlap_partitions = 0;
+  std::uint64_t kvccs_found = 0;
+  std::uint64_t kcore_rounds = 0;
+  /// Vertices deleted by k-core peeling, summed over all rounds.
+  std::uint64_t kcore_removed_vertices = 0;
+
+  // --- certificate / side-vertex instrumentation ---
+  std::uint64_t certificate_edges_input = 0;
+  std::uint64_t certificate_edges_kept = 0;
+  std::uint64_t side_groups_found = 0;
+  std::uint64_t strong_side_vertices_found = 0;
+  std::uint64_t strong_side_checks_run = 0;
+  std::uint64_t strong_side_verdicts_reused = 0;
+  /// Times a certificate cut failed to disconnect the working graph and the
+  /// search was re-run without the certificate. Must stay 0; see
+  /// KvccOptions::verify_cuts.
+  std::uint64_t certificate_cut_fallbacks = 0;
+
+  /// Total phase-1 vertices considered (all categories above).
+  std::uint64_t Phase1Total() const {
+    return phase1_pruned_ns1 + phase1_pruned_ns2 + phase1_pruned_gs +
+           phase1_tested_flow + phase1_tested_trivial;
+  }
+
+  /// Share of phase-1 vertices in [0,1] for each Table-2 row; 0 when no
+  /// vertex was processed.
+  double Ns1Share() const;
+  double Ns2Share() const;
+  double GsShare() const;
+  double NonPrunedShare() const;
+
+  void Add(const KvccStats& other);
+
+  /// Multi-line human-readable dump.
+  std::string ToString() const;
+};
+
+}  // namespace kvcc
+
+#endif  // KVCC_KVCC_STATS_H_

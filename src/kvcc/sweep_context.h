@@ -1,0 +1,76 @@
+// Sweep bookkeeping for GLOBAL-CUT* (paper Algorithm 4).
+//
+// A vertex is "swept" once the algorithm knows it is locally k-connected to
+// the current source without running a max-flow test. Sweeping v:
+//   * increments deposit(w) of every unswept neighbor w (Def. 11); when a
+//     deposit reaches k, w is swept too (neighbor sweep rule 2 / Thm 9);
+//   * if v is a strong side-vertex, sweeps all of v's neighbors directly
+//     (neighbor sweep rule 1 / Lemma 11);
+//   * increments the group deposit of v's side-group (Def. 13); when it
+//     reaches k — or v is a strong side-vertex — sweeps the whole group
+//     (group sweep rules 1 and 2 / Thm 11).
+// Cascades are processed iteratively with an explicit worklist.
+#ifndef KVCC_KVCC_SWEEP_CONTEXT_H_
+#define KVCC_KVCC_SWEEP_CONTEXT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "kvcc/sparse_certificate.h"
+
+namespace kvcc {
+
+/// Why a vertex was marked locally k-connected to the source.
+enum class SweepCause : std::uint8_t {
+  kTested,      // source itself, or an actual/trivial phase-1 test passed
+  kNeighborSweepSide,     // rule NS1: neighbor of a swept strong side-vertex
+  kNeighborSweepDeposit,  // rule NS2: vertex deposit reached k
+  kGroupSweep,            // rules GS1/GS2: whole side-group swept
+};
+
+class SweepContext {
+ public:
+  /// `g` is the working graph (sweep conditions use its full adjacency);
+  /// `strong` flags strong side-vertices of g; `groups`/`group_of` come from
+  /// the sparse certificate. Either sweep family can be disabled.
+  SweepContext(const Graph& g, std::uint32_t k,
+               const std::vector<bool>& strong,
+               const std::vector<std::vector<VertexId>>& groups,
+               const std::vector<std::uint32_t>& group_of,
+               bool neighbor_sweep_enabled, bool group_sweep_enabled);
+
+  /// Marks v locally k-connected to the source and runs all cascades.
+  /// No-op if v is already swept.
+  void Sweep(VertexId v, SweepCause cause);
+
+  bool IsSwept(VertexId v) const { return swept_[v]; }
+  SweepCause CauseOf(VertexId v) const { return cause_[v]; }
+
+  std::uint32_t deposit(VertexId v) const { return deposit_[v]; }
+  std::uint32_t group_deposit(std::uint32_t group) const {
+    return group_deposit_[group];
+  }
+
+ private:
+  void Enqueue(VertexId v, SweepCause cause);
+
+  const Graph& graph_;
+  const std::uint32_t k_;
+  const std::vector<bool>& strong_;
+  const std::vector<std::vector<VertexId>>& groups_;
+  const std::vector<std::uint32_t>& group_of_;
+  const bool neighbor_sweep_enabled_;
+  const bool group_sweep_enabled_;
+
+  std::vector<bool> swept_;
+  std::vector<SweepCause> cause_;
+  std::vector<std::uint32_t> deposit_;
+  std::vector<std::uint32_t> group_deposit_;
+  std::vector<bool> group_processed_;
+  std::vector<VertexId> worklist_;
+};
+
+}  // namespace kvcc
+
+#endif  // KVCC_KVCC_SWEEP_CONTEXT_H_

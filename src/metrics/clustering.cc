@@ -1,0 +1,77 @@
+#include "metrics/clustering.h"
+
+namespace kvcc {
+namespace {
+
+/// |N(a) ∩ N(b)| by merging the sorted adjacency lists.
+std::uint64_t CountCommonNeighbors(const Graph& g, VertexId a, VertexId b) {
+  const auto na = g.Neighbors(a);
+  const auto nb = g.Neighbors(b);
+  std::uint64_t common = 0;
+  std::size_t i = 0, j = 0;
+  while (i < na.size() && j < nb.size()) {
+    if (na[i] < nb[j]) {
+      ++i;
+    } else if (na[i] > nb[j]) {
+      ++j;
+    } else {
+      ++common;
+      ++i;
+      ++j;
+    }
+  }
+  return common;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> TrianglesPerVertex(const Graph& g) {
+  std::vector<std::uint64_t> triangles(g.NumVertices(), 0);
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v : g.Neighbors(u)) {
+      if (v <= u) continue;
+      // Each common neighbor w of the edge (u,v) closes a triangle; it will
+      // be credited to w when the edges (u,w) and (v,w) are scanned, so
+      // crediting u and v here counts every triangle once per member.
+      const std::uint64_t common = CountCommonNeighbors(g, u, v);
+      triangles[u] += common;
+      triangles[v] += common;
+    }
+  }
+  // Each triangle {a,b,c} was credited twice to each member (once per
+  // incident edge pair), so halve.
+  for (auto& t : triangles) t /= 2;
+  return triangles;
+}
+
+double LocalClusteringCoefficient(const Graph& g, VertexId u) {
+  const std::uint64_t d = g.Degree(u);
+  if (d < 2) return 0.0;
+  std::uint64_t triangles = 0;
+  const auto nbrs = g.Neighbors(u);
+  for (VertexId v : nbrs) triangles += CountCommonNeighbors(g, u, v);
+  triangles /= 2;  // Each triangle at u counted from both incident edges.
+  return static_cast<double>(triangles) /
+         (static_cast<double>(d) * static_cast<double>(d - 1) / 2.0);
+}
+
+double AverageClusteringCoefficient(const Graph& g) {
+  if (g.NumVertices() == 0) return 0.0;
+  const std::vector<std::uint64_t> triangles = TrianglesPerVertex(g);
+  double sum = 0.0;
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    const std::uint64_t d = g.Degree(u);
+    if (d < 2) continue;
+    sum += static_cast<double>(triangles[u]) /
+           (static_cast<double>(d) * static_cast<double>(d - 1) / 2.0);
+  }
+  return sum / static_cast<double>(g.NumVertices());
+}
+
+std::uint64_t TriangleCount(const Graph& g) {
+  std::uint64_t total = 0;
+  for (std::uint64_t t : TrianglesPerVertex(g)) total += t;
+  return total / 3;
+}
+
+}  // namespace kvcc

@@ -1,0 +1,27 @@
+// Local and average clustering coefficients (paper Eqs. 5-6).
+#ifndef KVCC_METRICS_CLUSTERING_H_
+#define KVCC_METRICS_CLUSTERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kvcc {
+
+/// Number of triangles through each vertex. O(sum of d(u)*d(v) over edges)
+/// via sorted-adjacency merges.
+std::vector<std::uint64_t> TrianglesPerVertex(const Graph& g);
+
+/// c(u) = triangles(u) / (d(u) choose 2); vertices with degree < 2 get 0.
+double LocalClusteringCoefficient(const Graph& g, VertexId u);
+
+/// C(G) = average of c(u) over all vertices (0 for the empty graph).
+double AverageClusteringCoefficient(const Graph& g);
+
+/// Total number of triangles in g.
+std::uint64_t TriangleCount(const Graph& g);
+
+}  // namespace kvcc
+
+#endif  // KVCC_METRICS_CLUSTERING_H_

@@ -1,0 +1,29 @@
+#include "metrics/cohesion_report.h"
+
+#include "metrics/clustering.h"
+#include "metrics/density.h"
+#include "metrics/diameter.h"
+
+namespace kvcc {
+
+CohesionSummary SummarizeComponents(
+    const Graph& root, const std::vector<std::vector<VertexId>>& components) {
+  CohesionSummary summary;
+  if (components.empty()) return summary;
+  for (const auto& component : components) {
+    const Graph sub = root.InducedSubgraph(component);
+    summary.avg_diameter += ExactDiameter(sub);
+    summary.avg_edge_density += EdgeDensity(sub);
+    summary.avg_clustering += AverageClusteringCoefficient(sub);
+    summary.avg_size += sub.NumVertices();
+  }
+  const auto count = static_cast<double>(components.size());
+  summary.component_count = components.size();
+  summary.avg_diameter /= count;
+  summary.avg_edge_density /= count;
+  summary.avg_clustering /= count;
+  summary.avg_size /= count;
+  return summary;
+}
+
+}  // namespace kvcc

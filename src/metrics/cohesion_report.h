@@ -1,0 +1,29 @@
+// Aggregated cohesion statistics over a family of subgraphs — the quantity
+// the paper's effectiveness figures (7, 8, 9) plot for k-cores, k-ECCs and
+// k-VCCs at each k.
+#ifndef KVCC_METRICS_COHESION_REPORT_H_
+#define KVCC_METRICS_COHESION_REPORT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kvcc {
+
+struct CohesionSummary {
+  std::size_t component_count = 0;
+  double avg_diameter = 0.0;
+  double avg_edge_density = 0.0;
+  double avg_clustering = 0.0;
+  double avg_size = 0.0;
+};
+
+/// Computes per-component diameter / density / clustering for each vertex
+/// set (ids of `root`) and averages them. Empty input gives all zeros.
+CohesionSummary SummarizeComponents(
+    const Graph& root, const std::vector<std::vector<VertexId>>& components);
+
+}  // namespace kvcc
+
+#endif  // KVCC_METRICS_COHESION_REPORT_H_

@@ -1,0 +1,11 @@
+#include "metrics/density.h"
+
+namespace kvcc {
+
+double EdgeDensity(const Graph& g) {
+  const double n = g.NumVertices();
+  if (n < 2) return 0.0;
+  return 2.0 * static_cast<double>(g.NumEdges()) / (n * (n - 1.0));
+}
+
+}  // namespace kvcc

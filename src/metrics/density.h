@@ -1,0 +1,14 @@
+// Edge density (paper Eq. 4).
+#ifndef KVCC_METRICS_DENSITY_H_
+#define KVCC_METRICS_DENSITY_H_
+
+#include "graph/graph.h"
+
+namespace kvcc {
+
+/// rho_e(g) = 2|E| / (|V| (|V|-1)); 0 for graphs with fewer than 2 vertices.
+double EdgeDensity(const Graph& g);
+
+}  // namespace kvcc
+
+#endif  // KVCC_METRICS_DENSITY_H_

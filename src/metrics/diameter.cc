@@ -1,0 +1,98 @@
+#include "metrics/diameter.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/bfs.h"
+
+namespace kvcc {
+namespace {
+
+/// BFS that also records parents, for extracting a mid path vertex.
+void BfsWithParents(const Graph& g, VertexId src,
+                    std::vector<std::uint32_t>& dist,
+                    std::vector<VertexId>& parent) {
+  dist.assign(g.NumVertices(), kUnreachable);
+  parent.assign(g.NumVertices(), kInvalidVertex);
+  std::vector<VertexId> queue{src};
+  dist[src] = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const VertexId u = queue[head];
+    for (VertexId w : g.Neighbors(u)) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[u] + 1;
+        parent[w] = u;
+        queue.push_back(w);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::uint32_t ExactDiameter(const Graph& g) {
+  const VertexId n = g.NumVertices();
+  if (n <= 1) return 0;
+
+  // Double sweep from a max-degree vertex to seed the lower bound and find
+  // a (near-)peripheral path.
+  VertexId hub = 0;
+  for (VertexId v = 1; v < n; ++v) {
+    if (g.Degree(v) > g.Degree(hub)) hub = v;
+  }
+  const VertexId a = FarthestVertex(g, hub).first;
+  std::vector<std::uint32_t> dist;
+  std::vector<VertexId> parent;
+  BfsWithParents(g, a, dist, parent);
+  VertexId b = a;
+  for (VertexId v = 0; v < n; ++v) {
+    if (dist[v] != kUnreachable && dist[v] > dist[b]) b = v;
+  }
+  std::uint32_t lower_bound = dist[b];
+
+  // Root iFUB at the midpoint of the a-b path.
+  VertexId mid = b;
+  for (std::uint32_t step = 0; step < dist[b] / 2; ++step) mid = parent[mid];
+
+  std::vector<std::uint32_t> level;
+  BfsDistances(g, mid, level);
+  std::uint32_t ecc_mid = 0;
+  for (std::uint32_t d : level) {
+    if (d != kUnreachable) ecc_mid = std::max(ecc_mid, d);
+  }
+  lower_bound = std::max(lower_bound, ecc_mid);
+
+  // Vertices at distance exactly i from mid ("fringe"), processed from the
+  // outermost level inwards; any vertex pair through level < i has distance
+  // <= 2(i-1), so once lower_bound >= 2(i-1) the bound is the diameter.
+  std::vector<std::vector<VertexId>> fringe(ecc_mid + 1);
+  for (VertexId v = 0; v < n; ++v) {
+    if (level[v] != kUnreachable) fringe[level[v]].push_back(v);
+  }
+  for (std::uint32_t i = ecc_mid; i > 0; --i) {
+    if (lower_bound >= 2 * i) break;
+    for (VertexId v : fringe[i]) {
+      lower_bound = std::max(lower_bound, Eccentricity(g, v));
+    }
+    if (lower_bound >= 2 * (i - 1)) break;
+  }
+  return lower_bound;
+}
+
+std::uint32_t DiameterByAllPairsBfs(const Graph& g) {
+  std::uint32_t best = 0;
+  std::vector<std::uint32_t> dist;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    BfsDistances(g, v, dist);
+    for (std::uint32_t d : dist) {
+      if (d != kUnreachable) best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+std::uint32_t KvccDiameterUpperBound(std::uint32_t n, std::uint32_t kappa) {
+  return (n - 2) / kappa + 1;
+}
+
+}  // namespace kvcc

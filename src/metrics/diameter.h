@@ -1,0 +1,29 @@
+// Exact graph diameter via the iFUB algorithm (Crescenzi et al.).
+//
+// The effectiveness study (paper Fig. 7) reports the average diameter of
+// all k-cores / k-ECCs / k-VCCs. Subgraphs of real-like graphs have small
+// diameter, which is exactly the regime where iFUB needs only a handful of
+// BFS runs instead of n.
+#ifndef KVCC_METRICS_DIAMETER_H_
+#define KVCC_METRICS_DIAMETER_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace kvcc {
+
+/// Exact diameter of a *connected* graph (0 for n <= 1). iFUB: worst case
+/// O(n m), typically a few BFS sweeps.
+std::uint32_t ExactDiameter(const Graph& g);
+
+/// Reference implementation: BFS from every vertex. O(n m); test oracle.
+std::uint32_t DiameterByAllPairsBfs(const Graph& g);
+
+/// The paper's Theorem 2 upper bound for a k-VCC: floor((n-2)/kappa) + 1.
+/// Requires kappa >= 1.
+std::uint32_t KvccDiameterUpperBound(std::uint32_t n, std::uint32_t kappa);
+
+}  // namespace kvcc
+
+#endif  // KVCC_METRICS_DIAMETER_H_

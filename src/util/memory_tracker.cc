@@ -1,0 +1,44 @@
+#include "util/memory_tracker.h"
+
+namespace kvcc {
+
+std::atomic<std::uint64_t> MemoryTracker::current_{0};
+std::atomic<std::uint64_t> MemoryTracker::peak_{0};
+std::atomic<bool> MemoryTracker::enabled_{false};
+
+bool MemoryTracker::Enabled() {
+  return enabled_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t MemoryTracker::CurrentBytes() {
+  return current_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t MemoryTracker::PeakBytes() {
+  return peak_.load(std::memory_order_relaxed);
+}
+
+void MemoryTracker::ResetPeak() {
+  peak_.store(current_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+}
+
+void MemoryTracker::RecordAlloc(std::size_t bytes) {
+  const std::uint64_t now =
+      current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  // Lock-free max update; racy misses are acceptable for measurement.
+  std::uint64_t prev = peak_.load(std::memory_order_relaxed);
+  while (now > prev &&
+         !peak_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryTracker::RecordFree(std::size_t bytes) {
+  current_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void MemoryTracker::MarkEnabled() {
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace kvcc

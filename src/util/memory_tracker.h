@@ -1,0 +1,44 @@
+// Live-heap accounting for the memory-usage experiment (paper Fig. 12).
+//
+// The counters below are bumped by global operator new/delete overrides that
+// live in new_delete_override.cc (target kvcc_memhook). Binaries that do not
+// link the hook target still link this header/TU; the counters simply stay
+// at zero and Enabled() reports false.
+#ifndef KVCC_UTIL_MEMORY_TRACKER_H_
+#define KVCC_UTIL_MEMORY_TRACKER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace kvcc {
+
+class MemoryTracker {
+ public:
+  /// True iff the operator new/delete accounting hooks are linked into this
+  /// binary (i.e., the counters are meaningful).
+  static bool Enabled();
+
+  /// Bytes of live heap allocated through operator new right now.
+  static std::uint64_t CurrentBytes();
+
+  /// High-water mark of CurrentBytes() since the last ResetPeak().
+  static std::uint64_t PeakBytes();
+
+  /// Resets the high-water mark to the current live size.
+  static void ResetPeak();
+
+  // --- internal: called by the allocation hooks ---
+  static void RecordAlloc(std::size_t bytes);
+  static void RecordFree(std::size_t bytes);
+  static void MarkEnabled();
+
+ private:
+  static std::atomic<std::uint64_t> current_;
+  static std::atomic<std::uint64_t> peak_;
+  static std::atomic<bool> enabled_;
+};
+
+}  // namespace kvcc
+
+#endif  // KVCC_UTIL_MEMORY_TRACKER_H_

@@ -1,0 +1,82 @@
+// Global operator new/delete overrides that feed MemoryTracker.
+//
+// Linked only into binaries that need live-heap measurements (the Fig. 12
+// bench and the memory tests); see target kvcc_memhook in src/CMakeLists.txt.
+// Uses malloc_usable_size() so frees can be accounted without a size header.
+
+#include <malloc.h>
+
+#include <cstdlib>
+#include <new>
+
+#include "util/memory_tracker.h"
+
+namespace {
+
+void* TrackedAlloc(std::size_t size) {
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  kvcc::MemoryTracker::RecordAlloc(malloc_usable_size(p));
+  return p;
+}
+
+void* TrackedAllocNoThrow(std::size_t size) noexcept {
+  void* p = std::malloc(size);
+  if (p != nullptr) kvcc::MemoryTracker::RecordAlloc(malloc_usable_size(p));
+  return p;
+}
+
+void TrackedFree(void* p) noexcept {
+  if (p == nullptr) return;
+  kvcc::MemoryTracker::RecordFree(malloc_usable_size(p));
+  std::free(p);
+}
+
+struct HookRegistrar {
+  HookRegistrar() { kvcc::MemoryTracker::MarkEnabled(); }
+};
+HookRegistrar hook_registrar;
+
+}  // namespace
+
+void* operator new(std::size_t size) { return TrackedAlloc(size); }
+void* operator new[](std::size_t size) { return TrackedAlloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return TrackedAllocNoThrow(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return TrackedAllocNoThrow(size);
+}
+
+void operator delete(void* p) noexcept { TrackedFree(p); }
+void operator delete[](void* p) noexcept { TrackedFree(p); }
+void operator delete(void* p, std::size_t) noexcept { TrackedFree(p); }
+void operator delete[](void* p, std::size_t) noexcept { TrackedFree(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  TrackedFree(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  TrackedFree(p);
+}
+
+// Aligned forms (C++17). malloc_usable_size works for aligned_alloc too.
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                               (size + static_cast<std::size_t>(align) - 1) /
+                                   static_cast<std::size_t>(align) *
+                                   static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  kvcc::MemoryTracker::RecordAlloc(malloc_usable_size(p));
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+void operator delete(void* p, std::align_val_t) noexcept { TrackedFree(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { TrackedFree(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  TrackedFree(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  TrackedFree(p);
+}

@@ -1,0 +1,31 @@
+#include "util/process_memory.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace kvcc {
+namespace {
+
+std::uint64_t ReadStatusField(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  const std::size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0) {
+      std::sscanf(line + field_len, "%lu", &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+}  // namespace
+
+std::uint64_t CurrentRssBytes() { return ReadStatusField("VmRSS:"); }
+
+std::uint64_t PeakRssBytes() { return ReadStatusField("VmHWM:"); }
+
+}  // namespace kvcc

@@ -1,0 +1,19 @@
+// Process-level memory readings from /proc (Linux).
+#ifndef KVCC_UTIL_PROCESS_MEMORY_H_
+#define KVCC_UTIL_PROCESS_MEMORY_H_
+
+#include <cstdint>
+
+namespace kvcc {
+
+/// Current resident set size of this process, in bytes. Returns 0 if the
+/// value cannot be read (non-Linux platforms).
+std::uint64_t CurrentRssBytes();
+
+/// Peak resident set size (VmHWM) of this process, in bytes. Returns 0 if
+/// unavailable. Note: this is process-lifetime cumulative and never drops.
+std::uint64_t PeakRssBytes();
+
+}  // namespace kvcc
+
+#endif  // KVCC_UTIL_PROCESS_MEMORY_H_

@@ -1,0 +1,31 @@
+// Wall-clock timing helper used by the benchmark harnesses.
+#ifndef KVCC_UTIL_TIMER_H_
+#define KVCC_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace kvcc {
+
+/// Monotonic wall-clock stopwatch. Started on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace kvcc
+
+#endif  // KVCC_UTIL_TIMER_H_

@@ -1,0 +1,134 @@
+#include "kvcc/sparse_certificate.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/fixtures.h"
+#include "graph/connected_components.h"
+#include "graph/graph.h"
+#include "kvcc/connectivity.h"
+#include "support/brute_force.h"
+#include "util/random.h"
+
+namespace kvcc {
+namespace {
+
+TEST(SparseCertificateTest, EdgeBoundKTimesNMinusOne) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Graph g = kvcc::testing::RandomConnectedGraph(40, 200, seed);
+    for (std::uint32_t k = 1; k <= 5; ++k) {
+      const auto sc = BuildSparseCertificate(g, k);
+      EXPECT_LE(sc.certificate.NumEdges(),
+                static_cast<std::uint64_t>(k) * (g.NumVertices() - 1))
+          << "seed=" << seed << " k=" << k;
+      EXPECT_EQ(sc.certificate.NumVertices(), g.NumVertices());
+    }
+  }
+}
+
+TEST(SparseCertificateTest, CertificateIsSubgraph) {
+  const Graph g = kvcc::testing::RandomConnectedGraph(30, 120, 3);
+  const auto sc = BuildSparseCertificate(g, 3);
+  for (const auto& [u, v] : sc.certificate.Edges()) {
+    EXPECT_TRUE(g.HasEdge(u, v));
+  }
+}
+
+TEST(SparseCertificateTest, SparseGraphIsItsOwnCertificate) {
+  // A tree has n-1 edges; the k=3 certificate must keep all of them.
+  const Graph g = kvcc::testing::RandomConnectedGraph(20, 0, 5);
+  const auto sc = BuildSparseCertificate(g, 3);
+  EXPECT_EQ(sc.certificate.NumEdges(), g.NumEdges());
+}
+
+// The defining property (paper Thm 5): SC is k-connected iff G is.
+TEST(SparseCertificateTest, PreservesKConnectivity) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Graph g = kvcc::testing::RandomConnectedGraph(12, 30, seed);
+    for (std::uint32_t k = 1; k <= 4; ++k) {
+      const auto sc = BuildSparseCertificate(g, k);
+      EXPECT_EQ(IsKVertexConnected(sc.certificate, k),
+                IsKVertexConnected(g, k))
+          << "seed=" << seed << " k=" << k;
+    }
+  }
+}
+
+// The stronger property the algorithm relies on: for every vertex set S
+// with |S| < k, G - S and SC - S have identical connected components.
+TEST(SparseCertificateTest, SameComponentsUnderSmallRemovals) {
+  Rng rng(99);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Graph g = kvcc::testing::RandomConnectedGraph(16, 40, seed);
+    const std::uint32_t k = 3;
+    const auto sc = BuildSparseCertificate(g, k);
+    for (int trial = 0; trial < 40; ++trial) {
+      // Random removal set of size < k.
+      std::vector<VertexId> removal;
+      const auto size = static_cast<std::uint32_t>(rng.NextBounded(k));
+      while (removal.size() < size) {
+        const auto v = static_cast<VertexId>(
+            rng.NextBounded(g.NumVertices()));
+        if (std::find(removal.begin(), removal.end(), v) == removal.end()) {
+          removal.push_back(v);
+        }
+      }
+      std::vector<VertexId> keep;
+      for (VertexId v = 0; v < g.NumVertices(); ++v) {
+        if (std::find(removal.begin(), removal.end(), v) == removal.end()) {
+          keep.push_back(v);
+        }
+      }
+      const auto comps_g = ConnectedComponents(g.InducedSubgraph(keep));
+      const auto comps_sc =
+          ConnectedComponents(sc.certificate.InducedSubgraph(keep));
+      EXPECT_EQ(comps_g, comps_sc) << "seed=" << seed;
+    }
+  }
+}
+
+TEST(SparseCertificateTest, SideGroupsAreLocallyKConnected) {
+  // Paper Thm 10: every pair inside a side-group is locally k-connected
+  // *in the original graph*.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Graph g = kvcc::testing::RandomConnectedGraph(14, 50, seed);
+    const std::uint32_t k = 3;
+    const auto sc = BuildSparseCertificate(g, k);
+    for (const auto& group : sc.groups) {
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        for (std::size_t j = i + 1; j < group.size(); ++j) {
+          const std::uint32_t kappa = kvcc::testing::BruteLocalVertexConnectivity(
+              g, group[i], group[j]);
+          EXPECT_GE(kappa, k) << "seed=" << seed;
+        }
+      }
+    }
+  }
+}
+
+TEST(SparseCertificateTest, GroupOfIsConsistent) {
+  const Graph g = kvcc::testing::RandomConnectedGraph(20, 80, 7);
+  const auto sc = BuildSparseCertificate(g, 3);
+  for (std::uint32_t gi = 0; gi < sc.groups.size(); ++gi) {
+    for (VertexId v : sc.groups[gi]) {
+      EXPECT_EQ(sc.group_of[v], gi);
+    }
+  }
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (sc.group_of[v] != kNoGroup) {
+      const auto& group = sc.groups[sc.group_of[v]];
+      EXPECT_TRUE(std::binary_search(group.begin(), group.end(), v));
+    }
+  }
+}
+
+TEST(SparseCertificateTest, CompleteGraphCertificateStaysKConnected) {
+  const Graph g = CompleteGraph(8);
+  const auto sc = BuildSparseCertificate(g, 4);
+  EXPECT_TRUE(IsKVertexConnected(sc.certificate, 4));
+  EXPECT_LE(sc.certificate.NumEdges(), 4u * 7u);
+}
+
+}  // namespace
+}  // namespace kvcc

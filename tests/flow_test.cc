@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "flow/stoer_wagner.h"
+#include "flow/unit_flow_network.h"
+#include "gen/fixtures.h"
+#include "graph/graph.h"
+#include "support/brute_force.h"
+
+namespace kvcc {
+namespace {
+
+TEST(UnitFlowNetworkTest, SingleArc) {
+  UnitFlowNetwork net(2);
+  net.AddArc(0, 1, 1);
+  EXPECT_EQ(net.MaxFlow(0, 1), 1);
+}
+
+TEST(UnitFlowNetworkTest, NoPathMeansZeroFlow) {
+  UnitFlowNetwork net(3);
+  net.AddArc(0, 1, 1);
+  EXPECT_EQ(net.MaxFlow(0, 2), 0);
+}
+
+TEST(UnitFlowNetworkTest, ParallelPaths) {
+  // Two disjoint 0 -> 3 paths.
+  UnitFlowNetwork net(4);
+  net.AddArc(0, 1, 1);
+  net.AddArc(1, 3, 1);
+  net.AddArc(0, 2, 1);
+  net.AddArc(2, 3, 1);
+  EXPECT_EQ(net.MaxFlow(0, 3), 2);
+}
+
+TEST(UnitFlowNetworkTest, BottleneckLimitsFlow) {
+  // 0 -> 1 (cap 3), 1 -> 2 (cap 1): flow is 1.
+  UnitFlowNetwork net(3);
+  net.AddArc(0, 1, 3);
+  net.AddArc(1, 2, 1);
+  EXPECT_EQ(net.MaxFlow(0, 2), 1);
+}
+
+TEST(UnitFlowNetworkTest, RequiresAugmentingPathReRouting) {
+  // Classic case where a greedy path must be re-routed via residual arcs.
+  //   0 -> 1, 0 -> 2, 1 -> 2, 1 -> 3, 2 -> 3 (all cap 1): max flow 2.
+  UnitFlowNetwork net(4);
+  net.AddArc(0, 1, 1);
+  net.AddArc(0, 2, 1);
+  net.AddArc(1, 2, 1);
+  net.AddArc(1, 3, 1);
+  net.AddArc(2, 3, 1);
+  EXPECT_EQ(net.MaxFlow(0, 3), 2);
+}
+
+TEST(UnitFlowNetworkTest, EarlyTerminationHonorsLimit) {
+  // 5 parallel paths; ask for at most 2.
+  UnitFlowNetwork net(12);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    net.AddArc(0, 2 + i, 1);
+    net.AddArc(2 + i, 1, 1);
+  }
+  EXPECT_EQ(net.MaxFlow(0, 1, 2), 2);
+  net.ResetFlow();
+  EXPECT_EQ(net.MaxFlow(0, 1), 5);
+}
+
+TEST(UnitFlowNetworkTest, ResetFlowRestoresCapacities) {
+  UnitFlowNetwork net(2);
+  net.AddArc(0, 1, 1);
+  EXPECT_EQ(net.MaxFlow(0, 1), 1);
+  EXPECT_EQ(net.MaxFlow(0, 1), 0);  // Saturated without reset.
+  net.ResetFlow();
+  EXPECT_EQ(net.MaxFlow(0, 1), 1);
+}
+
+TEST(UnitFlowNetworkTest, ResidualReachabilityDefinesCut) {
+  // 0 -> 1 -> 2; after saturating, only 0 is residual-reachable.
+  UnitFlowNetwork net(3);
+  net.AddArc(0, 1, 1);
+  net.AddArc(1, 2, 1);
+  EXPECT_EQ(net.MaxFlow(0, 2), 1);
+  const auto reachable = net.ResidualReachable(0);
+  EXPECT_TRUE(reachable[0]);
+  EXPECT_FALSE(reachable[2]);
+}
+
+TEST(StoerWagnerTest, TrivialGraphs) {
+  EXPECT_EQ(StoerWagnerMinCut(Graph()).weight, GlobalMinCut::kInfiniteCut);
+  EXPECT_EQ(StoerWagnerMinCut(CompleteGraph(1)).weight,
+            GlobalMinCut::kInfiniteCut);
+}
+
+TEST(StoerWagnerTest, DisconnectedGraphHasZeroCut) {
+  const Graph g = Graph::FromEdges(
+      4, std::vector<std::pair<VertexId, VertexId>>{{0, 1}, {2, 3}});
+  const auto cut = StoerWagnerMinCut(g);
+  EXPECT_EQ(cut.weight, 0u);
+}
+
+TEST(StoerWagnerTest, BridgeGraph) {
+  // Two triangles joined by one edge: min cut 1.
+  const Graph g = Graph::FromEdges(
+      6, std::vector<std::pair<VertexId, VertexId>>{
+             {0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}});
+  const auto cut = StoerWagnerMinCut(g);
+  EXPECT_EQ(cut.weight, 1u);
+  EXPECT_TRUE(cut.side.size() == 3 || cut.side.size() == 3u);
+}
+
+TEST(StoerWagnerTest, CompleteGraphCut) {
+  // K_5: min cut isolates one vertex, weight 4.
+  EXPECT_EQ(StoerWagnerMinCut(CompleteGraph(5)).weight, 4u);
+}
+
+TEST(StoerWagnerTest, CycleCutIsTwo) {
+  EXPECT_EQ(StoerWagnerMinCut(CycleGraph(9)).weight, 2u);
+}
+
+TEST(StoerWagnerTest, EarlyStopReturnsValidSubThresholdCut) {
+  const Graph g = MakeFigure1Graph().graph;
+  const auto cut = StoerWagnerMinCut(g, /*early_stop_below=*/4);
+  ASSERT_LT(cut.weight, 4u);
+  ASSERT_FALSE(cut.side.empty());
+  ASSERT_LT(cut.side.size(), g.NumVertices());
+  // Verify the reported weight matches the actual crossing-edge count.
+  std::vector<bool> in_side(g.NumVertices(), false);
+  for (VertexId v : cut.side) in_side[v] = true;
+  std::uint64_t crossing = 0;
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v : g.Neighbors(u)) {
+      if (u < v && in_side[u] != in_side[v]) ++crossing;
+    }
+  }
+  EXPECT_EQ(crossing, cut.weight);
+}
+
+// Property: Stoer–Wagner matches the brute-force min cut on random graphs.
+TEST(StoerWagnerTest, MatchesBruteForceOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const Graph g = kvcc::testing::RandomConnectedGraph(10, seed % 14, seed);
+    const auto cut = StoerWagnerMinCut(g);
+    EXPECT_EQ(cut.weight, kvcc::testing::BruteMinEdgeCutWeight(g))
+        << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace kvcc

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/barabasi_albert.h"
+#include "gen/dataset_suite.h"
+#include "gen/erdos_renyi.h"
+#include "gen/fixtures.h"
+#include "gen/harary.h"
+#include "gen/planted_vcc.h"
+#include "gen/rmat.h"
+#include "gen/sampler.h"
+#include "gen/watts_strogatz.h"
+#include "graph/connected_components.h"
+#include "kvcc/connectivity.h"
+
+namespace kvcc {
+namespace {
+
+TEST(ErdosRenyiTest, GnmProducesRequestedEdges) {
+  const Graph g = ErdosRenyiGnm(100, 250, 1);
+  EXPECT_EQ(g.NumVertices(), 100u);
+  EXPECT_EQ(g.NumEdges(), 250u);
+}
+
+TEST(ErdosRenyiTest, GnmClampsToMaxPairs) {
+  const Graph g = ErdosRenyiGnm(5, 1000, 1);
+  EXPECT_EQ(g.NumEdges(), 10u);  // K5.
+}
+
+TEST(ErdosRenyiTest, Deterministic) {
+  const Graph a = ErdosRenyiGnm(50, 120, 7);
+  const Graph b = ErdosRenyiGnm(50, 120, 7);
+  EXPECT_TRUE(a.SameStructure(b));
+  const Graph c = ErdosRenyiGnm(50, 120, 8);
+  EXPECT_FALSE(a.SameStructure(c));
+}
+
+TEST(ErdosRenyiTest, GnpEdgeCountNearExpectation) {
+  const Graph g = ErdosRenyiGnp(200, 0.1, 3);
+  const double expected = 0.1 * 200 * 199 / 2;
+  EXPECT_GT(g.NumEdges(), expected * 0.7);
+  EXPECT_LT(g.NumEdges(), expected * 1.3);
+  EXPECT_EQ(ErdosRenyiGnp(50, 0.0, 1).NumEdges(), 0u);
+  EXPECT_EQ(ErdosRenyiGnp(10, 1.0, 1).NumEdges(), 45u);
+}
+
+TEST(BarabasiAlbertTest, DegreesAndConnectivity) {
+  const Graph g = BarabasiAlbert(500, 3, 11);
+  EXPECT_EQ(g.NumVertices(), 500u);
+  // Every non-seed vertex attaches with 3 edges.
+  for (VertexId v = 4; v < 500; ++v) EXPECT_GE(g.Degree(v), 3u);
+  EXPECT_TRUE(IsConnected(g));
+  // Preferential attachment: the max degree should be clearly above 3.
+  EXPECT_GT(g.MaxDegree(), 12u);
+}
+
+TEST(RmatTest, ProducesSkewedGraph) {
+  RmatConfig config;
+  config.scale = 10;
+  config.edges = 4096;
+  config.seed = 5;
+  const Graph g = Rmat(config);
+  EXPECT_EQ(g.NumVertices(), 1024u);
+  EXPECT_GT(g.NumEdges(), 2000u);  // Some dedup loss is expected.
+  EXPECT_GT(g.MaxDegree(), 30u);   // Heavy tail.
+}
+
+TEST(WattsStrogatzTest, LatticeWithoutRewiring) {
+  const Graph g = WattsStrogatz(20, 2, 0.0, 1);
+  EXPECT_EQ(g.NumEdges(), 40u);
+  for (VertexId v = 0; v < 20; ++v) EXPECT_EQ(g.Degree(v), 4u);
+}
+
+TEST(HararyTest, ExactConnectivityAcrossParities) {
+  // All four (k, n) parity combinations.
+  EXPECT_EQ(VertexConnectivity(HararyGraph(4, 10)), 4u);  // even k
+  EXPECT_EQ(VertexConnectivity(HararyGraph(4, 11)), 4u);
+  EXPECT_EQ(VertexConnectivity(HararyGraph(5, 10)), 5u);  // odd k, even n
+  EXPECT_EQ(VertexConnectivity(HararyGraph(5, 11)), 5u);  // odd k, odd n
+}
+
+TEST(HararyTest, EdgeCountIsMinimal) {
+  // H_{k,n} has ceil(k*n/2) edges (k*n/2 + possibly one extra for odd/odd).
+  const Graph g = HararyGraph(4, 9);
+  EXPECT_EQ(g.NumEdges(), 18u);
+  const Graph h = HararyGraph(3, 8);
+  EXPECT_EQ(h.NumEdges(), 12u);
+}
+
+TEST(HararyTest, RejectsInvalidArguments) {
+  EXPECT_THROW(HararyGraph(0, 5), std::invalid_argument);
+  EXPECT_THROW(HararyGraph(5, 5), std::invalid_argument);
+}
+
+TEST(PlantedVccTest, EnforcesSeparationBudget) {
+  PlantedVccConfig config;
+  config.num_blocks = 3;
+  config.connectivity = 4;
+  config.overlap = 2;      // 2*(2+1) = 6 >= 4: must throw.
+  config.bridge_edges = 1;
+  EXPECT_THROW(GeneratePlantedVcc(config), std::invalid_argument);
+}
+
+TEST(PlantedVccTest, BlocksAreConnectedAndCorrectCount) {
+  PlantedVccConfig config;
+  config.num_blocks = 4;
+  config.block_size_min = 14;
+  config.block_size_max = 18;
+  config.connectivity = 6;
+  config.overlap = 1;
+  config.bridge_edges = 1;
+  config.seed = 9;
+  const PlantedVccGraph planted = GeneratePlantedVcc(config);
+  EXPECT_EQ(planted.blocks.size(), 4u);
+  EXPECT_EQ(planted.min_separating_k, 5u);
+  EXPECT_EQ(planted.max_connected_k, 6u);
+  for (const auto& block : planted.blocks) {
+    const Graph sub = planted.graph.InducedSubgraph(block);
+    EXPECT_TRUE(IsKVertexConnected(sub, config.connectivity));
+  }
+  EXPECT_TRUE(IsConnected(planted.graph));
+}
+
+TEST(PlantedVccTest, MixedConnectivities) {
+  PlantedVccConfig config;
+  config.num_blocks = 4;
+  config.block_size_min = 20;
+  config.block_size_max = 24;
+  config.connectivities = {8, 10, 12, 14};
+  config.overlap = 2;
+  config.bridge_edges = 1;
+  config.seed = 4;
+  const PlantedVccGraph planted = GeneratePlantedVcc(config);
+  EXPECT_EQ(planted.max_connected_k, 8u);
+  EXPECT_EQ(planted.min_separating_k, 7u);
+}
+
+TEST(SamplerTest, VertexSamplingKeepsAboutFraction) {
+  const Graph g = ErdosRenyiGnm(1000, 3000, 2);
+  const Graph sample = SampleVerticesInduced(g, 0.5, 17);
+  EXPECT_GT(sample.NumVertices(), 400u);
+  EXPECT_LT(sample.NumVertices(), 600u);
+  // Edges of the sample are edges of g (via labels).
+  for (const auto& [u, v] : sample.Edges()) {
+    EXPECT_TRUE(g.HasEdge(sample.LabelOf(u), sample.LabelOf(v)));
+  }
+}
+
+TEST(SamplerTest, EdgeSamplingVerticesAreEndpoints) {
+  const Graph g = ErdosRenyiGnm(300, 900, 3);
+  const Graph sample = SampleEdges(g, 0.4, 23);
+  EXPECT_GT(sample.NumEdges(), 250u);
+  EXPECT_LT(sample.NumEdges(), 470u);
+  for (VertexId v = 0; v < sample.NumVertices(); ++v) {
+    EXPECT_GE(sample.Degree(v), 1u);  // Every kept vertex has an edge.
+  }
+}
+
+TEST(SamplerTest, FullFractionIsIdentity) {
+  const Graph g = ErdosRenyiGnm(100, 300, 4);
+  EXPECT_EQ(SampleEdges(g, 1.0, 1).NumEdges(), g.NumEdges());
+  EXPECT_EQ(SampleVerticesInduced(g, 1.0, 1).NumVertices(),
+            g.NumVertices());
+}
+
+TEST(DatasetSuiteTest, NamesAndInfo) {
+  const auto names = DatasetNames();
+  EXPECT_EQ(names.size(), 7u);
+  for (const auto& name : names) {
+    const DatasetInfo info = GetDatasetInfo(name);
+    EXPECT_EQ(info.name, name);
+    EXPECT_FALSE(info.paper_counterpart.empty());
+  }
+  EXPECT_THROW(GetDatasetInfo("bogus"), std::invalid_argument);
+}
+
+TEST(DatasetSuiteTest, SmallScaleGenerationIsDeterministic) {
+  const Graph a = GenerateDataset("dblp", 0.05);
+  const Graph b = GenerateDataset("dblp", 0.05);
+  EXPECT_TRUE(a.SameStructure(b));
+  EXPECT_GT(a.NumVertices(), 500u);
+  EXPECT_GT(a.NumEdges(), a.NumVertices());
+}
+
+TEST(DatasetSuiteTest, EffectivenessKsMatchPaperAxes) {
+  EXPECT_EQ(EffectivenessKs("youtube"),
+            (std::vector<std::uint32_t>{6, 7, 8, 9}));
+  EXPECT_EQ(EffectivenessKs("dblp"),
+            (std::vector<std::uint32_t>{15, 16, 17, 18}));
+  EXPECT_EQ(EfficiencyKs(),
+            (std::vector<std::uint32_t>{20, 25, 30, 35, 40}));
+}
+
+TEST(FixtureTest, Figure1SelfConsistent) {
+  const Figure1Fixture f = MakeFigure1Graph();
+  EXPECT_EQ(f.graph.NumVertices(), 23u);
+  EXPECT_EQ(f.expected_vccs.size(), 4u);
+  // Each expected block is 4-connected.
+  for (const auto& block : f.expected_vccs) {
+    EXPECT_TRUE(IsKVertexConnected(f.graph.InducedSubgraph(block), 4));
+  }
+}
+
+TEST(FixtureTest, ClassicGraphSizes) {
+  EXPECT_EQ(PetersenGraph().NumEdges(), 15u);
+  EXPECT_EQ(GridGraph(3, 3).NumEdges(), 12u);
+  EXPECT_EQ(CompleteBipartite(2, 3).NumEdges(), 6u);
+  EXPECT_EQ(TwoCliquesSharing(5, 2).NumVertices(), 8u);
+}
+
+}  // namespace
+}  // namespace kvcc

@@ -1,0 +1,155 @@
+#include "kvcc/global_cut.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/fixtures.h"
+#include "gen/harary.h"
+#include "graph/bfs.h"
+#include "graph/graph.h"
+#include "support/brute_force.h"
+
+namespace kvcc {
+namespace {
+
+std::vector<KvccOptions> AllVariants() {
+  return {KvccOptions::Vcce(), KvccOptions::VcceN(), KvccOptions::VcceG(),
+          KvccOptions::VcceStar()};
+}
+
+bool CutIsValid(const Graph& g, const std::vector<VertexId>& cut,
+                std::uint32_t k) {
+  if (cut.empty() || cut.size() >= k) return false;
+  std::vector<VertexId> keep;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (std::find(cut.begin(), cut.end(), v) == cut.end()) keep.push_back(v);
+  }
+  const Graph remainder = g.InducedSubgraph(keep);
+  if (remainder.NumVertices() == 0) return false;
+  std::vector<std::uint32_t> dist;
+  const std::uint32_t reached = BfsDistances(remainder, 0, dist);
+  return reached < remainder.NumVertices();
+}
+
+TEST(GlobalCutTest, KConnectedGraphsHaveNoCut) {
+  KvccStats stats;
+  for (const auto& options : AllVariants()) {
+    EXPECT_TRUE(GlobalCut(CompleteGraph(6), 4, {}, options, &stats)
+                    .cut.empty());
+    EXPECT_TRUE(
+        GlobalCut(PetersenGraph(), 3, {}, options, &stats).cut.empty());
+    EXPECT_TRUE(
+        GlobalCut(HararyGraph(5, 12), 5, {}, options, &stats).cut.empty());
+    EXPECT_TRUE(
+        GlobalCut(CompleteBipartite(4, 5), 4, {}, options, &stats)
+            .cut.empty());
+  }
+}
+
+TEST(GlobalCutTest, FindsCutInTwoCliquesSharingVertices) {
+  // Two K6 sharing 2 vertices: a 3-cut-free graph has kappa = 2.
+  const Graph g = TwoCliquesSharing(6, 2);
+  KvccStats stats;
+  for (const auto& options : AllVariants()) {
+    const auto result = GlobalCut(g, 4, {}, options, &stats);
+    ASSERT_FALSE(result.cut.empty());
+    EXPECT_TRUE(CutIsValid(g, result.cut, 4));
+    EXPECT_EQ(result.cut.size(), 2u);  // The two shared vertices.
+  }
+}
+
+TEST(GlobalCutTest, PetersenAtKEqualsFourYieldsCut) {
+  // kappa(Petersen) = 3 < 4, so a cut of size 3 must surface.
+  KvccStats stats;
+  for (const auto& options : AllVariants()) {
+    const auto result = GlobalCut(PetersenGraph(), 4, {}, options, &stats);
+    ASSERT_FALSE(result.cut.empty());
+    EXPECT_TRUE(CutIsValid(PetersenGraph(), result.cut, 4));
+  }
+}
+
+TEST(GlobalCutTest, HararyJustBelowThreshold) {
+  // H_{5,12} is exactly 5-connected: no cut at k=5, a cut at k=6.
+  const Graph g = HararyGraph(5, 12);
+  KvccStats stats;
+  for (const auto& options : AllVariants()) {
+    EXPECT_TRUE(GlobalCut(g, 5, {}, options, &stats).cut.empty());
+    const auto result = GlobalCut(g, 6, {}, options, &stats);
+    ASSERT_FALSE(result.cut.empty());
+    EXPECT_TRUE(CutIsValid(g, result.cut, 6));
+  }
+}
+
+// All variants must agree with the brute-force k-connectivity verdict and
+// produce valid cuts on random inputs with minimum degree >= k.
+TEST(GlobalCutTest, RandomGraphsMatchBruteForce) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    // Dense-ish random graphs so the min-degree precondition usually holds.
+    const Graph g = kvcc::testing::RandomConnectedGraph(11, 28, seed);
+    for (std::uint32_t k = 2; k <= 4; ++k) {
+      // GlobalCut requires min degree >= k (KVCC-ENUM peels first);
+      // emulate by skipping graphs violating it.
+      bool degree_ok = true;
+      for (VertexId v = 0; v < g.NumVertices(); ++v) {
+        if (g.Degree(v) < k) degree_ok = false;
+      }
+      if (!degree_ok) continue;
+      const bool expected = kvcc::testing::BruteIsKVertexConnected(g, k);
+      for (const auto& options : AllVariants()) {
+        KvccStats stats;
+        const auto result = GlobalCut(g, k, {}, options, &stats);
+        EXPECT_EQ(result.cut.empty(), expected)
+            << "seed=" << seed << " k=" << k;
+        if (!result.cut.empty()) {
+          EXPECT_TRUE(CutIsValid(g, result.cut, k))
+              << "seed=" << seed << " k=" << k;
+        }
+        EXPECT_EQ(stats.certificate_cut_fallbacks, 0u);
+      }
+    }
+  }
+}
+
+TEST(GlobalCutTest, StatsAccountForEveryPhase1Vertex) {
+  const Graph g = HararyGraph(4, 30);
+  KvccStats stats;
+  const auto result =
+      GlobalCut(g, 4, {}, KvccOptions::VcceStar(), &stats);
+  EXPECT_TRUE(result.cut.empty());
+  // Phase 1 considers exactly n-1 vertices when no cut is found.
+  EXPECT_EQ(stats.Phase1Total(), g.NumVertices() - 1);
+  const double share_sum = stats.Ns1Share() + stats.Ns2Share() +
+                           stats.GsShare() + stats.NonPrunedShare();
+  EXPECT_NEAR(share_sum, 1.0, 1e-9);
+}
+
+TEST(GlobalCutTest, SweepsReduceFlowTests) {
+  // On a k-connected graph (so phase 1 cannot exit early) where every
+  // vertex is a strong side-vertex, VCCE* must run far fewer flow tests
+  // than plain VCCE. In K_{10,12} same-side vertices share >= 10 common
+  // neighbors, so Theorem 8 holds everywhere.
+  const Graph g = CompleteBipartite(10, 12);
+  KvccStats basic_stats, star_stats;
+  EXPECT_TRUE(
+      GlobalCut(g, 6, {}, KvccOptions::Vcce(), &basic_stats).cut.empty());
+  EXPECT_TRUE(
+      GlobalCut(g, 6, {}, KvccOptions::VcceStar(), &star_stats).cut.empty());
+  EXPECT_LT(star_stats.loc_cut_flow_calls, basic_stats.loc_cut_flow_calls);
+  EXPECT_GT(star_stats.strong_side_vertices_found, 0u);
+}
+
+TEST(GlobalCutTest, DisablingCertificateStillCorrect) {
+  KvccOptions options = KvccOptions::VcceStar();
+  options.sparse_certificate = false;
+  KvccStats stats;
+  EXPECT_TRUE(GlobalCut(CompleteGraph(7), 4, {}, options, &stats)
+                  .cut.empty());
+  const Graph g = TwoCliquesSharing(6, 2);
+  const auto result = GlobalCut(g, 4, {}, options, &stats);
+  EXPECT_TRUE(CutIsValid(g, result.cut, 4));
+  EXPECT_EQ(stats.certificate_edges_kept, 0u);  // Never built one.
+}
+
+}  // namespace
+}  // namespace kvcc

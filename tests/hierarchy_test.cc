@@ -1,0 +1,97 @@
+#include "kvcc/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/fixtures.h"
+#include "gen/planted_vcc.h"
+#include "graph/graph.h"
+#include "kvcc/kvcc_enum.h"
+#include "support/brute_force.h"
+
+namespace kvcc {
+namespace {
+
+TEST(HierarchyTest, CliqueHasSingleChain) {
+  const Graph g = CompleteGraph(6);
+  const KvccHierarchy h = BuildKvccHierarchy(g);
+  EXPECT_EQ(h.MaxLevel(), 5u);  // K6 is 5-connected with 6 > 5 vertices.
+  for (std::uint32_t k = 1; k <= 5; ++k) {
+    ASSERT_EQ(h.NodesAtLevel(k).size(), 1u) << "k=" << k;
+    EXPECT_EQ(h.nodes[h.NodesAtLevel(k)[0]].vertices.size(), 6u);
+  }
+  EXPECT_TRUE(h.NodesAtLevel(6).empty());
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(h.CohesionOf(v), 5u);
+}
+
+TEST(HierarchyTest, EveryLevelMatchesDirectEnumeration) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Graph g = kvcc::testing::RandomConnectedGraph(30, 70, seed);
+    const KvccHierarchy h = BuildKvccHierarchy(g);
+    for (std::uint32_t k = 1; k <= h.MaxLevel() + 1; ++k) {
+      EXPECT_EQ(h.ComponentsAtLevel(k), EnumerateKVccs(g, k).components)
+          << "seed=" << seed << " k=" << k;
+    }
+  }
+}
+
+TEST(HierarchyTest, ParentsNestChildren) {
+  const Figure1Fixture f = MakeFigure1Graph();
+  const KvccHierarchy h = BuildKvccHierarchy(f.graph);
+  for (const auto& node : h.nodes) {
+    if (node.parent == HierarchyNode::kNoParent) {
+      EXPECT_EQ(node.level, 1u);
+      continue;
+    }
+    const HierarchyNode& parent = h.nodes[node.parent];
+    EXPECT_EQ(parent.level + 1, node.level);
+    // The child's vertex set is contained in the parent's.
+    EXPECT_TRUE(std::includes(parent.vertices.begin(),
+                              parent.vertices.end(),
+                              node.vertices.begin(), node.vertices.end()));
+  }
+}
+
+TEST(HierarchyTest, Figure1LevelsTellTheStory) {
+  const Figure1Fixture f = MakeFigure1Graph();
+  const KvccHierarchy h = BuildKvccHierarchy(f.graph);
+  // Level 1: one connected component. Level 4: the four blocks.
+  EXPECT_EQ(h.NodesAtLevel(1).size(), 1u);
+  EXPECT_EQ(h.ComponentsAtLevel(4), f.expected_vccs);
+  // The K7 blocks survive to level 6, the K6 blocks only to level 5.
+  EXPECT_EQ(h.NodesAtLevel(6).size(), 2u);
+  EXPECT_EQ(h.NodesAtLevel(7).size(), 0u);
+}
+
+TEST(HierarchyTest, CohesionOfTracksDeepestLevel) {
+  const Graph g = TwoCliquesSharing(6, 2);  // K6s sharing 2 vertices.
+  const KvccHierarchy h = BuildKvccHierarchy(g);
+  // Every vertex is in a K6 -> cohesion 5; shared vertices no higher.
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(h.CohesionOf(v), 5u);
+  }
+  EXPECT_EQ(h.CohesionOf(9999), 0u);  // Out of range is safe.
+}
+
+TEST(HierarchyTest, MaxLevelCapRespected) {
+  const Graph g = CompleteGraph(8);
+  const KvccHierarchy h = BuildKvccHierarchy(g, /*max_level=*/3);
+  EXPECT_EQ(h.MaxLevel(), 3u);
+}
+
+TEST(HierarchyTest, PlantedBlocksAppearAtTheirLevel) {
+  PlantedVccConfig config;
+  config.num_blocks = 4;
+  config.block_size_min = 14;
+  config.block_size_max = 18;
+  config.connectivity = 6;
+  config.overlap = 1;
+  config.bridge_edges = 1;
+  config.seed = 12;
+  const PlantedVccGraph planted = GeneratePlantedVcc(config);
+  const KvccHierarchy h =
+      BuildKvccHierarchy(planted.graph, planted.max_connected_k);
+  EXPECT_EQ(h.ComponentsAtLevel(planted.max_connected_k), planted.blocks);
+}
+
+}  // namespace
+}  // namespace kvcc

@@ -1,0 +1,69 @@
+// Linked against kvcc_memhook: the global operator new/delete overrides
+// must feed the MemoryTracker counters.
+
+#include "util/memory_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "util/process_memory.h"
+
+namespace kvcc {
+namespace {
+
+TEST(MemoryTrackerTest, HooksAreLinkedIn) {
+  EXPECT_TRUE(MemoryTracker::Enabled());
+}
+
+TEST(MemoryTrackerTest, AllocationRaisesCurrentAndPeak) {
+  MemoryTracker::ResetPeak();
+  const std::uint64_t before = MemoryTracker::CurrentBytes();
+  {
+    std::vector<char> block(1 << 20);  // 1 MiB
+    EXPECT_GE(MemoryTracker::CurrentBytes(), before + (1 << 20));
+    EXPECT_GE(MemoryTracker::PeakBytes(), before + (1 << 20));
+  }
+  // Freed: current returns to (roughly) the starting level...
+  EXPECT_LT(MemoryTracker::CurrentBytes(), before + (1 << 18));
+  // ...but the peak remembers the high-water mark.
+  EXPECT_GE(MemoryTracker::PeakBytes(), before + (1 << 20));
+}
+
+TEST(MemoryTrackerTest, ResetPeakDropsToCurrent) {
+  {
+    std::vector<char> block(1 << 20);
+  }
+  MemoryTracker::ResetPeak();
+  EXPECT_LT(MemoryTracker::PeakBytes(),
+            MemoryTracker::CurrentBytes() + (1 << 16));
+}
+
+TEST(MemoryTrackerTest, ArrayAndScalarFormsBalance) {
+  MemoryTracker::ResetPeak();
+  const std::uint64_t before = MemoryTracker::CurrentBytes();
+  // Touch the memory through a volatile pointer so the compiler cannot
+  // elide the allocation.
+  int* volatile p = new int[100000];
+  p[0] = 1;
+  p[99999] = 2;
+  EXPECT_GE(MemoryTracker::CurrentBytes(), before + 400000);
+  delete[] p;
+  double* volatile q = new double(3.5);
+  *q = 4.5;
+  delete q;
+  // Back near the starting level (gtest itself may allocate a little).
+  EXPECT_LE(MemoryTracker::CurrentBytes(), before + 4096);
+}
+
+TEST(ProcessMemoryTest, RssReadable) {
+  EXPECT_GT(CurrentRssBytes(), 0u);
+  if (PeakRssBytes() == 0) {
+    GTEST_SKIP() << "kernel does not expose VmHWM (e.g. sandboxed /proc)";
+  }
+  EXPECT_GE(PeakRssBytes(), CurrentRssBytes());
+}
+
+}  // namespace
+}  // namespace kvcc

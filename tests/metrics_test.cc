@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "gen/fixtures.h"
+#include "graph/graph.h"
+#include "metrics/clustering.h"
+#include "metrics/cohesion_report.h"
+#include "metrics/density.h"
+#include "metrics/diameter.h"
+#include "support/brute_force.h"
+
+namespace kvcc {
+namespace {
+
+TEST(DiameterTest, ClassicGraphs) {
+  EXPECT_EQ(ExactDiameter(CompleteGraph(7)), 1u);
+  EXPECT_EQ(ExactDiameter(PathGraph(9)), 8u);
+  EXPECT_EQ(ExactDiameter(CycleGraph(10)), 5u);
+  EXPECT_EQ(ExactDiameter(CycleGraph(9)), 4u);
+  EXPECT_EQ(ExactDiameter(GridGraph(3, 4)), 5u);
+  EXPECT_EQ(ExactDiameter(PetersenGraph()), 2u);
+  EXPECT_EQ(ExactDiameter(CompleteGraph(1)), 0u);
+  EXPECT_EQ(ExactDiameter(Graph()), 0u);
+}
+
+TEST(DiameterTest, IfubMatchesAllPairsOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const Graph g = kvcc::testing::RandomConnectedGraph(
+        40, 10 + seed * 7 % 80, seed);
+    EXPECT_EQ(ExactDiameter(g), DiameterByAllPairsBfs(g)) << "seed=" << seed;
+  }
+}
+
+TEST(DiameterTest, PaperUpperBoundFormula) {
+  // Fig. 1 narrative: a 4-VCC with 9 vertices and kappa = 4 has
+  // diameter <= floor((9-2)/4) + 1 = 2.
+  EXPECT_EQ(KvccDiameterUpperBound(9, 4), 2u);
+  EXPECT_EQ(KvccDiameterUpperBound(100, 7), 15u);
+}
+
+TEST(DensityTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(EdgeDensity(CompleteGraph(5)), 1.0);
+  EXPECT_DOUBLE_EQ(EdgeDensity(CycleGraph(4)), 4.0 * 2 / (4 * 3));
+  EXPECT_DOUBLE_EQ(EdgeDensity(CompleteGraph(1)), 0.0);
+  EXPECT_DOUBLE_EQ(EdgeDensity(Graph()), 0.0);
+}
+
+TEST(ClusteringTest, TriangleIsFullyClustered) {
+  const Graph g = CompleteGraph(3);
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(g), 1.0);
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(g, 0), 1.0);
+}
+
+TEST(ClusteringTest, StarHasZeroClustering) {
+  const Graph g = Graph::FromEdges(
+      5, std::vector<std::pair<VertexId, VertexId>>{
+             {0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(g), 0.0);
+}
+
+TEST(ClusteringTest, PaperFormulaOnMixedGraph) {
+  // Triangle 0-1-2 plus pendant 3 attached to 0.
+  const Graph g = Graph::FromEdges(
+      4, std::vector<std::pair<VertexId, VertexId>>{
+             {0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  // c(0) = 1 triangle / C(3,2) = 1/3; c(1) = c(2) = 1; c(3) = 0 (deg 1).
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(g, 0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(g, 1), 1.0);
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(g, 3), 0.0);
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(g),
+                   (1.0 / 3.0 + 1.0 + 1.0 + 0.0) / 4.0);
+}
+
+TEST(ClusteringTest, TriangleCounts) {
+  EXPECT_EQ(TriangleCount(CompleteGraph(5)), 10u);  // C(5,3)
+  EXPECT_EQ(TriangleCount(CycleGraph(6)), 0u);
+  const auto per_vertex = TrianglesPerVertex(CompleteGraph(4));
+  for (VertexId v = 0; v < 4; ++v) EXPECT_EQ(per_vertex[v], 3u);
+}
+
+TEST(CohesionReportTest, AveragesOverComponents) {
+  const Graph g = CompleteGraph(6);
+  const std::vector<std::vector<VertexId>> comps = {{0, 1, 2}, {3, 4, 5}};
+  const CohesionSummary summary = SummarizeComponents(g, comps);
+  EXPECT_EQ(summary.component_count, 2u);
+  EXPECT_DOUBLE_EQ(summary.avg_diameter, 1.0);
+  EXPECT_DOUBLE_EQ(summary.avg_edge_density, 1.0);
+  EXPECT_DOUBLE_EQ(summary.avg_clustering, 1.0);
+  EXPECT_DOUBLE_EQ(summary.avg_size, 3.0);
+}
+
+TEST(CohesionReportTest, EmptyInput) {
+  const CohesionSummary summary = SummarizeComponents(CompleteGraph(3), {});
+  EXPECT_EQ(summary.component_count, 0u);
+  EXPECT_DOUBLE_EQ(summary.avg_diameter, 0.0);
+}
+
+}  // namespace
+}  // namespace kvcc

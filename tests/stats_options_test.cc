@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "kvcc/options.h"
+#include "kvcc/stats.h"
+
+namespace kvcc {
+namespace {
+
+TEST(KvccOptionsTest, PresetsMatchPaperVariants) {
+  const KvccOptions vcce = KvccOptions::Vcce();
+  EXPECT_FALSE(vcce.neighbor_sweep);
+  EXPECT_FALSE(vcce.group_sweep);
+  EXPECT_TRUE(vcce.sparse_certificate);  // Certificate is part of Alg. 2.
+
+  const KvccOptions vcce_n = KvccOptions::VcceN();
+  EXPECT_TRUE(vcce_n.neighbor_sweep);
+  EXPECT_FALSE(vcce_n.group_sweep);
+
+  const KvccOptions vcce_g = KvccOptions::VcceG();
+  EXPECT_FALSE(vcce_g.neighbor_sweep);
+  EXPECT_TRUE(vcce_g.group_sweep);
+
+  const KvccOptions star = KvccOptions::VcceStar();
+  EXPECT_TRUE(star.neighbor_sweep);
+  EXPECT_TRUE(star.group_sweep);
+}
+
+TEST(KvccOptionsTest, FromVariantName) {
+  EXPECT_TRUE(KvccOptions::FromVariantName("VCCE*").neighbor_sweep);
+  EXPECT_FALSE(KvccOptions::FromVariantName("VCCE").neighbor_sweep);
+  EXPECT_TRUE(KvccOptions::FromVariantName("VCCE-N").neighbor_sweep);
+  EXPECT_TRUE(KvccOptions::FromVariantName("VCCE-G").group_sweep);
+  EXPECT_THROW(KvccOptions::FromVariantName("nope"), std::invalid_argument);
+}
+
+TEST(KvccStatsTest, SharesSumToOne) {
+  KvccStats stats;
+  stats.phase1_pruned_ns1 = 10;
+  stats.phase1_pruned_ns2 = 20;
+  stats.phase1_pruned_gs = 30;
+  stats.phase1_tested_flow = 25;
+  stats.phase1_tested_trivial = 15;
+  EXPECT_EQ(stats.Phase1Total(), 100u);
+  EXPECT_DOUBLE_EQ(stats.Ns1Share(), 0.10);
+  EXPECT_DOUBLE_EQ(stats.Ns2Share(), 0.20);
+  EXPECT_DOUBLE_EQ(stats.GsShare(), 0.30);
+  EXPECT_DOUBLE_EQ(stats.NonPrunedShare(), 0.40);
+}
+
+TEST(KvccStatsTest, EmptyStatsShares) {
+  const KvccStats stats;
+  EXPECT_DOUBLE_EQ(stats.Ns1Share(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.NonPrunedShare(), 0.0);
+}
+
+TEST(KvccStatsTest, AddAccumulates) {
+  KvccStats a, b;
+  a.loc_cut_flow_calls = 5;
+  a.kvccs_found = 1;
+  b.loc_cut_flow_calls = 7;
+  b.overlap_partitions = 2;
+  a.Add(b);
+  EXPECT_EQ(a.loc_cut_flow_calls, 12u);
+  EXPECT_EQ(a.kvccs_found, 1u);
+  EXPECT_EQ(a.overlap_partitions, 2u);
+}
+
+TEST(KvccStatsTest, ToStringMentionsKeyCounters) {
+  KvccStats stats;
+  stats.kvccs_found = 3;
+  const std::string s = stats.ToString();
+  EXPECT_NE(s.find("kvccs=3"), std::string::npos);
+  EXPECT_NE(s.find("phase1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kvcc

@@ -1,0 +1,43 @@
+// Exponential reference implementations used as oracles in property tests.
+// They rely on nothing but BFS connectivity, so they are independent of the
+// max-flow / certificate / sweep machinery under test.
+#ifndef KVCC_TESTS_SUPPORT_BRUTE_FORCE_H_
+#define KVCC_TESTS_SUPPORT_BRUTE_FORCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kvcc::testing {
+
+/// kappa(u, v) by enumerating removal sets of increasing size;
+/// kvcc::kInfiniteConnectivity (== UINT32_MAX) when (u,v) in E.
+/// Feasible for n <= ~16.
+std::uint32_t BruteLocalVertexConnectivity(const Graph& g, VertexId u,
+                                           VertexId v);
+
+/// Definition-2 check by enumerating all removal sets of size < k.
+bool BruteIsKVertexConnected(const Graph& g, std::uint32_t k);
+
+/// kappa(g) by the definition (smallest disconnecting set; n-1 for K_n).
+std::uint32_t BruteVertexConnectivity(const Graph& g);
+
+/// All k-VCCs by enumerating every vertex subset (n <= ~14): keep subsets
+/// W with |W| > k whose induced subgraph is k-vertex-connected, drop
+/// non-maximal ones. Output format matches KvccResult::components.
+std::vector<std::vector<VertexId>> BruteKVccs(const Graph& g,
+                                              std::uint32_t k);
+
+/// Global minimum edge cut weight by enumerating bipartitions (n <= ~14).
+/// Returns UINT64_MAX for graphs with < 2 vertices.
+std::uint64_t BruteMinEdgeCutWeight(const Graph& g);
+
+/// Uniform random connected graph: random spanning tree plus `extra_edges`
+/// uniform random extra edges. Deterministic in seed.
+Graph RandomConnectedGraph(VertexId n, std::uint64_t extra_edges,
+                           std::uint64_t seed);
+
+}  // namespace kvcc::testing
+
+#endif  // KVCC_TESTS_SUPPORT_BRUTE_FORCE_H_

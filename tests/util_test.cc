@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace kvcc {
+namespace {
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    (void)c;
+  }
+  Rng a2(42), c2(43);
+  EXPECT_NE(a2.Next(), c2.Next());
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t v = rng.NextBounded(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  // All 10 values should appear over 3000 draws.
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, NextBoundedRoughlyUniform) {
+  Rng rng(11);
+  std::uint64_t counts[4] = {0, 0, 0, 0};
+  const int draws = 40000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.NextBounded(4)];
+  for (const std::uint64_t count : counts) {
+    EXPECT_GT(count, draws / 4 * 0.9);
+    EXPECT_LT(count, draws / 4 * 1.1);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.NextInRange(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  const double t0 = timer.ElapsedSeconds();
+  EXPECT_GE(t0, 0.0);
+  // Busy-wait a tiny amount.
+  volatile std::uint64_t sink = 0;
+  for (int i = 0; i < 2000000; ++i) sink += i;
+  const double t1 = timer.ElapsedSeconds();
+  EXPECT_GE(t1, t0);
+  timer.Restart();
+  EXPECT_LE(timer.ElapsedSeconds(), t1 + 1.0);
+  EXPECT_GE(timer.ElapsedMillis(), 0.0);
+}
+
+}  // namespace
+}  // namespace kvcc

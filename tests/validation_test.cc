@@ -1,0 +1,89 @@
+#include "kvcc/validation.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/fixtures.h"
+#include "graph/graph.h"
+#include "kvcc/kvcc_enum.h"
+#include "support/brute_force.h"
+
+namespace kvcc {
+namespace {
+
+TEST(ValidationTest, AcceptsCorrectDecomposition) {
+  const Figure1Fixture f = MakeFigure1Graph();
+  const auto result = EnumerateKVccs(f.graph, 4);
+  const ValidationReport report =
+      ValidateKvccResult(f.graph, 4, result.components);
+  EXPECT_TRUE(report.ok)
+      << (report.violations.empty() ? "" : report.violations.front());
+}
+
+TEST(ValidationTest, RejectsUndersizedComponent) {
+  const Graph g = CompleteGraph(6);
+  // A 4-element "4-VCC" violates |V| > k.
+  const std::vector<std::vector<VertexId>> bad = {{0, 1, 2, 3}};
+  const ValidationReport report = ValidateKvccResult(g, 4, bad);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(ValidationTest, RejectsDisconnectedClaim) {
+  const Graph g = TwoCliquesSharing(6, 2);
+  // Claiming the whole graph as one 4-VCC: it has a 2-cut.
+  std::vector<VertexId> all;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) all.push_back(v);
+  const ValidationReport report = ValidateKvccResult(g, 4, {all});
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(ValidationTest, RejectsExcessiveOverlap) {
+  const Graph g = CompleteGraph(8);
+  // Two fabricated components overlapping in 5 >= k vertices.
+  const std::vector<std::vector<VertexId>> bad = {{0, 1, 2, 3, 4, 5},
+                                                  {1, 2, 3, 4, 5, 6}};
+  const ValidationReport report = ValidateKvccResult(g, 4, bad);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(ValidationTest, RejectsMissedComponent) {
+  const Figure1Fixture f = MakeFigure1Graph();
+  const auto result = EnumerateKVccs(f.graph, 4);
+  // Drop one component: completeness check must notice the k-connected
+  // uncovered region.
+  auto partial = result.components;
+  partial.pop_back();
+  const ValidationReport report = ValidateKvccResult(f.graph, 4, partial);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(ValidationTest, RejectsNestedComponents) {
+  const Graph g = CompleteGraph(9);
+  const std::vector<std::vector<VertexId>> bad = {
+      {0, 1, 2, 3, 4, 5, 6, 7, 8}, {0, 1, 2, 3, 4}};
+  const ValidationReport report = ValidateKvccResult(g, 4, bad);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(ValidationTest, RejectsOutOfRangeVertex) {
+  const Graph g = CompleteGraph(6);
+  const std::vector<std::vector<VertexId>> bad = {{0, 1, 2, 3, 99}};
+  const ValidationReport report = ValidateKvccResult(g, 4, bad);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(ValidationTest, RandomDecompositionsAlwaysValidate) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const Graph g = kvcc::testing::RandomConnectedGraph(40, 110, seed);
+    for (std::uint32_t k = 2; k <= 5; ++k) {
+      const auto result = EnumerateKVccs(g, k);
+      const ValidationReport report =
+          ValidateKvccResult(g, k, result.components);
+      EXPECT_TRUE(report.ok)
+          << "seed=" << seed << " k=" << k << ": "
+          << (report.violations.empty() ? "" : report.violations.front());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kvcc

@@ -1,0 +1,184 @@
+// kvcc — command-line front end for the library.
+//
+// Subcommands:
+//   decompose   enumerate the k-VCCs of an edge-list graph
+//   hierarchy   print the full k-VCC hierarchy (cohesive blocking)
+//   connectivity  report kappa(G) / test k-vertex-connectivity
+//   models      compare k-core / k-ECC / k-VCC on one graph
+//   generate    write a synthetic dataset stand-in as an edge list
+//
+// Graphs are plain SNAP-style edge lists ('#'/'%' comments, "u v" lines).
+// Output components are printed one per line in original-id space.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ecc/kecc.h"
+#include "gen/dataset_suite.h"
+#include "graph/graph_io.h"
+#include "graph/k_core.h"
+#include "kvcc/connectivity.h"
+#include "kvcc/hierarchy.h"
+#include "kvcc/kvcc_enum.h"
+#include "kvcc/validation.h"
+#include "metrics/cohesion_report.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace kvcc;
+
+int Usage() {
+  std::cerr <<
+      "usage: kvcc <command> [args]\n"
+      "  decompose <graph> <k> [--variant=VCCE*|VCCE|VCCE-N|VCCE-G]\n"
+      "            [--validate] [--stats] [--quiet]\n"
+      "  hierarchy <graph> [max_k]\n"
+      "  connectivity <graph> [k]\n"
+      "  models <graph> <k>\n"
+      "  generate <dataset> <out-file> [scale]\n"
+      "  datasets\n";
+  return 2;
+}
+
+void PrintComponents(const Graph& g,
+                     const std::vector<std::vector<VertexId>>& components) {
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    std::cout << "component " << i << " (" << components[i].size() << "):";
+    for (VertexId v : components[i]) std::cout << " " << g.LabelOf(v);
+    std::cout << "\n";
+  }
+}
+
+int CmdDecompose(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  KvccOptions options = KvccOptions::VcceStar();
+  bool validate = false, stats = false, quiet = false;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    if (args[i].rfind("--variant=", 0) == 0) {
+      options = KvccOptions::FromVariantName(args[i].substr(10));
+    } else if (args[i] == "--validate") {
+      validate = true;
+    } else if (args[i] == "--stats") {
+      stats = true;
+    } else if (args[i] == "--quiet") {
+      quiet = true;
+    } else {
+      return Usage();
+    }
+  }
+  const Graph g = ReadEdgeListFile(args[0]);
+  const auto k = static_cast<std::uint32_t>(std::stoul(args[1]));
+  Timer timer;
+  const KvccResult result = EnumerateKVccs(g, k, options);
+  std::cerr << "|V|=" << g.NumVertices() << " |E|=" << g.NumEdges() << " k="
+            << k << ": " << result.components.size() << " k-VCCs in "
+            << timer.ElapsedMillis() << "ms\n";
+  if (!quiet) PrintComponents(g, result.components);
+  if (stats) std::cerr << result.stats.ToString();
+  if (validate) {
+    const ValidationReport report =
+        ValidateKvccResult(g, k, result.components);
+    if (report.ok) {
+      std::cerr << "validation: OK\n";
+    } else {
+      std::cerr << "validation FAILED:\n";
+      for (const auto& violation : report.violations) {
+        std::cerr << "  - " << violation << "\n";
+      }
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int CmdHierarchy(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  const Graph g = ReadEdgeListFile(args[0]);
+  const std::uint32_t max_k =
+      args.size() > 1 ? static_cast<std::uint32_t>(std::stoul(args[1])) : 0;
+  const KvccHierarchy hierarchy = BuildKvccHierarchy(g, max_k);
+  for (std::uint32_t k = 1; k <= hierarchy.MaxLevel(); ++k) {
+    const auto& nodes = hierarchy.NodesAtLevel(k);
+    std::cout << "level " << k << ": " << nodes.size() << " component(s)";
+    std::size_t largest = 0;
+    for (std::size_t index : nodes) {
+      largest = std::max(largest, hierarchy.nodes[index].vertices.size());
+    }
+    std::cout << ", largest " << largest << "\n";
+  }
+  return 0;
+}
+
+int CmdConnectivity(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  const Graph g = ReadEdgeListFile(args[0]);
+  if (args.size() > 1) {
+    const auto k = static_cast<std::uint32_t>(std::stoul(args[1]));
+    const bool yes = IsKVertexConnected(g, k);
+    std::cout << (yes ? "yes" : "no") << ": graph is "
+              << (yes ? "" : "NOT ") << k << "-vertex-connected\n";
+    return yes ? 0 : 1;
+  }
+  std::cout << "kappa(G) = " << VertexConnectivity(g) << "\n";
+  return 0;
+}
+
+int CmdModels(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  const Graph g = ReadEdgeListFile(args[0]);
+  const auto k = static_cast<std::uint32_t>(std::stoul(args[1]));
+  const auto core = KCoreVertices(g, k);
+  const auto eccs = KEdgeConnectedComponents(g, k);
+  const auto vccs = EnumerateKVccs(g, k).components;
+  std::cout << "k=" << k << "\n  k-core: " << core.size() << " vertices\n"
+            << "  k-ECCs: " << eccs.size() << "\n  k-VCCs: " << vccs.size()
+            << "\n";
+  const CohesionSummary summary = SummarizeComponents(g, vccs);
+  std::cout << "  k-VCC avg diameter " << summary.avg_diameter
+            << ", avg density " << summary.avg_edge_density
+            << ", avg clustering " << summary.avg_clustering << "\n";
+  return 0;
+}
+
+int CmdGenerate(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  const double scale = args.size() > 2 ? std::atof(args[2].c_str()) : 1.0;
+  const Graph g = GenerateDataset(args[0], scale);
+  WriteEdgeListFile(g, args[1]);
+  std::cerr << "wrote " << args[1] << ": |V|=" << g.NumVertices()
+            << " |E|=" << g.NumEdges() << "\n";
+  return 0;
+}
+
+int CmdDatasets() {
+  for (const auto& name : DatasetNames()) {
+    const DatasetInfo info = GetDatasetInfo(name);
+    std::cout << name << "\t" << info.family << "\t"
+              << info.paper_counterpart << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "decompose") return CmdDecompose(args);
+    if (command == "hierarchy") return CmdHierarchy(args);
+    if (command == "connectivity") return CmdConnectivity(args);
+    if (command == "models") return CmdModels(args);
+    if (command == "generate") return CmdGenerate(args);
+    if (command == "datasets") return CmdDatasets();
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+  return Usage();
+}
