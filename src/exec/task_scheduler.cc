@@ -1,0 +1,135 @@
+#include "exec/task_scheduler.h"
+
+#include <utility>
+
+namespace kvcc::exec {
+namespace {
+
+/// Worker id of the current thread while inside WorkerLoop; -1 elsewhere.
+/// Lets Submit route child tasks to the spawning worker's own deque.
+thread_local int tls_worker_id = -1;
+
+}  // namespace
+
+unsigned ResolveThreadCount(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+TaskScheduler::TaskScheduler(unsigned num_workers) {
+  if (num_workers == 0) num_workers = 1;
+  queues_.reserve(num_workers);
+  for (unsigned i = 0; i < num_workers; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+}
+
+TaskScheduler::~TaskScheduler() = default;
+
+void TaskScheduler::Submit(Task task) {
+  unsigned target;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++outstanding_;
+    const int self = tls_worker_id;
+    if (self >= 0 && static_cast<unsigned>(self) < queues_.size()) {
+      target = static_cast<unsigned>(self);
+    } else {
+      target = next_seed_queue_++ % num_workers();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++submit_seq_;  // After the push: sleepers re-scan once they see it.
+  }
+  wake_cv_.notify_one();
+}
+
+bool TaskScheduler::TryPopOwn(unsigned worker, Task& task) {
+  WorkerQueue& q = *queues_[worker];
+  std::lock_guard<std::mutex> lock(q.mutex);
+  if (q.tasks.empty()) return false;
+  task = std::move(q.tasks.back());  // LIFO: newest subtree, cache-hot.
+  q.tasks.pop_back();
+  return true;
+}
+
+bool TaskScheduler::TrySteal(unsigned thief, Task& task) {
+  const unsigned n = num_workers();
+  for (unsigned offset = 1; offset < n; ++offset) {
+    WorkerQueue& q = *queues_[(thief + offset) % n];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (q.tasks.empty()) continue;
+    task = std::move(q.tasks.front());  // FIFO: oldest = largest subtree.
+    q.tasks.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void TaskScheduler::WorkerLoop(unsigned worker) {
+  tls_worker_id = static_cast<int>(worker);
+  Task task;
+  while (true) {
+    // Snapshot the submit sequence *before* scanning: any task pushed
+    // before the snapshot is visible to the scan, and any task pushed
+    // after it advances submit_seq_, so the wait below cannot sleep
+    // through a submission.
+    std::uint64_t seen;
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      if (done_) break;
+      seen = submit_seq_;
+    }
+    if (TryPopOwn(worker, task) || TrySteal(worker, task)) {
+      try {
+        task(worker);
+      } catch (...) {
+        // Record the first failure and keep draining so the counter still
+        // reaches zero; Run() rethrows after the workers join. Matches the
+        // serial path, where the exception reaches the caller directly.
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      task = nullptr;  // Release captures before possibly blocking.
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      if (--outstanding_ == 0) {
+        done_ = true;
+        wake_cv_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    wake_cv_.wait(lock,
+                  [&] { return done_ || submit_seq_ != seen; });
+    if (done_) break;
+  }
+  tls_worker_id = -1;
+}
+
+void TaskScheduler::Run() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (outstanding_ == 0) {
+      done_ = true;
+      return;
+    }
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(num_workers());
+  for (unsigned i = 0; i < num_workers(); ++i) {
+    threads.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  for (std::thread& t : threads) t.join();
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace kvcc::exec

@@ -1,0 +1,95 @@
+// Work-stealing task scheduler for recursive decomposition workloads.
+//
+// The k-VCC recursion (and any divide-and-conquer over graphs) produces a
+// dynamic tree of independent tasks: processing one work item may spawn
+// several child items. This scheduler runs such a tree to quiescence on a
+// fixed set of worker threads:
+//
+//   * each worker owns a deque; the owner pushes/pops at the back (LIFO,
+//     keeps the working set cache-hot and the deque shallow), thieves steal
+//     from the front (FIFO, steals the largest remaining subtrees first);
+//   * tasks submitted from within a task go to the submitting worker's own
+//     deque, so a worker keeps draining its subtree until someone steals;
+//   * termination is detected with a global outstanding-task counter:
+//     when it drops to zero no task is running or queued, so no new task
+//     can ever appear and the workers shut down.
+//
+// Tasks receive their worker's id (0 <= id < num_workers), which callers
+// use to index per-worker scratch state without any synchronization.
+//
+// Determinism note: the scheduler makes no ordering guarantees between
+// tasks. Callers that need deterministic output must make each task a pure
+// function of its input and canonicalize (e.g. sort) the merged results —
+// exactly what the k-VCC engine does.
+#ifndef KVCC_EXEC_TASK_SCHEDULER_H_
+#define KVCC_EXEC_TASK_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kvcc::exec {
+
+/// Maps a user-facing thread-count request to a concrete worker count:
+/// 0 = one worker per hardware thread, otherwise the request itself.
+unsigned ResolveThreadCount(unsigned requested);
+
+class TaskScheduler {
+ public:
+  /// A task body; the argument is the executing worker's id.
+  using Task = std::function<void(unsigned worker)>;
+
+  /// Creates `num_workers` (>= 1) workers. Threads are spawned by Run().
+  explicit TaskScheduler(unsigned num_workers);
+  ~TaskScheduler();
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  unsigned num_workers() const { return static_cast<unsigned>(queues_.size()); }
+
+  /// Enqueues a task. Callable before Run() (seeding) and from within a
+  /// running task (spawning children); in the latter case the task lands on
+  /// the calling worker's own deque.
+  void Submit(Task task);
+
+  /// Runs until every submitted task (including tasks submitted while
+  /// running) has completed, then joins the workers. Call at most once.
+  /// If any task threw, the first recorded exception is rethrown here
+  /// (after all remaining tasks have still been drained).
+  void Run();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  bool TryPopOwn(unsigned worker, Task& task);
+  bool TrySteal(unsigned thief, Task& task);
+  void WorkerLoop(unsigned worker);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+
+  // Tasks submitted but not yet finished; 0 <=> quiescent.
+  std::uint64_t outstanding_ = 0;
+  // Bumped (under state_mutex_) after every queue push. An idle worker
+  // snapshots it *before* scanning the queues and sleeps only while it is
+  // unchanged, so a Submit racing with the scan can never be missed.
+  std::uint64_t submit_seq_ = 0;
+  std::mutex state_mutex_;
+  std::condition_variable wake_cv_;
+  std::exception_ptr first_error_;  // first task failure; rethrown by Run()
+  bool done_ = false;
+  unsigned next_seed_queue_ = 0;  // round-robin target for external submits
+};
+
+}  // namespace kvcc::exec
+
+#endif  // KVCC_EXEC_TASK_SCHEDULER_H_

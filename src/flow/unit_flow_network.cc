@@ -4,8 +4,24 @@
 
 namespace kvcc {
 
-UnitFlowNetwork::UnitFlowNetwork(std::uint32_t num_nodes)
-    : first_(num_nodes, kNone) {}
+UnitFlowNetwork::UnitFlowNetwork(std::uint32_t num_nodes) {
+  Reinit(num_nodes);
+}
+
+void UnitFlowNetwork::Reinit(std::uint32_t num_nodes) {
+  first_.assign(num_nodes, kNone);
+  next_.clear();
+  arc_to_.clear();
+  arc_cap_.clear();
+  arc_init_cap_.clear();
+  dirty_pairs_.clear();
+  dirty_epoch_.clear();
+  reset_epoch_ = 1;
+  level_.resize(num_nodes);
+  iter_.resize(num_nodes);
+  node_epoch_.assign(num_nodes, 0);
+  phase_epoch_ = 0;
+}
 
 std::uint32_t UnitFlowNetwork::AddArc(std::uint32_t from, std::uint32_t to,
                                       std::int32_t capacity) {
@@ -23,26 +39,30 @@ std::uint32_t UnitFlowNetwork::AddArc(std::uint32_t from, std::uint32_t to,
 
   arc_init_cap_.push_back(capacity);
   arc_init_cap_.push_back(0);
+  dirty_epoch_.push_back(0);  // one stamp per (forward, reverse) pair
   return forward;
 }
 
 bool UnitFlowNetwork::BuildLevels(std::uint32_t s, std::uint32_t t) {
-  level_.assign(first_.size(), kNone);
+  if (++phase_epoch_ == 0) {  // Epoch wrapped: invalidate all stamps.
+    std::fill(node_epoch_.begin(), node_epoch_.end(), 0);
+    phase_epoch_ = 1;
+  }
   bfs_queue_.clear();
-  level_[s] = 0;
+  Visit(s, 0);
   bfs_queue_.push_back(s);
   for (std::size_t head = 0; head < bfs_queue_.size(); ++head) {
     const std::uint32_t u = bfs_queue_[head];
     for (std::uint32_t arc = first_[u]; arc != kNone; arc = next_[arc]) {
       const std::uint32_t w = arc_to_[arc];
-      if (arc_cap_[arc] > 0 && level_[w] == kNone) {
-        level_[w] = level_[u] + 1;
+      if (arc_cap_[arc] > 0 && LevelOf(w) == kNone) {
+        Visit(w, level_[u] + 1);
         if (w == t) return true;  // Shortest t level found; enough to phase.
         bfs_queue_.push_back(w);
       }
     }
   }
-  return level_[t] != kNone;
+  return LevelOf(t) != kNone;
 }
 
 std::int32_t UnitFlowNetwork::FindAugmentingPath(std::uint32_t s,
@@ -57,14 +77,16 @@ std::int32_t UnitFlowNetwork::FindAugmentingPath(std::uint32_t s,
         bottleneck = std::min(bottleneck, arc_cap_[arc]);
       }
       for (std::uint32_t arc : path_) {
+        MarkDirty(arc);
         arc_cap_[arc] -= bottleneck;
         arc_cap_[arc ^ 1] += bottleneck;
       }
       return bottleneck;
     }
+    // u is on a path from s, so the level BFS visited it and seeded iter_[u].
     std::uint32_t& arc = iter_[u];
-    while (arc != kNone && !(arc_cap_[arc] > 0 &&
-                             level_[arc_to_[arc]] == level_[u] + 1)) {
+    while (arc != kNone &&
+           !(arc_cap_[arc] > 0 && LevelOf(arc_to_[arc]) == level_[u] + 1)) {
       arc = next_[arc];
     }
     if (arc == kNone) {
@@ -83,7 +105,6 @@ std::int32_t UnitFlowNetwork::MaxFlow(std::uint32_t s, std::uint32_t t,
                                       std::int32_t limit) {
   std::int32_t flow = 0;
   while (flow < limit && BuildLevels(s, t)) {
-    iter_ = first_;
     while (flow < limit) {
       const std::int32_t got = FindAugmentingPath(s, t, limit - flow);
       if (got == 0) break;
@@ -93,7 +114,17 @@ std::int32_t UnitFlowNetwork::MaxFlow(std::uint32_t s, std::uint32_t t,
   return flow;
 }
 
-void UnitFlowNetwork::ResetFlow() { arc_cap_ = arc_init_cap_; }
+void UnitFlowNetwork::ResetFlow() {
+  for (const std::uint32_t pair : dirty_pairs_) {
+    arc_cap_[2 * pair] = arc_init_cap_[2 * pair];
+    arc_cap_[2 * pair + 1] = arc_init_cap_[2 * pair + 1];
+  }
+  dirty_pairs_.clear();
+  if (++reset_epoch_ == 0) {  // Epoch wrapped: invalidate all stamps.
+    std::fill(dirty_epoch_.begin(), dirty_epoch_.end(), 0);
+    reset_epoch_ = 1;
+  }
+}
 
 std::vector<bool> UnitFlowNetwork::ResidualReachable(std::uint32_t s) const {
   std::vector<bool> reachable(first_.size(), false);

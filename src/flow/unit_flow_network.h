@@ -6,6 +6,16 @@
 // O(sqrt(n) * m) (Even & Tarjan 1975). Because the algorithm only needs to
 // know whether the flow reaches k, MaxFlow takes a `limit` and stops as soon
 // as the flow value reaches it, giving O(min(sqrt(n), k) * m).
+//
+// The network is built for heavy reuse: the enumeration runs O(n * delta)
+// flow probes against the same network, so per-probe state is restored in
+// time proportional to what the probe touched, not to the network size.
+//   * ResetFlow restores only the arcs dirtied by augmentation (a dirty-pair
+//     list with epoch stamps), not the whole capacity array.
+//   * Per-phase Dinic state (levels and arc iterators) is seeded lazily via
+//     epoch stamps during the level BFS instead of O(n) assignments.
+//   * Reinit() rebinds the object to a new node count while keeping every
+//     internal buffer's capacity, so one instance serves a whole recursion.
 #ifndef KVCC_FLOW_UNIT_FLOW_NETWORK_H_
 #define KVCC_FLOW_UNIT_FLOW_NETWORK_H_
 
@@ -19,6 +29,10 @@ namespace kvcc {
 class UnitFlowNetwork {
  public:
   explicit UnitFlowNetwork(std::uint32_t num_nodes);
+
+  /// Clears all arcs and resets the node count, reusing the allocated
+  /// buffers. Equivalent to constructing a fresh network of `num_nodes`.
+  void Reinit(std::uint32_t num_nodes);
 
   /// Adds arc from->to with the given capacity (reverse arc capacity 0).
   /// Returns the forward arc index.
@@ -34,7 +48,8 @@ class UnitFlowNetwork {
                        std::int32_t limit = kNoLimit);
 
   /// Restores all capacities to their construction-time values so the
-  /// network can be reused for another (s, t) query.
+  /// network can be reused for another (s, t) query. O(arcs dirtied since
+  /// the previous reset), not O(total arcs).
   void ResetFlow();
 
   /// Nodes reachable from s along positive-residual arcs. Valid after
@@ -56,6 +71,28 @@ class UnitFlowNetwork {
   std::int32_t FindAugmentingPath(std::uint32_t s, std::uint32_t t,
                                   std::int32_t limit);
 
+  /// Seeds v's per-phase state (BFS level + arc iterator) for the current
+  /// phase epoch.
+  void Visit(std::uint32_t v, std::uint32_t level) {
+    node_epoch_[v] = phase_epoch_;
+    level_[v] = level;
+    iter_[v] = first_[v];
+  }
+
+  /// v's BFS level in the current phase; kNone if the BFS never reached it.
+  std::uint32_t LevelOf(std::uint32_t v) const {
+    return node_epoch_[v] == phase_epoch_ ? level_[v] : kNone;
+  }
+
+  /// Records that `arc`'s capacity pair deviates from its initial values.
+  void MarkDirty(std::uint32_t arc) {
+    const std::uint32_t pair = arc >> 1;
+    if (dirty_epoch_[pair] != reset_epoch_) {
+      dirty_epoch_[pair] = reset_epoch_;
+      dirty_pairs_.push_back(pair);
+    }
+  }
+
   // Linked adjacency: first_[node] -> arc index, next_[arc] -> next arc.
   std::vector<std::uint32_t> first_;
   std::vector<std::uint32_t> next_;
@@ -63,9 +100,16 @@ class UnitFlowNetwork {
   std::vector<std::int32_t> arc_cap_;
   std::vector<std::int32_t> arc_init_cap_;
 
-  // Dinic state, reused across calls.
+  // Arc pairs whose capacities differ from arc_init_cap_ (for ResetFlow).
+  std::vector<std::uint32_t> dirty_pairs_;
+  std::vector<std::uint32_t> dirty_epoch_;  // one stamp per arc pair
+  std::uint32_t reset_epoch_ = 1;
+
+  // Dinic per-phase state, seeded lazily against phase_epoch_.
   std::vector<std::uint32_t> level_;
   std::vector<std::uint32_t> iter_;
+  std::vector<std::uint32_t> node_epoch_;  // one stamp per node
+  std::uint32_t phase_epoch_ = 0;
   std::vector<std::uint32_t> bfs_queue_;
   std::vector<std::uint32_t> path_;
 

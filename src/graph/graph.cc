@@ -27,6 +27,15 @@ std::vector<VertexId> Graph::LabelsOf(std::span<const VertexId> vertices) const 
 }
 
 Graph Graph::InducedSubgraph(std::span<const VertexId> vertices) const {
+  return InduceImpl(vertices, /*as_root=*/false);
+}
+
+Graph Graph::InducedSubgraphAsRoot(std::span<const VertexId> vertices) const {
+  return InduceImpl(vertices, /*as_root=*/true);
+}
+
+Graph Graph::InduceImpl(std::span<const VertexId> vertices,
+                        bool as_root) const {
   std::vector<VertexId> sorted(vertices.begin(), vertices.end());
   std::sort(sorted.begin(), sorted.end());
   sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
@@ -60,7 +69,7 @@ Graph Graph::InducedSubgraph(std::span<const VertexId> vertices) const {
 
   sub.labels_.resize(sub.num_vertices_);
   for (VertexId i = 0; i < sub.num_vertices_; ++i) {
-    sub.labels_[i] = LabelOf(sorted[i]);
+    sub.labels_[i] = as_root ? sorted[i] : LabelOf(sorted[i]);
   }
   return sub;
 }

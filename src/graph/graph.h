@@ -71,6 +71,12 @@ class Graph {
   /// ignored). The result has contiguous ids and composed labels.
   Graph InducedSubgraph(std::span<const VertexId> vertices) const;
 
+  /// Like InducedSubgraph, but labels the result with *this graph's local
+  /// ids*, ignoring any labels this graph carries. Seeds a subgraph chain
+  /// that bottoms out here — equivalent to WithIdentityLabels()
+  /// .InducedSubgraph(vertices) without materializing the identity copy.
+  Graph InducedSubgraphAsRoot(std::span<const VertexId> vertices) const;
+
   /// Copy of this graph with labels reset to the identity. Algorithms that
   /// report results in *this graph's* id space seed their subgraph chain
   /// with this copy so that label composition bottoms out here.
@@ -104,6 +110,8 @@ class Graph {
 
  private:
   friend class GraphBuilder;
+
+  Graph InduceImpl(std::span<const VertexId> vertices, bool as_root) const;
 
   VertexId num_vertices_ = 0;
   std::uint64_t num_edges_ = 0;

@@ -4,8 +4,12 @@
 
 namespace kvcc {
 
-DirectedFlowGraph::DirectedFlowGraph(const Graph& g)
-    : graph_(g), network_(2 * g.NumVertices()) {
+DirectedFlowGraph::DirectedFlowGraph(const Graph& g) { Rebuild(g); }
+
+void DirectedFlowGraph::Rebuild(const Graph& g) {
+  graph_ = &g;
+  flow_calls_ = 0;  // flow_calls() counts queries against the *current* graph.
+  network_.Reinit(2 * g.NumVertices());
   // Vertex arcs first: arc index of v's arc is 2v (its reverse 2v+1), which
   // makes vertex-arc lookups in ExtractVertexCut index-free.
   for (VertexId v = 0; v < g.NumVertices(); ++v) {
@@ -22,6 +26,7 @@ DirectedFlowGraph::DirectedFlowGraph(const Graph& g)
 
 std::int32_t DirectedFlowGraph::LocalConnectivity(VertexId u, VertexId v,
                                                   std::int32_t limit) {
+  assert(graph_ != nullptr);
   assert(u != v);
   network_.ResetFlow();
   ++flow_calls_;
@@ -30,7 +35,7 @@ std::int32_t DirectedFlowGraph::LocalConnectivity(VertexId u, VertexId v,
 
 std::vector<VertexId> DirectedFlowGraph::LocCut(VertexId u, VertexId v,
                                                 std::uint32_t k) {
-  if (u == v || graph_.HasEdge(u, v)) return {};  // Lemma 5.
+  if (u == v || graph_->HasEdge(u, v)) return {};  // Lemma 5.
   const std::int32_t flow =
       LocalConnectivity(u, v, static_cast<std::int32_t>(k));
   if (flow >= static_cast<std::int32_t>(k)) return {};
@@ -41,7 +46,7 @@ std::vector<VertexId> DirectedFlowGraph::ExtractVertexCut(VertexId u,
                                                           VertexId v) {
   const std::vector<bool> reachable =
       network_.ResidualReachable(OutNode(u));
-  std::vector<bool> in_cut(graph_.NumVertices(), false);
+  std::vector<bool> in_cut(graph_->NumVertices(), false);
   std::vector<VertexId> cut;
 
   auto add = [&](VertexId w) {
@@ -53,7 +58,7 @@ std::vector<VertexId> DirectedFlowGraph::ExtractVertexCut(VertexId u,
   };
 
   // Vertex arcs crossing the residual cut: w itself is a cut vertex.
-  for (VertexId w = 0; w < graph_.NumVertices(); ++w) {
+  for (VertexId w = 0; w < graph_->NumVertices(); ++w) {
     if (reachable[InNode(w)] && !reachable[OutNode(w)]) add(w);
   }
   // Edge arcs a_out -> b_in crossing the cut. Any source-to-sink path using
@@ -61,9 +66,9 @@ std::vector<VertexId> DirectedFlowGraph::ExtractVertexCut(VertexId u,
   // outgoing arc), so removing b also severs it — unless b is the sink v,
   // in which case the path came through a's vertex arc and removing a works
   // (a cannot be the source u because u and v are non-adjacent).
-  for (VertexId a = 0; a < graph_.NumVertices(); ++a) {
+  for (VertexId a = 0; a < graph_->NumVertices(); ++a) {
     if (!reachable[OutNode(a)]) continue;
-    for (VertexId b : graph_.Neighbors(a)) {
+    for (VertexId b : graph_->Neighbors(a)) {
       if (reachable[InNode(b)]) continue;
       if (b != v) {
         // Arcs into u_in never carry flow, so b == u cannot occur here.

@@ -19,13 +19,22 @@ namespace kvcc {
 
 /// Reusable vertex-connectivity oracle over a fixed undirected graph.
 /// Queries reset the flow state internally, so a single instance serves all
-/// LOC-CUT calls of one GLOBAL-CUT invocation.
+/// LOC-CUT calls of one GLOBAL-CUT invocation. Rebind the oracle to another
+/// graph with Rebuild(): the flow network's buffers are recycled, so one
+/// long-lived instance (e.g. per enumeration worker) runs the whole
+/// recursion without reallocating per subgraph.
 class DirectedFlowGraph {
  public:
+  /// Unbound oracle; call Rebuild() before querying.
+  DirectedFlowGraph() = default;
   explicit DirectedFlowGraph(const Graph& g);
 
   DirectedFlowGraph(const DirectedFlowGraph&) = delete;
   DirectedFlowGraph& operator=(const DirectedFlowGraph&) = delete;
+
+  /// Rebinds the oracle to `g`, which must outlive all subsequent queries.
+  /// Reuses the internal network storage.
+  void Rebuild(const Graph& g);
 
   /// min(kappa(u, v), limit) for non-adjacent u != v. The caller must not
   /// pass adjacent vertices (kappa is infinite there; Lemma 5).
@@ -47,8 +56,8 @@ class DirectedFlowGraph {
   /// value < limit (i.e., a true max flow).
   std::vector<VertexId> ExtractVertexCut(VertexId u, VertexId v);
 
-  const Graph& graph_;
-  UnitFlowNetwork network_;
+  const Graph* graph_ = nullptr;
+  UnitFlowNetwork network_{0};
   std::uint64_t flow_calls_ = 0;
 };
 

@@ -12,9 +12,14 @@
 namespace kvcc {
 namespace {
 
-/// True iff removing `cut` disconnects g (or empties it).
-bool CutDisconnects(const Graph& g, const std::vector<VertexId>& cut) {
-  std::vector<bool> removed(g.NumVertices(), false);
+/// True iff removing `cut` disconnects g (or empties it). Uses the BFS
+/// buffers in `scratch` so repeated calls do not allocate.
+bool CutDisconnects(const Graph& g, const std::vector<VertexId>& cut,
+                    GlobalCutScratch& scratch) {
+  std::vector<bool>& removed = scratch.cut_removed;
+  std::vector<bool>& seen = scratch.cut_seen;
+  std::vector<VertexId>& queue = scratch.cut_queue;
+  removed.assign(g.NumVertices(), false);
   for (VertexId v : cut) removed[v] = true;
   VertexId start = kInvalidVertex;
   VertexId alive = 0;
@@ -25,8 +30,9 @@ bool CutDisconnects(const Graph& g, const std::vector<VertexId>& cut) {
     }
   }
   if (alive == 0) return false;  // Removing everything is not a cut.
-  std::vector<VertexId> queue{start};
-  std::vector<bool> seen(g.NumVertices(), false);
+  queue.clear();
+  queue.push_back(start);
+  seen.assign(g.NumVertices(), false);
   seen[start] = true;
   VertexId reached = 1;
   for (std::size_t head = 0; head < queue.size(); ++head) {
@@ -87,7 +93,10 @@ void CountPrunedVertex(SweepCause cause, KvccStats* stats) {
 
 GlobalCutResult GlobalCut(const Graph& g, std::uint32_t k,
                           const std::vector<SideVertexHint>& hints,
-                          const KvccOptions& options, KvccStats* stats) {
+                          const KvccOptions& options, KvccStats* stats,
+                          GlobalCutScratch* scratch) {
+  GlobalCutScratch transient;
+  if (scratch == nullptr) scratch = &transient;
   const VertexId n = g.NumVertices();
   assert(n > k);
   assert(hints.empty() || hints.size() == n);
@@ -142,19 +151,23 @@ GlobalCutResult GlobalCut(const Graph& g, std::uint32_t k,
   const bool source_is_strong =
       options.neighbor_sweep && side.strong[source];
 
-  DirectedFlowGraph oracle(test_graph);
+  DirectedFlowGraph& oracle = scratch->oracle;
+  oracle.Rebuild(test_graph);
   SweepContext sweep(g, k, side.strong, groups, group_of,
                      options.neighbor_sweep, group_sweep);
   sweep.Sweep(source, SweepCause::kTested);
 
   auto finish_with_cut = [&](std::vector<VertexId> cut) {
-    if (use_certificate && options.verify_cuts && !CutDisconnects(g, cut)) {
+    if (use_certificate && options.verify_cuts &&
+        !CutDisconnects(g, cut, *scratch)) {
       // By the certificate theorem this cannot happen; if it ever does,
-      // fall back to an exact search on the full graph.
+      // fall back to an exact search on the full graph. The scratch oracle
+      // is rebound inside the recursive call; it is not used afterwards
+      // here.
       ++stats->certificate_cut_fallbacks;
       KvccOptions fallback = options;
       fallback.sparse_certificate = false;
-      return GlobalCut(g, k, hints, fallback, stats);
+      return GlobalCut(g, k, hints, fallback, stats, scratch);
     }
     std::sort(cut.begin(), cut.end());
     result.cut = std::move(cut);

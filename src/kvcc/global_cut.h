@@ -14,11 +14,27 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "kvcc/flow_graph.h"
 #include "kvcc/options.h"
 #include "kvcc/side_vertex.h"
 #include "kvcc/stats.h"
 
 namespace kvcc {
+
+/// Reusable per-caller state for GlobalCut. The enumeration engine keeps one
+/// instance per worker thread so that the flow network and the hot-path BFS
+/// buffers are recycled across the O(n) GLOBAL-CUT invocations of a run
+/// instead of being reallocated in each. A default-constructed scratch is
+/// always valid; GlobalCut rebinds it to the working graph on entry.
+struct GlobalCutScratch {
+  /// Vertex-connectivity oracle; rebuilt (buffers recycled) per invocation.
+  DirectedFlowGraph oracle;
+
+  // CutDisconnects working set (hoisted off the recursion hot path).
+  std::vector<bool> cut_removed;
+  std::vector<bool> cut_seen;
+  std::vector<VertexId> cut_queue;
+};
 
 struct GlobalCutResult {
   /// A vertex cut of g with fewer than k vertices; empty iff g is
@@ -33,9 +49,12 @@ struct GlobalCutResult {
 
 /// Preconditions: g is connected, |V(g)| > k, and (for the intended use)
 /// min degree >= k. `hints` is either empty or one entry per vertex of g.
+/// `scratch` may be nullptr (a transient scratch is used); pass a live one
+/// to amortize allocations across repeated calls.
 GlobalCutResult GlobalCut(const Graph& g, std::uint32_t k,
                           const std::vector<SideVertexHint>& hints,
-                          const KvccOptions& options, KvccStats* stats);
+                          const KvccOptions& options, KvccStats* stats,
+                          GlobalCutScratch* scratch = nullptr);
 
 }  // namespace kvcc
 

@@ -39,13 +39,16 @@ KvccResult EnumerateKVccs(const Graph& g, std::uint32_t k,
 /// splits the remainder into connected components, and returns for each
 /// component the induced subgraph on (component ∪ cut) together with the
 /// vertex ids (in g's id space) it was built from. `cut` must be a real
-/// vertex cut of g, so at least two pieces are returned.
+/// vertex cut of g, so at least two pieces are returned. With `as_root`
+/// the pieces' label chains bottom out at g's local ids (see
+/// Graph::InducedSubgraphAsRoot) instead of composing g's own labels.
 struct PartitionPiece {
   Graph graph;
   std::vector<VertexId> vertices;  // sorted ids in g's space
 };
 std::vector<PartitionPiece> OverlapPartition(const Graph& g,
-                                             const std::vector<VertexId>& cut);
+                                             const std::vector<VertexId>& cut,
+                                             bool as_root = false);
 
 /// Materializes one k-VCC (as returned in KvccResult::components) as an
 /// induced subgraph of the input graph.

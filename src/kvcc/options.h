@@ -54,6 +54,14 @@ struct KvccOptions {
   /// theorem). Costs O(n + m) per cut; keep on in production.
   bool verify_cuts = true;
 
+  /// Worker threads for the enumeration engine. 1 (default) runs the exact
+  /// serial code path; 0 uses one worker per hardware thread; any other
+  /// value runs that many workers over a work-stealing scheduler. The
+  /// enumerated components (and all stats totals) are identical for every
+  /// setting — partition subproblems are independent and the output is
+  /// canonically sorted — so this is purely a wall-clock knob.
+  std::uint32_t num_threads = 1;
+
   // ---- presets matching the paper's evaluated variants ----
   static KvccOptions Vcce() {
     KvccOptions o;

@@ -45,9 +45,11 @@ ValidationReport ValidateKvccResult(
       report.Fail(Describe(i, component) + ": needs more than k vertices");
     }
     // 6. k-core nesting.
+    bool out_of_range = false;
     for (VertexId v : component) {
       if (v >= g.NumVertices()) {
         report.Fail(Describe(i, component) + ": vertex out of range");
+        out_of_range = true;
         break;
       }
       if (!core_set.count(v)) {
@@ -57,6 +59,7 @@ ValidationReport ValidateKvccResult(
       }
       covered[v] = true;
     }
+    if (out_of_range) continue;  // InducedSubgraph would index out of bounds.
     // 2. k-vertex-connectivity.
     const Graph sub = g.InducedSubgraph(component);
     if (!IsKVertexConnected(sub, k)) {

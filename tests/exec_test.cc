@@ -1,0 +1,107 @@
+#include "exec/task_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <vector>
+
+namespace kvcc::exec {
+namespace {
+
+TEST(ResolveThreadCountTest, ZeroMeansHardwareConcurrency) {
+  EXPECT_GE(ResolveThreadCount(0), 1u);
+  EXPECT_EQ(ResolveThreadCount(1), 1u);
+  EXPECT_EQ(ResolveThreadCount(7), 7u);
+}
+
+TEST(TaskSchedulerTest, RunWithNoTasksReturnsImmediately) {
+  TaskScheduler scheduler(4);
+  scheduler.Run();  // Must not hang.
+}
+
+TEST(TaskSchedulerTest, ExecutesEverySeededTaskExactlyOnce) {
+  for (unsigned workers : {1u, 2u, 4u}) {
+    TaskScheduler scheduler(workers);
+    std::atomic<std::uint64_t> executed{0};
+    for (int i = 0; i < 100; ++i) {
+      scheduler.Submit([&executed](unsigned) { ++executed; });
+    }
+    scheduler.Run();
+    EXPECT_EQ(executed.load(), 100u) << "workers=" << workers;
+  }
+}
+
+TEST(TaskSchedulerTest, WorkerIdsAreInRange) {
+  TaskScheduler scheduler(3);
+  std::mutex mutex;
+  std::set<unsigned> seen;
+  for (int i = 0; i < 64; ++i) {
+    scheduler.Submit([&](unsigned worker) {
+      std::lock_guard<std::mutex> lock(mutex);
+      seen.insert(worker);
+    });
+  }
+  scheduler.Run();
+  ASSERT_FALSE(seen.empty());
+  for (unsigned worker : seen) EXPECT_LT(worker, 3u);
+}
+
+TEST(TaskSchedulerTest, TasksCanSpawnChildren) {
+  // A binary spawn tree of depth 10: 2^10 - 1 = 1023 tasks in total,
+  // every one submitted from inside a running task except the root.
+  for (unsigned workers : {1u, 4u}) {
+    TaskScheduler scheduler(workers);
+    std::atomic<std::uint64_t> executed{0};
+    // Recursive lambda via explicit self-reference.
+    struct Spawner {
+      TaskScheduler& scheduler;
+      std::atomic<std::uint64_t>& executed;
+      void Go(int depth) {
+        ++executed;
+        if (depth == 0) return;
+        for (int child = 0; child < 2; ++child) {
+          scheduler.Submit([this, depth](unsigned) { Go(depth - 1); });
+        }
+      }
+    } spawner{scheduler, executed};
+    scheduler.Submit([&spawner](unsigned) { spawner.Go(9); });
+    scheduler.Run();
+    EXPECT_EQ(executed.load(), 1023u) << "workers=" << workers;
+  }
+}
+
+TEST(TaskSchedulerTest, TaskExceptionIsRethrownAfterDraining) {
+  TaskScheduler scheduler(2);
+  std::atomic<std::uint64_t> executed{0};
+  for (int i = 0; i < 20; ++i) {
+    scheduler.Submit([&executed, i](unsigned) {
+      if (i == 5) throw std::runtime_error("boom");
+      ++executed;
+    });
+  }
+  EXPECT_THROW(scheduler.Run(), std::runtime_error);
+  // Every non-throwing task still ran: the failure is recorded, not fatal
+  // to the rest of the drain.
+  EXPECT_EQ(executed.load(), 19u);
+}
+
+TEST(TaskSchedulerTest, ParallelSumMatchesSerial) {
+  // Each task contributes a deterministic value; the scheduler must not
+  // lose or duplicate any contribution regardless of stealing.
+  TaskScheduler scheduler(4);
+  std::atomic<std::uint64_t> sum{0};
+  constexpr std::uint64_t kTasks = 500;
+  for (std::uint64_t i = 1; i <= kTasks; ++i) {
+    scheduler.Submit([&sum, i](unsigned) { sum += i * i; });
+  }
+  scheduler.Run();
+  std::uint64_t expected = 0;
+  for (std::uint64_t i = 1; i <= kTasks; ++i) expected += i * i;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+}  // namespace
+}  // namespace kvcc::exec

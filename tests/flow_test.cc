@@ -4,6 +4,7 @@
 #include "flow/unit_flow_network.h"
 #include "gen/fixtures.h"
 #include "graph/graph.h"
+#include "kvcc/flow_graph.h"
 #include "support/brute_force.h"
 
 namespace kvcc {
@@ -81,6 +82,83 @@ TEST(UnitFlowNetworkTest, ResidualReachabilityDefinesCut) {
   const auto reachable = net.ResidualReachable(0);
   EXPECT_TRUE(reachable[0]);
   EXPECT_FALSE(reachable[2]);
+}
+
+TEST(UnitFlowNetworkTest, RepeatedResetCyclesStayExact) {
+  // ResetFlow restores only dirtied arcs; many query/reset cycles against
+  // one network must keep matching a fresh network's answers.
+  const Graph g = MakeFigure1Graph().graph;
+  UnitFlowNetwork reused(g.NumVertices());
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v : g.Neighbors(u)) reused.AddArc(u, v, 1);
+  }
+  for (std::uint32_t trial = 0; trial < 30; ++trial) {
+    const std::uint32_t s = trial % g.NumVertices();
+    const std::uint32_t t = (trial * 7 + 3) % g.NumVertices();
+    if (s == t) continue;
+    UnitFlowNetwork fresh(g.NumVertices());
+    for (VertexId u = 0; u < g.NumVertices(); ++u) {
+      for (VertexId v : g.Neighbors(u)) fresh.AddArc(u, v, 1);
+    }
+    EXPECT_EQ(reused.MaxFlow(s, t), fresh.MaxFlow(s, t))
+        << "s=" << s << " t=" << t;
+    reused.ResetFlow();
+  }
+}
+
+TEST(UnitFlowNetworkTest, ResetAfterLimitedFlowRestoresFullValue) {
+  UnitFlowNetwork net(12);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    net.AddArc(0, 2 + i, 1);
+    net.AddArc(2 + i, 1, 1);
+  }
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    EXPECT_EQ(net.MaxFlow(0, 1, 2), 2) << "cycle=" << cycle;
+    net.ResetFlow();
+    EXPECT_EQ(net.MaxFlow(0, 1), 5) << "cycle=" << cycle;
+    net.ResetFlow();
+  }
+}
+
+TEST(UnitFlowNetworkTest, ReinitReusesNetworkForNewTopology) {
+  UnitFlowNetwork net(2);
+  net.AddArc(0, 1, 1);
+  EXPECT_EQ(net.MaxFlow(0, 1), 1);
+
+  // Rebind to a larger network: two disjoint 0 -> 3 paths.
+  net.Reinit(4);
+  EXPECT_EQ(net.NumNodes(), 4u);
+  EXPECT_EQ(net.NumArcs(), 0u);
+  net.AddArc(0, 1, 1);
+  net.AddArc(1, 3, 1);
+  net.AddArc(0, 2, 1);
+  net.AddArc(2, 3, 1);
+  EXPECT_EQ(net.MaxFlow(0, 3), 2);
+
+  // And back down to a smaller one.
+  net.Reinit(3);
+  net.AddArc(0, 1, 2);
+  net.AddArc(1, 2, 1);
+  EXPECT_EQ(net.MaxFlow(0, 2), 1);
+}
+
+TEST(DirectedFlowGraphTest, RebuildReusesOracleAcrossGraphs) {
+  DirectedFlowGraph oracle;  // unbound
+  const Graph k5 = CompleteGraph(5);
+  oracle.Rebuild(k5);
+  // kappa(u, v) in K5 \ {u,v} paths: adjacent -> LocCut returns empty.
+  EXPECT_TRUE(oracle.LocCut(0, 1, 4).empty());
+
+  const Graph cycle = CycleGraph(8);
+  oracle.Rebuild(cycle);
+  // In C8, kappa(0, 4) = 2 < 3: a 2-vertex cut must come back.
+  const auto cut = oracle.LocCut(0, 4, 3);
+  EXPECT_EQ(cut.size(), 2u);
+
+  const Graph bip = CompleteBipartite(3, 3);
+  oracle.Rebuild(bip);
+  // kappa between two left-side vertices of K_{3,3} is 3: no cut below 3.
+  EXPECT_TRUE(oracle.LocCut(0, 1, 3).empty());
 }
 
 TEST(StoerWagnerTest, TrivialGraphs) {

@@ -35,7 +35,8 @@ int Usage() {
   std::cerr <<
       "usage: kvcc <command> [args]\n"
       "  decompose <graph> <k> [--variant=VCCE*|VCCE|VCCE-N|VCCE-G]\n"
-      "            [--validate] [--stats] [--quiet]\n"
+      "            [--threads=N] [--validate] [--stats] [--quiet]\n"
+      "            (--threads: 1 = serial, 0 = all hardware threads)\n"
       "  hierarchy <graph> [max_k]\n"
       "  connectivity <graph> [k]\n"
       "  models <graph> <k>\n"
@@ -57,9 +58,22 @@ int CmdDecompose(const std::vector<std::string>& args) {
   if (args.size() < 2) return Usage();
   KvccOptions options = KvccOptions::VcceStar();
   bool validate = false, stats = false, quiet = false;
+  std::uint32_t threads = 1;
   for (std::size_t i = 2; i < args.size(); ++i) {
     if (args[i].rfind("--variant=", 0) == 0) {
       options = KvccOptions::FromVariantName(args[i].substr(10));
+    } else if (args[i].rfind("--threads=", 0) == 0) {
+      const std::string value = args[i].substr(10);
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+      // strtoul accepts a leading '-' (wrapping); require pure digits and a
+      // sane cap so a typo cannot ask for billions of workers.
+      if (value.empty() || *end != '\0' || value[0] == '-' || parsed > 1024) {
+        std::cerr << "error: --threads expects an integer in [0, 1024] "
+                     "(0 = all hardware threads)\n";
+        return 2;
+      }
+      threads = static_cast<std::uint32_t>(parsed);
     } else if (args[i] == "--validate") {
       validate = true;
     } else if (args[i] == "--stats") {
@@ -72,6 +86,7 @@ int CmdDecompose(const std::vector<std::string>& args) {
   }
   const Graph g = ReadEdgeListFile(args[0]);
   const auto k = static_cast<std::uint32_t>(std::stoul(args[1]));
+  options.num_threads = threads;
   Timer timer;
   const KvccResult result = EnumerateKVccs(g, k, options);
   std::cerr << "|V|=" << g.NumVertices() << " |E|=" << g.NumEdges() << " k="

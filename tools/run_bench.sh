@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Builds (if needed) and runs the perf snapshot benches, leaving a
+# machine-readable BENCH_kvcc.json in the repo root so the benchmark
+# trajectory can be tracked across commits.
+#
+# usage: tools/run_bench.sh [build-dir] [out-file]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+OUT_FILE="${2:-$REPO_ROOT/BENCH_kvcc.json}"
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+fi
+cmake --build "$BUILD_DIR" -j \
+  --target bench_scalability_threads bench_micro_kvcc 2>/dev/null ||
+  cmake --build "$BUILD_DIR" -j
+
+rm -f "$OUT_FILE"
+
+# Thread-scalability sweep (also validates identical output per thread count).
+"$BUILD_DIR/bench_scalability_threads" --threads=1,2,4 --json="$OUT_FILE"
+
+# google-benchmark micro suite, if it was built.
+if [[ -x "$BUILD_DIR/bench_micro_kvcc" ]]; then
+  MICRO_OUT="$(mktemp)"
+  "$BUILD_DIR/bench_micro_kvcc" --benchmark_format=json \
+    --benchmark_min_time=0.1 >"$MICRO_OUT" 2>/dev/null
+  # Append as a second JSON line: one snapshot object per line.
+  tr -d '\n' <"$MICRO_OUT" >>"$OUT_FILE"
+  echo >>"$OUT_FILE"
+  rm -f "$MICRO_OUT"
+fi
+
+echo "perf snapshot written to $OUT_FILE"
