@@ -1,0 +1,196 @@
+// Batch serving throughput of the KvccEngine: many independent (graph, k)
+// jobs interleaved on one shared worker pool versus one-at-a-time serial
+// EnumerateKVccs calls. This is the "heavy traffic" shape — a server
+// draining a queue of decomposition requests — so the figure of merit is
+// jobs/sec, and every engine run is checked byte-identical to the serial
+// per-call baseline.
+//
+// Flags:
+//   --jobs=<N>           number of jobs in the batch (default 24)
+//   --scale=<double>     per-job workload size multiplier (default 1.0)
+//   --threads=1,2,4      engine worker counts to sweep
+//   --quick              shrink the workload for smoke runs
+//   --json=<path>        append a machine-readable perf snapshot to <path>
+//   --build-type=<s>     stamp the snapshot with the CMake build type
+//   --commit=<s>         stamp the snapshot with the git commit
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "gen/planted_vcc.h"
+#include "kvcc/engine.h"
+#include "kvcc/kvcc_enum.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace kvcc;
+using namespace kvcc::bench;
+
+struct BatchBenchArgs {
+  std::size_t jobs = 24;
+  double scale = 1.0;
+  bool quick = false;
+  std::vector<std::uint32_t> threads = {1, 2, 4};
+  std::string json_path;
+  std::string build_type = "unknown";
+  std::string commit = "unknown";
+};
+
+BatchBenchArgs ParseBatchBenchArgs(int argc, char** argv) {
+  BatchBenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--jobs=", 0) == 0) {
+      args.jobs = static_cast<std::size_t>(std::atol(arg.substr(7).c_str()));
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      args.scale = std::atof(arg.substr(8).c_str());
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      args.threads = ParseUintList(arg.substr(10));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      args.json_path = arg.substr(7);
+    } else if (arg.rfind("--build-type=", 0) == 0) {
+      args.build_type = arg.substr(13);
+    } else if (arg.rfind("--commit=", 0) == 0) {
+      args.commit = arg.substr(9);
+    } else if (arg == "--quick") {
+      args.quick = true;
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n"
+                << "usage: bench_batch_throughput [--jobs=N] [--scale=S]"
+                   " [--threads=a,b,c] [--quick] [--json=path]"
+                   " [--build-type=s] [--commit=s]\n";
+      std::exit(2);
+    }
+  }
+  if (args.jobs == 0) args.jobs = 1;
+  if (args.threads.empty()) args.threads = {1};
+  return args;
+}
+
+struct BatchJob {
+  Graph graph;
+  std::uint32_t k = 0;
+};
+
+/// A queue of medium planted-VCC jobs with varied shapes: seeds rotate the
+/// random wiring, k alternates so jobs differ in depth and cut structure.
+std::vector<BatchJob> MakeJobs(std::size_t count, double scale, bool quick) {
+  const double s = quick ? scale * 0.4 : scale;
+  std::vector<BatchJob> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    PlantedVccConfig config;
+    config.num_blocks = 3 + static_cast<int>(i % 3);
+    config.block_size_min =
+        std::max<VertexId>(14, static_cast<VertexId>(28 * s));
+    config.block_size_max =
+        std::max<VertexId>(18, static_cast<VertexId>(44 * s));
+    const std::uint32_t max_connectivity = config.block_size_min - 2;
+    config.connectivity =
+        std::min<std::uint32_t>(8 + 2 * (i % 4), max_connectivity);
+    config.overlap = 2;
+    config.bridge_edges = 1 + (i % 2);
+    config.seed = 1000 + 17 * static_cast<std::uint64_t>(i);
+    BatchJob job;
+    job.graph = GeneratePlantedVcc(config).graph;
+    job.k = config.connectivity;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BatchBenchArgs args = ParseBatchBenchArgs(argc, argv);
+
+  PrintBanner("Batch throughput",
+              "N (graph, k) jobs on one shared KvccEngine vs serial calls");
+  const std::vector<BatchJob> jobs =
+      MakeJobs(args.jobs, args.scale, args.quick);
+  std::uint64_t total_vertices = 0, total_edges = 0;
+  for (const BatchJob& job : jobs) {
+    total_vertices += job.graph.NumVertices();
+    total_edges += job.graph.NumEdges();
+  }
+  std::cout << "workload: " << jobs.size() << " jobs, sum |V|="
+            << total_vertices << " sum |E|=" << total_edges << "\n\n";
+
+  // Baseline: one serial EnumerateKVccs call per job, back to back.
+  std::vector<KvccResult> reference;
+  reference.reserve(jobs.size());
+  Timer serial_timer;
+  for (const BatchJob& job : jobs) {
+    KvccOptions options = KvccOptions::VcceStar();
+    options.num_threads = 1;
+    reference.push_back(EnumerateKVccs(job.graph, job.k, options));
+  }
+  const double serial_seconds = serial_timer.ElapsedSeconds();
+  const double serial_jps = jobs.size() / serial_seconds;
+
+  const std::vector<int> widths = {10, 10, 12, 12, 10};
+  PrintRow({"mode", "threads", "time", "jobs/sec", "match"}, widths);
+  PrintRow({"serial", "1", FormatSeconds(serial_seconds),
+            FormatDouble(serial_jps, 1), "ref"},
+           widths);
+
+  std::ostringstream json;
+  json << "{\"bench\": \"batch_throughput\", \"build_type\": \""
+       << args.build_type << "\", \"git_commit\": \"" << args.commit
+       << "\", \"jobs\": " << jobs.size() << ", \"workload\": {\"sum_n\": "
+       << total_vertices << ", \"sum_m\": " << total_edges
+       << "}, \"serial\": {\"seconds\": " << serial_seconds
+       << ", \"jobs_per_sec\": " << serial_jps << "}, \"results\": [";
+
+  bool all_match = true;
+  bool first_json = true;
+  for (const std::uint32_t threads : args.threads) {
+    KvccEngine engine(threads);
+    Timer timer;
+    std::vector<KvccEngine::JobId> ids;
+    ids.reserve(jobs.size());
+    for (const BatchJob& job : jobs) {
+      KvccOptions options = KvccOptions::VcceStar();
+      ids.push_back(engine.Submit(job.graph, job.k, options));
+    }
+    bool match = true;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const KvccResult result = engine.Wait(ids[i]);
+      match = match && result.components == reference[i].components;
+    }
+    const double seconds = timer.ElapsedSeconds();
+    const double jps = jobs.size() / seconds;
+    all_match = all_match && match;
+
+    PrintRow({"engine", std::to_string(threads), FormatSeconds(seconds),
+              FormatDouble(jps, 1), match ? "yes" : "NO"},
+             widths);
+    if (!first_json) json << ", ";
+    first_json = false;
+    json << "{\"threads\": " << threads << ", \"seconds\": " << seconds
+         << ", \"jobs_per_sec\": " << jps << ", \"identical_output\": "
+         << (match ? "true" : "false") << "}";
+  }
+  json << "]}";
+
+  if (!args.json_path.empty()) {
+    std::ofstream out(args.json_path, std::ios::app);
+    out << json.str() << "\n";
+    std::cout << "\nwrote perf snapshot to " << args.json_path << "\n";
+  }
+  std::cout << "\nExpected shape: jobs/sec scales with the worker count "
+               "(independent jobs interleave on one pool with no cross-job "
+               "barrier) while every engine row reports match=yes.\n";
+  if (!all_match) {
+    std::cerr << "ERROR: some engine run produced different output\n";
+    return 1;
+  }
+  return 0;
+}

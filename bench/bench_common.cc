@@ -55,6 +55,21 @@ BenchArgs ParseArgs(int argc, char** argv, double default_scale) {
   return args;
 }
 
+std::vector<std::uint32_t> ParseUintList(const std::string& csv) {
+  std::vector<std::uint32_t> out;
+  std::stringstream stream(csv);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    try {
+      out.push_back(static_cast<std::uint32_t>(std::stoul(token)));
+    } catch (const std::exception&) {
+      std::cerr << "not a number: \"" << token << "\"\n";
+      std::exit(2);
+    }
+  }
+  return out;
+}
+
 const Graph& CachedDataset(const std::string& name, double scale) {
   static std::map<std::pair<std::string, double>, Graph> cache;
   const auto key = std::make_pair(name, scale);

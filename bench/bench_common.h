@@ -28,6 +28,11 @@ struct BenchArgs {
 /// Parses argv. Unknown flags abort with a usage message.
 BenchArgs ParseArgs(int argc, char** argv, double default_scale);
 
+/// Parses a comma-separated list of unsigned integers ("1,2,8"); aborts
+/// with a message on junk. Shared by the flag parsers of the
+/// self-contained bench binaries.
+std::vector<std::uint32_t> ParseUintList(const std::string& csv);
+
 /// Generates (and memoizes per process) a dataset stand-in at the given
 /// scale, reporting generation time to stderr.
 const Graph& CachedDataset(const std::string& name, double scale);

@@ -9,6 +9,8 @@
 //   --threads=1,2,4,8  thread counts to sweep (first entry is the baseline)
 //   --quick            shrink the workload for smoke runs
 //   --json=<path>      append a machine-readable perf snapshot to <path>
+//   --build-type=<s>   stamp the snapshot with the CMake build type
+//   --commit=<s>       stamp the snapshot with the git commit
 
 #include <cstdint>
 #include <cstdlib>
@@ -34,22 +36,9 @@ struct ThreadBenchArgs {
   std::vector<std::uint32_t> ks = {16, 24};
   std::vector<std::uint32_t> threads = {1, 2, 4, 8};
   std::string json_path;
+  std::string build_type = "unknown";
+  std::string commit = "unknown";
 };
-
-std::vector<std::uint32_t> ParseUintList(const std::string& csv) {
-  std::vector<std::uint32_t> out;
-  std::stringstream stream(csv);
-  std::string token;
-  while (std::getline(stream, token, ',')) {
-    try {
-      out.push_back(static_cast<std::uint32_t>(std::stoul(token)));
-    } catch (const std::exception&) {
-      std::cerr << "not a number: \"" << token << "\"\n";
-      std::exit(2);
-    }
-  }
-  return out;
-}
 
 ThreadBenchArgs ParseThreadBenchArgs(int argc, char** argv) {
   ThreadBenchArgs args;
@@ -63,12 +52,17 @@ ThreadBenchArgs ParseThreadBenchArgs(int argc, char** argv) {
       args.threads = ParseUintList(arg.substr(10));
     } else if (arg.rfind("--json=", 0) == 0) {
       args.json_path = arg.substr(7);
+    } else if (arg.rfind("--build-type=", 0) == 0) {
+      args.build_type = arg.substr(13);
+    } else if (arg.rfind("--commit=", 0) == 0) {
+      args.commit = arg.substr(9);
     } else if (arg == "--quick") {
       args.quick = true;
     } else {
       std::cerr << "unknown flag: " << arg << "\n"
                 << "usage: bench_scalability_threads [--scale=S] [--ks=a,b]"
-                   " [--threads=a,b,c] [--quick] [--json=path]\n";
+                   " [--threads=a,b,c] [--quick] [--json=path]"
+                   " [--build-type=s] [--commit=s]\n";
       std::exit(2);
     }
   }
@@ -109,9 +103,10 @@ int main(int argc, char** argv) {
   PrintRow({"k", "threads", "time", "speedup", "match"}, widths);
 
   std::ostringstream json;
-  json << "{\"bench\": \"scalability_threads\", \"workload\": {\"n\": "
-       << planted.graph.NumVertices() << ", \"m\": "
-       << planted.graph.NumEdges() << "}, \"results\": [";
+  json << "{\"bench\": \"scalability_threads\", \"build_type\": \""
+       << args.build_type << "\", \"git_commit\": \"" << args.commit
+       << "\", \"workload\": {\"n\": " << planted.graph.NumVertices()
+       << ", \"m\": " << planted.graph.NumEdges() << "}, \"results\": [";
   bool first_json = true;
   bool all_match = true;
 

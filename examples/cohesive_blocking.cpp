@@ -5,6 +5,11 @@
 // disconnects them. BuildKvccHierarchy computes exactly that dendrogram:
 // level k holds the k-VCCs, each nested in its (k-1)-VCC parent.
 //
+// This example drives the build through a shared KvccEngine: every level's
+// parent components are submitted as independent jobs on one warm worker
+// pool (the way a server would mix hierarchy and decomposition traffic),
+// and the result is identical to the serial build for any worker count.
+//
 // Run: ./cohesive_blocking
 
 #include <iomanip>
@@ -12,6 +17,7 @@
 
 #include "gen/fixtures.h"
 #include "graph/dot_export.h"
+#include "kvcc/engine.h"
 #include "kvcc/hierarchy.h"
 
 int main() {
@@ -20,7 +26,9 @@ int main() {
   const Figure1Fixture fig1 = MakeFigure1Graph();
   const Graph& g = fig1.graph;
 
-  const KvccHierarchy hierarchy = BuildKvccHierarchy(g);
+  KvccEngine engine;  // One worker per hardware thread.
+  std::cout << "engine: " << engine.num_workers() << " worker(s)\n";
+  const KvccHierarchy hierarchy = BuildKvccHierarchy(engine, g);
   std::cout << "cohesion dendrogram of the Fig. 1 graph ("
             << g.NumVertices() << " vertices):\n\n";
   for (std::uint32_t k = 1; k <= hierarchy.MaxLevel(); ++k) {

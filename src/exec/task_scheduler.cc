@@ -25,7 +25,7 @@ TaskScheduler::TaskScheduler(unsigned num_workers) {
   }
 }
 
-TaskScheduler::~TaskScheduler() = default;
+TaskScheduler::~TaskScheduler() { Stop(); }
 
 void TaskScheduler::Submit(Task task) {
   unsigned target;
@@ -83,7 +83,7 @@ void TaskScheduler::WorkerLoop(unsigned worker) {
     std::uint64_t seen;
     {
       std::lock_guard<std::mutex> lock(state_mutex_);
-      if (done_) break;
+      if (stop_ && outstanding_ == 0) break;
       seen = submit_seq_;
     }
     if (TryPopOwn(worker, task) || TrySteal(worker, task)) {
@@ -99,33 +99,56 @@ void TaskScheduler::WorkerLoop(unsigned worker) {
       task = nullptr;  // Release captures before possibly blocking.
       std::lock_guard<std::mutex> lock(state_mutex_);
       if (--outstanding_ == 0) {
-        done_ = true;
+        // Quiescent: wake Run()/Stop() waiters and parked siblings (which
+        // either exit, if stopping, or re-park until the next Submit).
         wake_cv_.notify_all();
       }
       continue;
     }
     std::unique_lock<std::mutex> lock(state_mutex_);
-    wake_cv_.wait(lock,
-                  [&] { return done_ || submit_seq_ != seen; });
-    if (done_) break;
+    wake_cv_.wait(lock, [&] {
+      return (stop_ && outstanding_ == 0) || submit_seq_ != seen;
+    });
+    if (stop_ && outstanding_ == 0) break;
   }
   tls_worker_id = -1;
+}
+
+void TaskScheduler::Start() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (started_) return;
+    started_ = true;
+  }
+  threads_.reserve(num_workers());
+  for (unsigned i = 0; i < num_workers(); ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+void TaskScheduler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (stop_ && threads_.empty()) return;  // Already stopped (or never ran).
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
 }
 
 void TaskScheduler::Run() {
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
     if (outstanding_ == 0) {
-      done_ = true;
+      stop_ = true;  // Nothing to do; leave the scheduler retired.
       return;
     }
   }
-  std::vector<std::thread> threads;
-  threads.reserve(num_workers());
-  for (unsigned i = 0; i < num_workers(); ++i) {
-    threads.emplace_back([this, i] { WorkerLoop(i); });
-  }
-  for (std::thread& t : threads) t.join();
+  // One-shot = persistent lifecycle compressed: spawn, drain (Stop only
+  // joins once outstanding_ hits zero), then surface the first failure.
+  Start();
+  Stop();
   if (first_error_) {
     std::exception_ptr error = std::exchange(first_error_, nullptr);
     std::rethrow_exception(error);

@@ -10,9 +10,18 @@
 //     from the front (FIFO, steals the largest remaining subtrees first);
 //   * tasks submitted from within a task go to the submitting worker's own
 //     deque, so a worker keeps draining its subtree until someone steals;
-//   * termination is detected with a global outstanding-task counter:
+//   * quiescence is detected with a global outstanding-task counter:
 //     when it drops to zero no task is running or queued, so no new task
-//     can ever appear and the workers shut down.
+//     can appear until the next external Submit.
+//
+// Two driving modes share the same worker loop:
+//
+//   * one-shot (Run): seed tasks with Submit, then Run() executes the tree
+//     to quiescence on freshly spawned threads and joins them;
+//   * persistent (Start/Stop): Start() spawns workers that park at
+//     quiescence instead of exiting, so a long-lived owner (KvccEngine) can
+//     keep submitting batches of independent jobs against warm per-worker
+//     state. Stop() drains every remaining task, then joins.
 //
 // Tasks receive their worker's id (0 <= id < num_workers), which callers
 // use to index per-worker scratch state without any synchronization.
@@ -54,16 +63,29 @@ class TaskScheduler {
 
   unsigned num_workers() const { return static_cast<unsigned>(queues_.size()); }
 
-  /// Enqueues a task. Callable before Run() (seeding) and from within a
-  /// running task (spawning children); in the latter case the task lands on
-  /// the calling worker's own deque.
+  /// Enqueues a task. Callable before Run()/Start() (seeding), from within
+  /// a running task (spawning children; the task lands on the calling
+  /// worker's own deque), and — in persistent mode — from any external
+  /// thread while the workers are parked.
   void Submit(Task task);
 
   /// Runs until every submitted task (including tasks submitted while
-  /// running) has completed, then joins the workers. Call at most once.
-  /// If any task threw, the first recorded exception is rethrown here
-  /// (after all remaining tasks have still been drained).
+  /// running) has completed, then joins the workers. Call at most once,
+  /// and not after Start(). If any task threw, the first recorded
+  /// exception is rethrown here (after all remaining tasks have still
+  /// been drained).
   void Run();
+
+  /// Spawns the persistent worker threads. Unlike Run(), the workers park
+  /// at quiescence and wake on the next Submit, so the scheduler serves an
+  /// open-ended stream of task trees. Call at most once; pair with Stop().
+  void Start();
+
+  /// Drains every outstanding task, joins the workers, and retires the
+  /// scheduler. Exceptions thrown by tasks are NOT rethrown here (a
+  /// persistent owner is expected to capture failures per job); they are
+  /// swallowed after the drain. Idempotent.
+  void Stop();
 
  private:
   struct WorkerQueue {
@@ -86,7 +108,11 @@ class TaskScheduler {
   std::mutex state_mutex_;
   std::condition_variable wake_cv_;
   std::exception_ptr first_error_;  // first task failure; rethrown by Run()
-  bool done_ = false;
+  // Workers exit once stop_ is set *and* the outstanding counter hits zero,
+  // so Stop() always drains in-flight task trees before joining.
+  bool stop_ = false;
+  bool started_ = false;
+  std::vector<std::thread> threads_;
   unsigned next_seed_queue_ = 0;  // round-robin target for external submits
 };
 

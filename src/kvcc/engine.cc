@@ -1,0 +1,134 @@
+#include "kvcc/engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace kvcc {
+
+KvccEngine::KvccEngine(unsigned num_threads)
+    : scratch_(exec::ResolveThreadCount(num_threads)),
+      scheduler_(exec::ResolveThreadCount(num_threads)) {
+  scheduler_.Start();
+}
+
+KvccEngine::~KvccEngine() { scheduler_.Stop(); }
+
+KvccEngine::JobId KvccEngine::Submit(const Graph& g, std::uint32_t k,
+                                     const KvccOptions& options) {
+  if (k == 0) {
+    throw std::invalid_argument("KvccEngine::Submit: k must be at least 1");
+  }
+  auto state = std::make_unique<JobState>();
+  state->graph = &g;
+  state->k = k;
+  state->options = options;
+  state->maintain = options.maintain_side_vertices && options.neighbor_sweep;
+  state->pending.store(1, std::memory_order_relaxed);  // The root task.
+  JobState* job = state.get();
+  JobId id;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    id = next_job_id_++;
+    jobs_.emplace(id, std::move(state));
+  }
+  scheduler_.Submit([this, job](unsigned worker_id) {
+    RunTask(job, internal::WorkItem{}, /*is_root=*/true, worker_id);
+  });
+  return id;
+}
+
+void KvccEngine::RunTask(JobState* job, internal::WorkItem&& item,
+                         bool is_root, unsigned worker_id) {
+  // Task-local accumulators: one lock acquisition per task (below), not one
+  // per found component or counter bump.
+  std::vector<std::vector<VertexId>> found;
+  KvccStats stats;
+  std::exception_ptr error;
+  try {
+    internal::ProcessItem(
+        std::move(item), is_root ? job->graph : nullptr, job->k, job->options,
+        job->maintain, scratch_[worker_id], stats,
+        [&](std::vector<VertexId> ids) { found.push_back(std::move(ids)); },
+        [&](internal::WorkItem&& child) {
+          // Count the child before it can possibly run and finish, so
+          // `pending` can never dip to zero while work remains.
+          job->pending.fetch_add(1, std::memory_order_relaxed);
+          scheduler_.Submit(
+              [this, job, moved = std::move(child)](unsigned w) mutable {
+                RunTask(job, std::move(moved), /*is_root=*/false, w);
+              });
+        });
+  } catch (...) {
+    // A failing subproblem poisons only its own job: record the first
+    // exception for Wait() to rethrow; sibling tasks (already spawned
+    // children included) still run to completion so `pending` drains.
+    error = std::current_exception();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(job->mutex);
+    for (std::vector<VertexId>& component : found) {
+      job->components.push_back(std::move(component));
+    }
+    job->stats.Add(stats);
+    if (error && !job->error) job->error = error;
+  }
+  if (job->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last task of the tree: canonicalize and publish. No other thread
+    // touches the accumulators anymore, but the mutex still orders the
+    // publication against a concurrent Wait().
+    std::lock_guard<std::mutex> lock(job->mutex);
+    std::sort(job->components.begin(), job->components.end());
+    job->done = true;
+    job->done_cv.notify_all();
+  }
+}
+
+KvccResult KvccEngine::Wait(JobId id) {
+  // Take ownership of the ticket up front: once this Wait returns (or
+  // throws), the job's bookkeeping is gone and the engine's table holds
+  // only jobs still worth remembering. Destruction is safe after `done`
+  // — the final task's notify happens under the job mutex, so reacquiring
+  // it in the wait proves no task touches the state anymore.
+  std::unique_ptr<JobState> job;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      throw std::out_of_range(
+          "KvccEngine::Wait: unknown or already-consumed job id");
+    }
+    job = std::move(it->second);
+    jobs_.erase(it);
+  }
+  KvccResult result;
+  {
+    std::unique_lock<std::mutex> lock(job->mutex);
+    job->done_cv.wait(lock, [&] { return job->done; });
+    if (job->error) {
+      std::rethrow_exception(job->error);
+    }
+    result.components = std::move(job->components);
+    result.stats = job->stats;
+  }
+  return result;
+}
+
+std::vector<KvccResult> KvccEngine::RunBatch(
+    const std::vector<EngineJobSpec>& jobs) {
+  std::vector<JobId> ids;
+  ids.reserve(jobs.size());
+  for (const EngineJobSpec& spec : jobs) {
+    if (spec.graph == nullptr) {
+      throw std::invalid_argument("KvccEngine::RunBatch: null graph");
+    }
+    ids.push_back(Submit(*spec.graph, spec.k, spec.options));
+  }
+  std::vector<KvccResult> results;
+  results.reserve(ids.size());
+  for (JobId id : ids) results.push_back(Wait(id));
+  return results;
+}
+
+}  // namespace kvcc

@@ -1,0 +1,115 @@
+// KvccEngine: a long-lived batch execution engine for k-VCC enumeration.
+//
+// The paper's VCCE algorithm decomposes each (graph, k) request into many
+// independent GLOBAL-CUT subproblems. One engine owns a single persistent
+// work-stealing TaskScheduler plus one EnumScratch (flow network, sparse
+// certificate, sweep buffers) per worker; every submitted job's subproblem
+// tasks interleave on that shared pool, so a server handling many requests
+// keeps its workers and their scratch hot instead of paying scheduler
+// spin-up and buffer allocation per call.
+//
+// Determinism: each job's result is byte-identical to a serial
+// EnumerateKVccs call on the same (graph, k, options) regardless of the
+// engine's worker count, concurrent jobs, or submission order — subproblem
+// tasks are pure functions of their input and each job's merged output is
+// canonically sorted.
+#ifndef KVCC_KVCC_ENGINE_H_
+#define KVCC_KVCC_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/task_scheduler.h"
+#include "kvcc/enum_internal.h"
+#include "kvcc/kvcc_enum.h"
+#include "kvcc/options.h"
+
+namespace kvcc {
+
+/// One (graph, k) request for KvccEngine::RunBatch. The graph is borrowed:
+/// it must stay alive until the batch call returns.
+struct EngineJobSpec {
+  const Graph* graph = nullptr;
+  std::uint32_t k = 0;
+  KvccOptions options;
+};
+
+class KvccEngine {
+ public:
+  /// Ticket for a submitted job; pass to Wait() exactly once.
+  using JobId = std::size_t;
+
+  /// Creates the engine with `num_threads` workers (0 = one per hardware
+  /// thread) and starts the persistent worker pool immediately.
+  /// KvccOptions::num_threads is ignored for jobs served by an engine; the
+  /// engine's own worker count governs parallelism.
+  explicit KvccEngine(unsigned num_threads = 0);
+
+  /// Drains any jobs still in flight, then joins the workers. Results of
+  /// jobs never Wait()ed on are discarded.
+  ~KvccEngine();
+
+  KvccEngine(const KvccEngine&) = delete;
+  KvccEngine& operator=(const KvccEngine&) = delete;
+
+  unsigned num_workers() const { return scheduler_.num_workers(); }
+
+  /// Enqueues one job (k >= 1; g is borrowed and must outlive the matching
+  /// Wait). Returns immediately; the job starts running on the shared pool
+  /// right away, interleaved with every other in-flight job.
+  JobId Submit(const Graph& g, std::uint32_t k,
+               const KvccOptions& options = {});
+
+  /// Blocks until job `id` completes and returns its result (components
+  /// canonically sorted, stats totals equal to the serial run's). If the
+  /// job failed, rethrows its first recorded exception. Waiting consumes
+  /// the ticket and reclaims the job's bookkeeping — a long-lived engine
+  /// holds state only for in-flight and not-yet-waited jobs — so each id
+  /// is valid for exactly one Wait; reusing it throws std::out_of_range.
+  KvccResult Wait(JobId id);
+
+  /// Convenience: submits every spec, waits for all, and returns results
+  /// in spec order. Equivalent to per-call EnumerateKVccs output-wise.
+  std::vector<KvccResult> RunBatch(const std::vector<EngineJobSpec>& jobs);
+
+ private:
+  struct JobState {
+    const Graph* graph = nullptr;
+    std::uint32_t k = 0;
+    KvccOptions options;
+    bool maintain = false;
+
+    // Unfinished tasks of this job's recursion tree; incremented before a
+    // child is submitted, decremented when its task finishes, so reaching
+    // zero proves the whole tree (and every merge into the accumulators
+    // below) is done.
+    std::atomic<std::size_t> pending{0};
+
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::vector<std::vector<VertexId>> components;
+    KvccStats stats;
+    std::exception_ptr error;
+    bool done = false;
+  };
+
+  void RunTask(JobState* job, internal::WorkItem&& item, bool is_root,
+               unsigned worker_id);
+
+  std::vector<internal::EnumScratch> scratch_;  // one per worker, unshared
+  std::mutex jobs_mutex_;
+  // Live tickets only: Wait() extracts and frees its entry, so the table
+  // holds in-flight / unclaimed jobs, not the full submission history.
+  std::unordered_map<JobId, std::unique_ptr<JobState>> jobs_;
+  JobId next_job_id_ = 0;
+  exec::TaskScheduler scheduler_;
+};
+
+}  // namespace kvcc
+
+#endif  // KVCC_KVCC_ENGINE_H_

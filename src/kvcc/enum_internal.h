@@ -1,0 +1,216 @@
+// Internal core of the k-VCC enumeration engine (paper Algorithm 1),
+// shared by the serial path in kvcc_enum.cc and the batch KvccEngine in
+// engine.cc. Not part of the public API surface; include kvcc/kvcc_enum.h
+// or kvcc/engine.h instead.
+//
+// The unit of work is a WorkItem (one subgraph of the recursion tree plus
+// carried side-vertex verdicts). ProcessItem runs one recursion step on one
+// item using only a per-worker EnumScratch, emitting found k-VCCs and
+// spawning partition pieces through caller-supplied sinks. The step is a
+// pure function of (item/root, k, options): the emitted components and the
+// spawned children do not depend on which worker runs it or when, which is
+// what makes any parallel interleaving's merged-and-sorted output identical
+// to the serial run's.
+#ifndef KVCC_KVCC_ENUM_INTERNAL_H_
+#define KVCC_KVCC_ENUM_INTERNAL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/connected_components.h"
+#include "graph/graph.h"
+#include "graph/k_core.h"
+#include "kvcc/global_cut.h"
+#include "kvcc/kvcc_enum.h"
+#include "kvcc/options.h"
+#include "kvcc/side_vertex.h"
+#include "kvcc/stats.h"
+
+namespace kvcc::internal {
+
+struct WorkItem {
+  Graph graph;
+  /// Strong side-vertex carry-over verdicts (Lemmas 15/16); empty = none.
+  std::vector<SideVertexHint> hints;
+};
+
+/// Per-worker mutable scratch. Workers never share an EnumScratch, so the
+/// hot path runs without atomics or locks, and a long-lived engine keeps
+/// the flow network, certificate, and sweep buffers warm across every job
+/// it serves. A default-constructed scratch is always valid.
+struct EnumScratch {
+  GlobalCutScratch cut_scratch;
+  // NeighborsOfSet working set.
+  std::vector<bool> nbr_in_set;
+  std::vector<bool> nbr_touched;
+};
+
+/// Vertices of g with at least one neighbor in `sources` (the 1-hop
+/// dilation, excluding the sources themselves unless they qualify). Used
+/// for the partition-time maintenance rule: a strong side-vertex verdict
+/// survives a partition by cut S iff N(v) ∩ S = ∅ (Lemma 16). Returns a
+/// reference into `scratch`, valid until the next call.
+inline const std::vector<bool>& NeighborsOfSet(
+    const Graph& g, const std::vector<VertexId>& sources,
+    EnumScratch& scratch) {
+  std::vector<bool>& in_set = scratch.nbr_in_set;
+  std::vector<bool>& touched = scratch.nbr_touched;
+  in_set.assign(g.NumVertices(), false);
+  for (VertexId s : sources) in_set[s] = true;
+  touched.assign(g.NumVertices(), false);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (VertexId w : g.Neighbors(v)) {
+      if (in_set[w]) {
+        touched[v] = true;
+        break;
+      }
+    }
+  }
+  return touched;
+}
+
+/// Runs one step of the Algorithm-1 recursion (k-core peel -> components ->
+/// GLOBAL-CUT -> overlapped partition) on one work item. Found k-VCCs are
+/// passed to `emit` as sorted id lists; partition pieces are handed to
+/// `spawn` as child items; counters accumulate into `stats`. `root` is
+/// non-null only for the initial item: the step then reads the caller's
+/// graph in place (no identity-label copy) and derived subgraphs seed their
+/// label chain at the root via InducedSubgraphAsRoot.
+template <typename Emit, typename Spawn>
+void ProcessItem(WorkItem&& item, const Graph* root, std::uint32_t k,
+                 const KvccOptions& options, bool maintain,
+                 EnumScratch& scratch, KvccStats& stats, Emit&& emit,
+                 Spawn&& spawn) {
+  const bool as_root = root != nullptr;
+  const Graph& cur = as_root ? *root : item.graph;
+
+  // --- k-core peel (Alg. 1 line 2) ---
+  const std::vector<VertexId> survivors = KCoreVertices(cur, k);
+  ++stats.kcore_rounds;
+  stats.kcore_removed_vertices += cur.NumVertices() - survivors.size();
+  if (survivors.size() <= k) return;  // A k-VCC needs > k vertices.
+
+  // Peeling invalidates side-vertex verdicts within 2 hops of a removed
+  // vertex (common-neighbor counts may have dropped).
+  std::vector<bool> peel_touched;
+  const bool have_hints = maintain && !item.hints.empty();
+  if (have_hints && survivors.size() != cur.NumVertices()) {
+    std::vector<bool> survives(cur.NumVertices(), false);
+    for (VertexId v : survivors) survives[v] = true;
+    std::vector<VertexId> removed;
+    removed.reserve(cur.NumVertices() - survivors.size());
+    for (VertexId v = 0; v < cur.NumVertices(); ++v) {
+      if (!survives[v]) removed.push_back(v);
+    }
+    peel_touched = TwoHopBall(cur, removed);
+  }
+
+  // --- materialize the k-core ---
+  // When nothing was peeled the graph already *is* its k-core: reuse the
+  // owned graph (or keep reading the root in place) instead of copying.
+  const bool full_core = survivors.size() == cur.NumVertices();
+  Graph core_owned;
+  const Graph* core = nullptr;
+  bool core_as_root = false;
+  if (full_core && as_root) {
+    core = root;
+    core_as_root = true;
+  } else if (full_core) {
+    core_owned = std::move(item.graph);  // `cur` is dead from here on.
+    core = &core_owned;
+  } else {
+    core_owned = as_root ? cur.InducedSubgraphAsRoot(survivors)
+                         : cur.InducedSubgraph(survivors);
+    core = &core_owned;
+  }
+
+  // --- connected components (Alg. 1 line 3) ---
+  const std::vector<std::vector<VertexId>> components =
+      ConnectedComponents(*core);
+  const bool single_component = components.size() == 1;
+  for (const std::vector<VertexId>& comp : components) {
+    if (comp.size() <= k) continue;  // Cannot contain a k-VCC (Def. 2).
+
+    // Materialize this component; a single component spanning everything
+    // reuses `core` the same way `core` reused the item graph.
+    Graph sub_owned;
+    const Graph* sub = nullptr;
+    bool sub_as_root = false;
+    if (single_component && core_as_root) {
+      sub = core;
+      sub_as_root = true;
+    } else if (single_component) {
+      sub_owned = std::move(core_owned);
+      sub = &sub_owned;
+    } else if (core_as_root) {
+      sub_owned = core->InducedSubgraphAsRoot(comp);
+      sub = &sub_owned;
+    } else {
+      sub_owned = core->InducedSubgraph(comp);
+      sub = &sub_owned;
+    }
+
+    // core vertex comp[i] corresponds to cur vertex survivors[comp[i]].
+    std::vector<SideVertexHint> sub_hints;
+    if (have_hints) {
+      sub_hints.resize(sub->NumVertices());
+      for (VertexId i = 0; i < sub->NumVertices(); ++i) {
+        const VertexId cur_v = survivors[comp[i]];
+        SideVertexHint h = item.hints[cur_v];
+        if (h == SideVertexHint::kStrong && !peel_touched.empty() &&
+            peel_touched[cur_v]) {
+          h = SideVertexHint::kRecheck;
+        }
+        sub_hints[i] = h;
+      }
+    }
+
+    // --- cut search (Alg. 1 line 5) ---
+    GlobalCutResult found = GlobalCut(*sub, k, sub_hints, options, &stats,
+                                      &scratch.cut_scratch);
+
+    if (found.cut.empty()) {
+      // sub is k-vertex-connected and maximal within this branch: k-VCC.
+      std::vector<VertexId> ids;
+      ids.reserve(sub->NumVertices());
+      for (VertexId v = 0; v < sub->NumVertices(); ++v) {
+        ids.push_back(sub_as_root ? v : sub->LabelOf(v));
+      }
+      std::sort(ids.begin(), ids.end());
+      emit(std::move(ids));
+      ++stats.kvccs_found;
+      continue;
+    }
+
+    // --- overlapped partition (Alg. 1 line 9) ---
+    ++stats.overlap_partitions;
+    const std::vector<bool>* cut_touched = nullptr;
+    if (maintain && found.strong_side_valid) {
+      cut_touched = &NeighborsOfSet(*sub, found.cut, scratch);
+    }
+    for (PartitionPiece& piece :
+         OverlapPartition(*sub, found.cut, sub_as_root)) {
+      std::vector<SideVertexHint> child_hints;
+      if (maintain && found.strong_side_valid) {
+        child_hints.resize(piece.graph.NumVertices());
+        for (VertexId i = 0; i < piece.graph.NumVertices(); ++i) {
+          const VertexId sub_v = piece.vertices[i];
+          if (!found.strong_side[sub_v]) {
+            child_hints[i] = SideVertexHint::kNotStrong;  // Lemma 15.
+          } else if ((*cut_touched)[sub_v]) {
+            child_hints[i] = SideVertexHint::kRecheck;
+          } else {
+            child_hints[i] = SideVertexHint::kStrong;  // Lemma 16.
+          }
+        }
+      }
+      spawn(WorkItem{std::move(piece.graph), std::move(child_hints)});
+    }
+  }
+}
+
+}  // namespace kvcc::internal
+
+#endif  // KVCC_KVCC_ENUM_INTERNAL_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 #include "graph/bfs.h"
 #include "graph/connected_components.h"
@@ -47,28 +49,58 @@ bool CutDisconnects(const Graph& g, const std::vector<VertexId>& cut,
   return reached < alive;
 }
 
-/// Phase-1 processing order: non-ascending BFS distance from the source,
-/// ties by ascending id (deterministic). Counting sort over distances.
-std::vector<VertexId> DistanceDescendingOrder(const Graph& g,
-                                              VertexId source) {
-  std::vector<std::uint32_t> dist;
+/// BFS from the source into scratch.order_dist and returns the largest
+/// distance. Throws std::invalid_argument if some vertex is unreachable —
+/// a hard check in every build mode, because the old assert compiled out
+/// of Release builds and let kUnreachable either index out of bounds
+/// (distance ordering) or silently misread a 0-flow as local
+/// k-connectivity (phase 1 on a disconnected input).
+std::uint32_t CheckConnectedFromSource(const Graph& g, VertexId source,
+                                       GlobalCutScratch& scratch) {
+  const VertexId n = g.NumVertices();
+  std::vector<std::uint32_t>& dist = scratch.order_dist;
   BfsDistances(g, source, dist);
   std::uint32_t max_dist = 0;
-  for (std::uint32_t d : dist) {
-    if (d != kUnreachable) max_dist = std::max(max_dist, d);
+  for (VertexId v = 0; v < n; ++v) {
+    if (dist[v] == kUnreachable) {
+      throw std::invalid_argument(
+          "GlobalCut: input graph is not connected (vertex " +
+          std::to_string(v) + " is unreachable from source " +
+          std::to_string(source) + ")");
+    }
+    max_dist = std::max(max_dist, dist[v]);
   }
-  std::vector<std::vector<VertexId>> buckets(max_dist + 1);
-  for (VertexId v = 0; v < g.NumVertices(); ++v) {
-    if (v == source) continue;
-    assert(dist[v] != kUnreachable && "GlobalCut requires a connected graph");
-    buckets[dist[v]].push_back(v);
+  return max_dist;
+}
+
+/// Fills scratch.order with the phase-1 processing order: non-ascending
+/// BFS distance from the source (in scratch.order_dist), ties by ascending
+/// id (deterministic). Counting sort over distances into reused buffers.
+void DistanceDescendingOrder(const Graph& g, VertexId source,
+                             std::uint32_t max_dist,
+                             GlobalCutScratch& scratch) {
+  const VertexId n = g.NumVertices();
+  const std::vector<std::uint32_t>& dist = scratch.order_dist;
+
+  // Bucket counts, then start offsets laid out from the farthest distance
+  // down to 0; a stable ascending-id fill lands every vertex in place.
+  std::vector<std::uint32_t>& start = scratch.order_bucket_start;
+  start.assign(max_dist + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    if (v != source) ++start[dist[v]];
   }
-  std::vector<VertexId> order;
-  order.reserve(g.NumVertices() - 1);
-  for (std::size_t d = buckets.size(); d-- > 0;) {
-    for (VertexId v : buckets[d]) order.push_back(v);
+  std::uint32_t base = 0;
+  for (std::uint32_t d = max_dist;; --d) {
+    const std::uint32_t count = start[d];
+    start[d] = base;
+    base += count;
+    if (d == 0) break;
   }
-  return order;
+  std::vector<VertexId>& order = scratch.order;
+  order.resize(n - 1);
+  for (VertexId v = 0; v < n; ++v) {
+    if (v != source) order[start[dist[v]]++] = v;
+  }
 }
 
 void CountPrunedVertex(SweepCause cause, KvccStats* stats) {
@@ -105,10 +137,12 @@ GlobalCutResult GlobalCut(const Graph& g, std::uint32_t k,
   GlobalCutResult result;
 
   // --- sparse certificate (Alg. 2/3 line 1) ---
-  SparseCertificate sc;
+  // Rebuilt into the scratch's reused storage: on the steady-state path
+  // the certificate construction touches no allocator.
+  SparseCertificate& sc = scratch->cert;
   const bool use_certificate = options.sparse_certificate;
   if (use_certificate) {
-    sc = BuildSparseCertificate(g, k);
+    BuildSparseCertificate(g, k, sc, scratch->cert_scratch);
     stats->certificate_edges_input += g.NumEdges();
     stats->certificate_edges_kept += sc.certificate.NumEdges();
     stats->side_groups_found += sc.groups.size();
@@ -153,17 +187,19 @@ GlobalCutResult GlobalCut(const Graph& g, std::uint32_t k,
 
   DirectedFlowGraph& oracle = scratch->oracle;
   oracle.Rebuild(test_graph);
-  SweepContext sweep(g, k, side.strong, groups, group_of,
-                     options.neighbor_sweep, group_sweep);
+  // Epoch rebind: O(1) reset of the sweep arrays, no reallocation.
+  SweepContext& sweep = scratch->sweep;
+  sweep.Bind(g, k, side.strong, groups, group_of, options.neighbor_sweep,
+             group_sweep);
   sweep.Sweep(source, SweepCause::kTested);
 
   auto finish_with_cut = [&](std::vector<VertexId> cut) {
     if (use_certificate && options.verify_cuts &&
         !CutDisconnects(g, cut, *scratch)) {
       // By the certificate theorem this cannot happen; if it ever does,
-      // fall back to an exact search on the full graph. The scratch oracle
-      // is rebound inside the recursive call; it is not used afterwards
-      // here.
+      // fall back to an exact search on the full graph. The recursive call
+      // rebinds the scratch's oracle/sweep/order state; none of it is used
+      // here afterwards.
       ++stats->certificate_cut_fallbacks;
       KvccOptions fallback = options;
       fallback.sparse_certificate = false;
@@ -175,16 +211,19 @@ GlobalCutResult GlobalCut(const Graph& g, std::uint32_t k,
   };
 
   // --- phase 1 (Alg. 3 lines 8-15): covers every cut avoiding the source ---
-  std::vector<VertexId> order;
+  // The connectivity precondition is enforced for every variant (one BFS,
+  // dwarfed by the flow tests), not just when its distances are needed.
+  const std::uint32_t max_dist = CheckConnectedFromSource(g, source, *scratch);
   if (options.distance_order) {
-    order = DistanceDescendingOrder(g, source);
+    DistanceDescendingOrder(g, source, max_dist, *scratch);
   } else {
-    order.reserve(n - 1);
+    scratch->order.clear();
+    scratch->order.reserve(n - 1);
     for (VertexId v = 0; v < n; ++v) {
-      if (v != source) order.push_back(v);
+      if (v != source) scratch->order.push_back(v);
     }
   }
-  for (VertexId v : order) {
+  for (VertexId v : scratch->order) {
     if (sweep.IsSwept(v)) {
       CountPrunedVertex(sweep.CauseOf(v), stats);
       continue;

@@ -17,23 +17,43 @@
 #include "kvcc/flow_graph.h"
 #include "kvcc/options.h"
 #include "kvcc/side_vertex.h"
+#include "kvcc/sparse_certificate.h"
 #include "kvcc/stats.h"
+#include "kvcc/sweep_context.h"
 
 namespace kvcc {
 
 /// Reusable per-caller state for GlobalCut. The enumeration engine keeps one
-/// instance per worker thread so that the flow network and the hot-path BFS
-/// buffers are recycled across the O(n) GLOBAL-CUT invocations of a run
-/// instead of being reallocated in each. A default-constructed scratch is
-/// always valid; GlobalCut rebinds it to the working graph on entry.
+/// instance per worker thread so that the flow network, the sparse
+/// certificate (storage and working buffers), the sweep context, and the
+/// hot-path BFS buffers are all recycled across the O(n) GLOBAL-CUT
+/// invocations of a run instead of being reallocated in each — the
+/// steady-state cut search performs no per-call heap allocation for any of
+/// them. A default-constructed scratch is always valid; GlobalCut rebinds
+/// it to the working graph on entry, and its contents are meaningless (but
+/// safely reusable) between calls.
 struct GlobalCutScratch {
   /// Vertex-connectivity oracle; rebuilt (buffers recycled) per invocation.
   DirectedFlowGraph oracle;
+
+  /// Sparse-certificate output storage plus build buffers (mate/offset/
+  /// used/builder); rebuilt in place per invocation when the certificate
+  /// is enabled.
+  SparseCertificate cert;
+  CertificateScratch cert_scratch;
+
+  /// Sweep bookkeeping; epoch-rebound per invocation (O(1) reset).
+  SweepContext sweep;
 
   // CutDisconnects working set (hoisted off the recursion hot path).
   std::vector<bool> cut_removed;
   std::vector<bool> cut_seen;
   std::vector<VertexId> cut_queue;
+
+  // Phase-1 processing-order working set.
+  std::vector<std::uint32_t> order_dist;
+  std::vector<std::uint32_t> order_bucket_start;
+  std::vector<VertexId> order;
 };
 
 struct GlobalCutResult {
@@ -47,10 +67,12 @@ struct GlobalCutResult {
   bool strong_side_valid = false;
 };
 
-/// Preconditions: g is connected, |V(g)| > k, and (for the intended use)
-/// min degree >= k. `hints` is either empty or one entry per vertex of g.
-/// `scratch` may be nullptr (a transient scratch is used); pass a live one
-/// to amortize allocations across repeated calls.
+/// Preconditions: |V(g)| > k and (for the intended use) min degree >= k.
+/// g must be connected: a disconnected input throws std::invalid_argument
+/// (checked in every build mode, not assert-only). `hints` is either empty
+/// or one entry per vertex of g. `scratch` may be nullptr (a transient
+/// scratch is used); pass a live one to amortize allocations across
+/// repeated calls.
 GlobalCutResult GlobalCut(const Graph& g, std::uint32_t k,
                           const std::vector<SideVertexHint>& hints,
                           const KvccOptions& options, KvccStats* stats,

@@ -1,11 +1,126 @@
 #include "kvcc/hierarchy.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "exec/task_scheduler.h"
 #include "graph/k_core.h"
+#include "kvcc/engine.h"
 #include "kvcc/kvcc_enum.h"
 
 namespace kvcc {
+namespace {
+
+/// Shared level-by-level construction. `engine` may be null (serial
+/// per-parent EnumerateKVccs calls). With an engine, all parent components
+/// of a level are submitted as independent jobs up front and collected in
+/// parent order, so the node/level/cohesion arrays come out identical to
+/// the serial build's for every worker count (each job's result already
+/// matches the serial enumeration exactly). `cohesion` aliases the
+/// hierarchy's private per-vertex array (passed in by the friended public
+/// entry points).
+void BuildHierarchyInto(KvccEngine* engine, const Graph& g,
+                        std::uint32_t max_level, const KvccOptions& options,
+                        KvccHierarchy& hierarchy,
+                        std::vector<std::uint32_t>& cohesion) {
+  cohesion.assign(g.NumVertices(), 0);
+  if (max_level == 0) {
+    max_level = Degeneracy(g) + 1;  // kappa <= delta <= degeneracy... + slack
+  }
+
+  // Per-job options: an engine parallelizes across and within jobs itself,
+  // and the serial path must not recursively spin up one engine per call.
+  KvccOptions job_options = options;
+  job_options.num_threads = 1;
+
+  // Level 1 over the whole graph; level k inside each level-(k-1) node.
+  std::vector<std::size_t> frontier;
+  for (std::uint32_t k = 1; k <= max_level; ++k) {
+    std::vector<std::size_t> next;
+    const std::vector<std::size_t> parents =
+        k == 1 ? std::vector<std::size_t>{HierarchyNode::kNoParent}
+               : frontier;
+
+    // The subgraphs to decompose: the whole graph at level 1 (read in
+    // place), otherwise each parent component. The engine path
+    // materializes the whole level up front — jobs borrow stable Graph
+    // pointers while they run concurrently — and collects in parent
+    // order; the serial path streams one parent at a time so its peak
+    // memory stays one subgraph, as before the engine existed.
+    std::vector<Graph> subgraphs;
+    std::vector<KvccResult> engine_results;
+    if (engine != nullptr) {
+      subgraphs.resize(parents.size());
+      std::vector<KvccEngine::JobId> ids(parents.size());
+      for (std::size_t p = 0; p < parents.size(); ++p) {
+        const Graph* job_graph = &g;
+        if (parents[p] != HierarchyNode::kNoParent) {
+          subgraphs[p] =
+              g.InducedSubgraph(hierarchy.nodes[parents[p]].vertices);
+          job_graph = &subgraphs[p];
+        }
+        ids[p] = engine->Submit(*job_graph, k, job_options);
+      }
+      // Wait on EVERY job before anything can unwind: the jobs borrow
+      // `subgraphs`, so letting one job's exception escape while siblings
+      // are still running would free graphs under live worker threads.
+      engine_results.resize(parents.size());
+      std::exception_ptr first_error;
+      for (std::size_t p = 0; p < parents.size(); ++p) {
+        try {
+          engine_results[p] = engine->Wait(ids[p]);
+        } catch (...) {
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+      if (first_error) std::rethrow_exception(first_error);
+    }
+
+    for (std::size_t p = 0; p < parents.size(); ++p) {
+      const std::size_t parent_index = parents[p];
+      const bool root = parent_index == HierarchyNode::kNoParent;
+      KvccResult result;
+      if (engine != nullptr) {
+        result = std::move(engine_results[p]);
+      } else if (root) {
+        result = EnumerateKVccs(g, k, job_options);
+      } else {
+        const Graph sub =
+            g.InducedSubgraph(hierarchy.nodes[parent_index].vertices);
+        result = EnumerateKVccs(sub, k, job_options);
+      }
+      hierarchy.stats.Add(result.stats);
+      for (const auto& component : result.components) {
+        HierarchyNode node;
+        node.level = k;
+        node.parent = parent_index;
+        if (root) {
+          node.vertices = component;
+        } else {
+          // Map back from the parent-subgraph ids to input ids.
+          node.vertices.reserve(component.size());
+          for (VertexId v : component) {
+            node.vertices.push_back(
+                hierarchy.nodes[parent_index].vertices[v]);
+          }
+          std::sort(node.vertices.begin(), node.vertices.end());
+        }
+        for (VertexId v : node.vertices) {
+          cohesion[v] = std::max(cohesion[v], k);
+        }
+        const std::size_t index = hierarchy.nodes.size();
+        if (!root) hierarchy.nodes[parent_index].children.push_back(index);
+        next.push_back(index);
+        hierarchy.nodes.push_back(std::move(node));
+      }
+    }
+    if (next.empty()) break;
+    hierarchy.levels.push_back(next);
+    frontier = std::move(next);
+  }
+}
+
+}  // namespace
 
 const std::vector<std::size_t>& KvccHierarchy::NodesAtLevel(
     std::uint32_t k) const {
@@ -31,54 +146,24 @@ std::uint32_t KvccHierarchy::CohesionOf(VertexId v) const {
 KvccHierarchy BuildKvccHierarchy(const Graph& g, std::uint32_t max_level,
                                  const KvccOptions& options) {
   KvccHierarchy hierarchy;
-  hierarchy.cohesion_.assign(g.NumVertices(), 0);
-  if (max_level == 0) {
-    max_level = Degeneracy(g) + 1;  // kappa <= delta <= degeneracy... + slack
+  const unsigned workers = exec::ResolveThreadCount(options.num_threads);
+  if (workers > 1) {
+    KvccEngine engine(workers);
+    BuildHierarchyInto(&engine, g, max_level, options, hierarchy,
+                       hierarchy.cohesion_);
+  } else {
+    BuildHierarchyInto(nullptr, g, max_level, options, hierarchy,
+                       hierarchy.cohesion_);
   }
+  return hierarchy;
+}
 
-  // Level 1 over the whole graph; level k inside each level-(k-1) node.
-  std::vector<std::size_t> frontier;
-  for (std::uint32_t k = 1; k <= max_level; ++k) {
-    std::vector<std::size_t> next;
-    const std::vector<std::size_t> parents =
-        k == 1 ? std::vector<std::size_t>{HierarchyNode::kNoParent}
-               : frontier;
-    for (std::size_t parent_index : parents) {
-      // The subgraph to decompose: whole graph at level 1, otherwise the
-      // parent component.
-      const bool root = parent_index == HierarchyNode::kNoParent;
-      const Graph sub =
-          root ? g : g.InducedSubgraph(hierarchy.nodes[parent_index].vertices);
-      const KvccResult result = EnumerateKVccs(sub, k, options);
-      hierarchy.stats.Add(result.stats);
-      for (const auto& component : result.components) {
-        HierarchyNode node;
-        node.level = k;
-        node.parent = parent_index;
-        if (root) {
-          node.vertices = component;
-        } else {
-          // Map back from the parent-subgraph ids to input ids.
-          node.vertices.reserve(component.size());
-          for (VertexId v : component) {
-            node.vertices.push_back(
-                hierarchy.nodes[parent_index].vertices[v]);
-          }
-          std::sort(node.vertices.begin(), node.vertices.end());
-        }
-        for (VertexId v : node.vertices) {
-          hierarchy.cohesion_[v] = std::max(hierarchy.cohesion_[v], k);
-        }
-        const std::size_t index = hierarchy.nodes.size();
-        if (!root) hierarchy.nodes[parent_index].children.push_back(index);
-        next.push_back(index);
-        hierarchy.nodes.push_back(std::move(node));
-      }
-    }
-    if (next.empty()) break;
-    hierarchy.levels.push_back(next);
-    frontier = std::move(next);
-  }
+KvccHierarchy BuildKvccHierarchy(KvccEngine& engine, const Graph& g,
+                                 std::uint32_t max_level,
+                                 const KvccOptions& options) {
+  KvccHierarchy hierarchy;
+  BuildHierarchyInto(&engine, g, max_level, options, hierarchy,
+                     hierarchy.cohesion_);
   return hierarchy;
 }
 

@@ -19,6 +19,8 @@
 
 namespace kvcc {
 
+class KvccEngine;
+
 struct HierarchyNode {
   /// Connectivity level of this component (it is a level-VCC).
   std::uint32_t level = 0;
@@ -55,12 +57,27 @@ struct KvccHierarchy {
  private:
   friend KvccHierarchy BuildKvccHierarchy(const Graph&, std::uint32_t,
                                           const KvccOptions&);
+  friend KvccHierarchy BuildKvccHierarchy(KvccEngine&, const Graph&,
+                                          std::uint32_t,
+                                          const KvccOptions&);
   std::vector<std::uint32_t> cohesion_;  // per input vertex
 };
 
 /// Builds the hierarchy up to `max_level` (0 = until no components remain,
 /// bounded by the degeneracy since a k-VCC needs minimum degree >= k).
+/// With KvccOptions::num_threads resolving to more than one worker, each
+/// level's parent components are decomposed as independent jobs on a
+/// KvccEngine and merged in parent order, so the output is identical for
+/// every thread count.
 KvccHierarchy BuildKvccHierarchy(const Graph& g, std::uint32_t max_level = 0,
+                                 const KvccOptions& options = {});
+
+/// Same, but runs every level's jobs on a caller-provided engine — the way
+/// to build many hierarchies (or mix hierarchy and plain enumeration
+/// traffic) on one warm worker pool. The engine's worker count governs
+/// parallelism; KvccOptions::num_threads is ignored.
+KvccHierarchy BuildKvccHierarchy(KvccEngine& engine, const Graph& g,
+                                 std::uint32_t max_level = 0,
                                  const KvccOptions& options = {});
 
 }  // namespace kvcc

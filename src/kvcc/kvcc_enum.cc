@@ -1,224 +1,15 @@
 #include "kvcc/kvcc_enum.h"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "exec/task_scheduler.h"
-#include "graph/connected_components.h"
-#include "graph/k_core.h"
-#include "kvcc/global_cut.h"
-#include "kvcc/side_vertex.h"
+#include "kvcc/engine.h"
+#include "kvcc/enum_internal.h"
 
 namespace kvcc {
-namespace {
-
-struct WorkItem {
-  Graph graph;
-  /// Strong side-vertex carry-over verdicts (Lemmas 15/16); empty = none.
-  std::vector<SideVertexHint> hints;
-};
-
-/// Per-worker mutable state. Workers never share an EnumWorker, so the hot
-/// path runs without atomics or locks; results and stats are merged once
-/// after the scheduler drains. The scratch members amortize the allocations
-/// that used to happen on every recursion step.
-struct EnumWorker {
-  std::vector<std::vector<VertexId>> components;
-  KvccStats stats;
-  GlobalCutScratch cut_scratch;
-  // NeighborsOfSet working set.
-  std::vector<bool> nbr_in_set;
-  std::vector<bool> nbr_touched;
-};
-
-/// Vertices of g with at least one neighbor in `sources` (the 1-hop
-/// dilation, excluding the sources themselves unless they qualify). Used
-/// for the partition-time maintenance rule: a strong side-vertex verdict
-/// survives a partition by cut S iff N(v) ∩ S = ∅ (Lemma 16). Returns a
-/// reference into `worker`'s scratch, valid until the next call.
-const std::vector<bool>& NeighborsOfSet(const Graph& g,
-                                        const std::vector<VertexId>& sources,
-                                        EnumWorker& worker) {
-  std::vector<bool>& in_set = worker.nbr_in_set;
-  std::vector<bool>& touched = worker.nbr_touched;
-  in_set.assign(g.NumVertices(), false);
-  for (VertexId s : sources) in_set[s] = true;
-  touched.assign(g.NumVertices(), false);
-  for (VertexId v = 0; v < g.NumVertices(); ++v) {
-    for (VertexId w : g.Neighbors(v)) {
-      if (in_set[w]) {
-        touched[v] = true;
-        break;
-      }
-    }
-  }
-  return touched;
-}
-
-/// Runs one step of the Algorithm-1 recursion (k-core peel -> components ->
-/// GLOBAL-CUT -> overlapped partition) on one work item. Found k-VCCs are
-/// appended to `worker`; partition pieces are handed to `spawn` as child
-/// items. `root` is non-null only for the initial item: the step then reads
-/// the caller's graph in place (no identity-label copy) and derived
-/// subgraphs seed their label chain at the root via InducedSubgraphAsRoot.
-///
-/// The step is a pure function of (item/root, k, options): the set of
-/// spawned children and the local stats increments do not depend on which
-/// worker runs it or when, which is what makes the parallel run's merged
-/// output identical to the serial run's.
-template <typename Spawn>
-void ProcessItem(WorkItem&& item, const Graph* root, std::uint32_t k,
-                 const KvccOptions& options, bool maintain,
-                 EnumWorker& worker, Spawn&& spawn) {
-  const bool as_root = root != nullptr;
-  const Graph& cur = as_root ? *root : item.graph;
-
-  // --- k-core peel (Alg. 1 line 2) ---
-  const std::vector<VertexId> survivors = KCoreVertices(cur, k);
-  ++worker.stats.kcore_rounds;
-  worker.stats.kcore_removed_vertices += cur.NumVertices() - survivors.size();
-  if (survivors.size() <= k) return;  // A k-VCC needs > k vertices.
-
-  // Peeling invalidates side-vertex verdicts within 2 hops of a removed
-  // vertex (common-neighbor counts may have dropped).
-  std::vector<bool> peel_touched;
-  const bool have_hints = maintain && !item.hints.empty();
-  if (have_hints && survivors.size() != cur.NumVertices()) {
-    std::vector<bool> survives(cur.NumVertices(), false);
-    for (VertexId v : survivors) survives[v] = true;
-    std::vector<VertexId> removed;
-    removed.reserve(cur.NumVertices() - survivors.size());
-    for (VertexId v = 0; v < cur.NumVertices(); ++v) {
-      if (!survives[v]) removed.push_back(v);
-    }
-    peel_touched = TwoHopBall(cur, removed);
-  }
-
-  // --- materialize the k-core ---
-  // When nothing was peeled the graph already *is* its k-core: reuse the
-  // owned graph (or keep reading the root in place) instead of copying.
-  const bool full_core = survivors.size() == cur.NumVertices();
-  Graph core_owned;
-  const Graph* core = nullptr;
-  bool core_as_root = false;
-  if (full_core && as_root) {
-    core = root;
-    core_as_root = true;
-  } else if (full_core) {
-    core_owned = std::move(item.graph);  // `cur` is dead from here on.
-    core = &core_owned;
-  } else {
-    core_owned = as_root ? cur.InducedSubgraphAsRoot(survivors)
-                         : cur.InducedSubgraph(survivors);
-    core = &core_owned;
-  }
-
-  // --- connected components (Alg. 1 line 3) ---
-  const std::vector<std::vector<VertexId>> components =
-      ConnectedComponents(*core);
-  const bool single_component = components.size() == 1;
-  for (const std::vector<VertexId>& comp : components) {
-    if (comp.size() <= k) continue;  // Cannot contain a k-VCC (Def. 2).
-
-    // Materialize this component; a single component spanning everything
-    // reuses `core` the same way `core` reused the item graph.
-    Graph sub_owned;
-    const Graph* sub = nullptr;
-    bool sub_as_root = false;
-    if (single_component && core_as_root) {
-      sub = core;
-      sub_as_root = true;
-    } else if (single_component) {
-      sub_owned = std::move(core_owned);
-      sub = &sub_owned;
-    } else if (core_as_root) {
-      sub_owned = core->InducedSubgraphAsRoot(comp);
-      sub = &sub_owned;
-    } else {
-      sub_owned = core->InducedSubgraph(comp);
-      sub = &sub_owned;
-    }
-
-    // core vertex comp[i] corresponds to cur vertex survivors[comp[i]].
-    std::vector<SideVertexHint> sub_hints;
-    if (have_hints) {
-      sub_hints.resize(sub->NumVertices());
-      for (VertexId i = 0; i < sub->NumVertices(); ++i) {
-        const VertexId cur_v = survivors[comp[i]];
-        SideVertexHint h = item.hints[cur_v];
-        if (h == SideVertexHint::kStrong && !peel_touched.empty() &&
-            peel_touched[cur_v]) {
-          h = SideVertexHint::kRecheck;
-        }
-        sub_hints[i] = h;
-      }
-    }
-
-    // --- cut search (Alg. 1 line 5) ---
-    GlobalCutResult found = GlobalCut(*sub, k, sub_hints, options,
-                                      &worker.stats, &worker.cut_scratch);
-
-    if (found.cut.empty()) {
-      // sub is k-vertex-connected and maximal within this branch: k-VCC.
-      std::vector<VertexId> ids;
-      ids.reserve(sub->NumVertices());
-      for (VertexId v = 0; v < sub->NumVertices(); ++v) {
-        ids.push_back(sub_as_root ? v : sub->LabelOf(v));
-      }
-      std::sort(ids.begin(), ids.end());
-      worker.components.push_back(std::move(ids));
-      ++worker.stats.kvccs_found;
-      continue;
-    }
-
-    // --- overlapped partition (Alg. 1 line 9) ---
-    ++worker.stats.overlap_partitions;
-    const std::vector<bool>* cut_touched = nullptr;
-    if (maintain && found.strong_side_valid) {
-      cut_touched = &NeighborsOfSet(*sub, found.cut, worker);
-    }
-    for (PartitionPiece& piece :
-         OverlapPartition(*sub, found.cut, sub_as_root)) {
-      std::vector<SideVertexHint> child_hints;
-      if (maintain && found.strong_side_valid) {
-        child_hints.resize(piece.graph.NumVertices());
-        for (VertexId i = 0; i < piece.graph.NumVertices(); ++i) {
-          const VertexId sub_v = piece.vertices[i];
-          if (!found.strong_side[sub_v]) {
-            child_hints[i] = SideVertexHint::kNotStrong;  // Lemma 15.
-          } else if ((*cut_touched)[sub_v]) {
-            child_hints[i] = SideVertexHint::kRecheck;
-          } else {
-            child_hints[i] = SideVertexHint::kStrong;  // Lemma 16.
-          }
-        }
-      }
-      spawn(WorkItem{std::move(piece.graph), std::move(child_hints)});
-    }
-  }
-}
-
-/// Executes `item` on the scheduler's worker `worker_id`, resubmitting each
-/// partition piece as an independent child task.
-void RunParallelTask(exec::TaskScheduler& scheduler,
-                     std::vector<EnumWorker>& workers, WorkItem item,
-                     const Graph* root, std::uint32_t k,
-                     const KvccOptions& options, bool maintain,
-                     unsigned worker_id) {
-  auto spawn = [&](WorkItem&& child) {
-    scheduler.Submit([&scheduler, &workers, moved = std::move(child), k,
-                      &options, maintain](unsigned wid) mutable {
-      RunParallelTask(scheduler, workers, std::move(moved), nullptr, k,
-                      options, maintain, wid);
-    });
-  };
-  ProcessItem(std::move(item), root, k, options, maintain, workers[worker_id],
-              spawn);
-}
-
-}  // namespace
 
 std::vector<PartitionPiece> OverlapPartition(
     const Graph& g, const std::vector<VertexId>& cut, bool as_root) {
@@ -252,7 +43,16 @@ std::vector<PartitionPiece> OverlapPartition(
                           : g.InducedSubgraph(piece.vertices);
     pieces.push_back(std::move(piece));
   }
-  assert(pieces.size() >= 2 && "OverlapPartition requires a real vertex cut");
+  if (pieces.size() < 2) {
+    // Hard check, not an assert: in a Release build a non-separating "cut"
+    // would otherwise yield a single piece equal to its parent, and the
+    // recursion would respawn that piece forever.
+    throw std::logic_error(
+        "OverlapPartition: set of " + std::to_string(cut.size()) +
+        " vertices is not a vertex cut of the " + std::to_string(n) +
+        "-vertex graph (" + std::to_string(pieces.size()) +
+        " piece(s) after removal)");
+  }
   return pieces;
 }
 
@@ -266,46 +66,36 @@ KvccResult EnumerateKVccs(const Graph& g, std::uint32_t k,
   if (k == 0) {
     throw std::invalid_argument("EnumerateKVccs: k must be at least 1");
   }
-  const bool maintain =
-      options.maintain_side_vertices && options.neighbor_sweep;
   const unsigned num_workers = exec::ResolveThreadCount(options.num_threads);
-
-  KvccResult result;
-  if (num_workers <= 1) {
-    // Serial path: the scheduler degenerates to an explicit LIFO stack.
-    EnumWorker worker;
-    std::vector<WorkItem> stack;
-    auto spawn = [&stack](WorkItem&& child) {
-      stack.push_back(std::move(child));
-    };
-    ProcessItem(WorkItem{}, &g, k, options, maintain, worker, spawn);
-    while (!stack.empty()) {
-      WorkItem item = std::move(stack.back());
-      stack.pop_back();
-      ProcessItem(std::move(item), nullptr, k, options, maintain, worker,
-                  spawn);
-    }
-    result.components = std::move(worker.components);
-    result.stats = worker.stats;
-  } else {
-    exec::TaskScheduler scheduler(num_workers);
-    std::vector<EnumWorker> workers(scheduler.num_workers());
-    scheduler.Submit([&](unsigned wid) {
-      RunParallelTask(scheduler, workers, WorkItem{}, &g, k, options,
-                      maintain, wid);
-    });
-    scheduler.Run();
-    std::size_t total = 0;
-    for (const EnumWorker& w : workers) total += w.components.size();
-    result.components.reserve(total);
-    for (EnumWorker& w : workers) {
-      for (std::vector<VertexId>& component : w.components) {
-        result.components.push_back(std::move(component));
-      }
-      result.stats.Add(w.stats);
-    }
+  if (num_workers > 1) {
+    // One-job batch on a transient engine. Callers that decompose many
+    // graphs should hold a KvccEngine themselves and Submit jobs against
+    // its warm worker pool instead of paying this spin-up per call.
+    KvccEngine engine(num_workers);
+    return engine.Wait(engine.Submit(g, k, options));
   }
 
+  // Serial path: the scheduler degenerates to an explicit LIFO stack run
+  // on the calling thread.
+  const bool maintain =
+      options.maintain_side_vertices && options.neighbor_sweep;
+  internal::EnumScratch scratch;
+  KvccResult result;
+  std::vector<internal::WorkItem> stack;
+  auto emit = [&result](std::vector<VertexId> ids) {
+    result.components.push_back(std::move(ids));
+  };
+  auto spawn = [&stack](internal::WorkItem&& child) {
+    stack.push_back(std::move(child));
+  };
+  internal::ProcessItem(internal::WorkItem{}, &g, k, options, maintain,
+                        scratch, result.stats, emit, spawn);
+  while (!stack.empty()) {
+    internal::WorkItem item = std::move(stack.back());
+    stack.pop_back();
+    internal::ProcessItem(std::move(item), nullptr, k, options, maintain,
+                          scratch, result.stats, emit, spawn);
+  }
   std::sort(result.components.begin(), result.components.end());
   return result;
 }

@@ -31,7 +31,10 @@ struct KvccResult {
 };
 
 /// Enumerates all k-VCCs of g (k >= 1; g need not be connected).
-/// Deterministic: identical inputs and options give identical output order.
+/// Deterministic: identical inputs and options give identical output order,
+/// for every KvccOptions::num_threads setting. With num_threads > 1 this is
+/// a thin one-job wrapper over KvccEngine (see kvcc/engine.h); callers with
+/// many (graph, k) requests should hold an engine and batch them instead.
 KvccResult EnumerateKVccs(const Graph& g, std::uint32_t k,
                           const KvccOptions& options = {});
 
@@ -39,7 +42,10 @@ KvccResult EnumerateKVccs(const Graph& g, std::uint32_t k,
 /// splits the remainder into connected components, and returns for each
 /// component the induced subgraph on (component ∪ cut) together with the
 /// vertex ids (in g's id space) it was built from. `cut` must be a real
-/// vertex cut of g, so at least two pieces are returned. With `as_root`
+/// vertex cut of g, so at least two pieces are returned; a set that fails
+/// to separate g (or swallows it whole) throws std::logic_error — checked
+/// in every build mode, since recursing on a single self-equal piece would
+/// never terminate. With `as_root`
 /// the pieces' label chains bottom out at g's local ids (see
 /// Graph::InducedSubgraphAsRoot) instead of composing g's own labels.
 struct PartitionPiece {

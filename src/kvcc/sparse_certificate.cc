@@ -2,21 +2,32 @@
 
 #include <algorithm>
 
-#include "graph/graph_builder.h"
-
 namespace kvcc {
-namespace {
 
-/// Positions of each adjacency entry's reverse entry, so forest edges can be
-/// retired from both endpoints in O(1).
-std::vector<std::uint64_t> BuildMatePositions(const Graph& g) {
-  std::vector<std::uint64_t> mate;
-  std::vector<std::uint64_t> entry_offset(g.NumVertices() + 1, 0);
-  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+SparseCertificate BuildSparseCertificate(const Graph& g, std::uint32_t k) {
+  SparseCertificate out;
+  CertificateScratch scratch;
+  BuildSparseCertificate(g, k, out, scratch);
+  return out;
+}
+
+void BuildSparseCertificate(const Graph& g, std::uint32_t k,
+                            SparseCertificate& out,
+                            CertificateScratch& scratch) {
+  const VertexId n = g.NumVertices();
+  out.group_of.assign(n, kNoGroup);
+
+  auto& entry_offset = scratch.entry_offset;
+  entry_offset.assign(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
     entry_offset[v + 1] = entry_offset[v] + g.Degree(v);
   }
-  mate.resize(entry_offset[g.NumVertices()]);
-  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+
+  // Positions of each adjacency entry's reverse entry, so forest edges can
+  // be retired from both endpoints in O(1).
+  auto& mate = scratch.mate;
+  mate.resize(entry_offset[n]);  // Fully overwritten below.
+  for (VertexId u = 0; u < n; ++u) {
     const auto nbrs = g.Neighbors(u);
     for (std::size_t i = 0; i < nbrs.size(); ++i) {
       const VertexId v = nbrs[i];
@@ -27,30 +38,19 @@ std::vector<std::uint64_t> BuildMatePositions(const Graph& g) {
           entry_offset[v] + static_cast<std::uint64_t>(it - vn.begin());
     }
   }
-  return mate;
-}
 
-}  // namespace
+  auto& used = scratch.used;
+  used.assign(entry_offset[n], false);
 
-SparseCertificate BuildSparseCertificate(const Graph& g, std::uint32_t k) {
-  const VertexId n = g.NumVertices();
-  SparseCertificate out;
-  out.group_of.assign(n, kNoGroup);
-
-  std::vector<std::uint64_t> entry_offset(n + 1, 0);
-  for (VertexId v = 0; v < n; ++v) {
-    entry_offset[v + 1] = entry_offset[v] + g.Degree(v);
-  }
-  const std::vector<std::uint64_t> mate = BuildMatePositions(g);
-  std::vector<bool> used(entry_offset[n], false);
-
-  GraphBuilder certificate_builder(n);
-  std::vector<bool> visited(n);
-  std::vector<VertexId> queue;
-  std::vector<std::pair<VertexId, VertexId>> last_forest;
+  GraphBuilder& certificate_builder = scratch.builder;
+  if (n > 0) certificate_builder.EnsureVertex(n - 1);
+  auto& visited = scratch.visited;
+  visited.assign(n, false);
+  auto& queue = scratch.queue;
+  auto& last_forest = scratch.last_forest;
 
   for (std::uint32_t round = 0; round < k; ++round) {
-    std::fill(visited.begin(), visited.end(), false);
+    if (round > 0) std::fill(visited.begin(), visited.end(), false);
     last_forest.clear();
     bool any_edge = false;
 
@@ -81,44 +81,67 @@ SparseCertificate BuildSparseCertificate(const Graph& g, std::uint32_t k) {
     if (!any_edge) break;  // Graph exhausted before k rounds.
   }
 
-  // Side-groups: components of the k-th (= last completed) forest. When the
-  // graph ran out of edges early, the final forest is empty and there are
-  // no groups; that is sound (groups are a pure optimization).
+  // Side-groups: components of the k-th (= last completed) forest, found by
+  // BFS over a flat CSR of its edges. When the graph ran out of edges
+  // early, the final forest is empty and there are no groups; that is
+  // sound (groups are a pure optimization). Group ids increase with the
+  // smallest member (roots are scanned ascending and a component's first
+  // unseen vertex is its minimum), matching the nested-vector original.
   {
-    std::vector<std::vector<VertexId>> adjacency(n);
+    auto& offset = scratch.forest_offset;
+    auto& adj = scratch.forest_adj;
+    offset.assign(n + 1, 0);
     for (const auto& [u, w] : last_forest) {
-      adjacency[u].push_back(w);
-      adjacency[w].push_back(u);
+      ++offset[u + 1];
+      ++offset[w + 1];
     }
-    std::vector<bool> seen(n, false);
+    for (VertexId v = 0; v < n; ++v) offset[v + 1] += offset[v];
+    adj.resize(2 * last_forest.size());
+    {
+      // Reuse the BFS queue's storage as the fill cursor; sized n below.
+      auto& cursor = scratch.queue;
+      cursor.assign(offset.begin(), offset.end() - 1);
+      for (const auto& [u, w] : last_forest) {
+        adj[cursor[u]++] = w;
+        adj[cursor[w]++] = u;
+      }
+    }
+
+    std::size_t num_groups = 0;
+    auto& groups = out.groups;
+    std::fill(visited.begin(), visited.end(), false);  // Reused as "seen".
     for (VertexId root = 0; root < n; ++root) {
-      if (seen[root] || adjacency[root].empty()) continue;
-      seen[root] = true;
-      std::vector<VertexId> component{root};
+      if (visited[root] || offset[root + 1] == offset[root]) continue;
+      visited[root] = true;
+      // Recycle the inner vectors of previous builds instead of
+      // reallocating one per group.
+      if (num_groups == groups.size()) groups.emplace_back();
+      std::vector<VertexId>& component = groups[num_groups];
+      component.clear();
+      component.push_back(root);
       for (std::size_t head = 0; head < component.size(); ++head) {
-        for (VertexId w : adjacency[component[head]]) {
-          if (!seen[w]) {
-            seen[w] = true;
+        const VertexId u = component[head];
+        for (std::uint32_t pos = offset[u]; pos < offset[u + 1]; ++pos) {
+          const VertexId w = adj[pos];
+          if (!visited[w]) {
+            visited[w] = true;
             component.push_back(w);
           }
         }
       }
-      if (component.size() < 2) continue;
-      const auto group_id = static_cast<std::uint32_t>(out.groups.size());
+      // Forest components have >= 2 vertices by construction (an edge put
+      // the root in the CSR), so every one is a group.
+      const auto group_id = static_cast<std::uint32_t>(num_groups);
       std::sort(component.begin(), component.end());
       for (VertexId v : component) out.group_of[v] = group_id;
-      out.groups.push_back(std::move(component));
+      ++num_groups;
     }
+    groups.resize(num_groups);
   }
 
   // Preserve the input graph's labels on the certificate (same vertex ids).
-  if (g.HasLabels()) {
-    std::vector<VertexId> labels(n);
-    for (VertexId v = 0; v < n; ++v) labels[v] = g.LabelOf(v);
-    certificate_builder.SetLabels(std::move(labels));
-  }
-  out.certificate = certificate_builder.Build();
-  return out;
+  if (g.HasLabels()) certificate_builder.SetLabelsFrom(g);
+  certificate_builder.BuildInto(out.certificate);
 }
 
 }  // namespace kvcc

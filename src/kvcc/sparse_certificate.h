@@ -15,9 +15,11 @@
 #define KVCC_KVCC_SPARSE_CERTIFICATE_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/graph_builder.h"
 
 namespace kvcc {
 
@@ -28,16 +30,44 @@ struct SparseCertificate {
   /// The certificate subgraph. Same vertex ids (and labels) as the input.
   Graph certificate;
 
-  /// Side-groups: connected components of F_k with at least 2 vertices.
-  /// groups[i] is sorted ascending.
+  /// Side-groups: connected components of F_k with at least 2 vertices,
+  /// ordered by smallest member. groups[i] is sorted ascending.
   std::vector<std::vector<VertexId>> groups;
 
   /// Per-vertex group id, or kNoGroup.
   std::vector<std::uint32_t> group_of;
 };
 
+/// Reusable working buffers for BuildSparseCertificate. One instance per
+/// enumeration worker amortizes the mate/offset/used/forest arrays and the
+/// CSR builder across the O(n) certificate constructions of a run: once
+/// capacities have grown to the largest subgraph seen, a rebuild performs
+/// no heap allocation (beyond side-group list growth on pathological
+/// inputs). A default-constructed scratch is always valid.
+struct CertificateScratch {
+  // BuildMatePositions / forest extraction.
+  std::vector<std::uint64_t> entry_offset;  // size n+1
+  std::vector<std::uint64_t> mate;          // reverse adjacency positions
+  std::vector<bool> used;                   // retired adjacency entries
+  std::vector<bool> visited;                // per-round BFS marks
+  std::vector<VertexId> queue;              // BFS frontier
+  std::vector<std::pair<VertexId, VertexId>> last_forest;  // F_k edges
+
+  // Flat CSR of F_k for the side-group pass.
+  std::vector<std::uint32_t> forest_offset;
+  std::vector<VertexId> forest_adj;
+
+  GraphBuilder builder;  // accumulates SC edges; cycled via BuildInto
+};
+
 /// Builds the certificate by k rounds of BFS forests (BFS is a valid
-/// scan-first search). O(k (n + m)).
+/// scan-first search), O(k (n + m)), writing into `out` and reusing both
+/// `out`'s storage and `scratch`'s buffers.
+void BuildSparseCertificate(const Graph& g, std::uint32_t k,
+                            SparseCertificate& out,
+                            CertificateScratch& scratch);
+
+/// Convenience overload allocating transient storage.
 SparseCertificate BuildSparseCertificate(const Graph& g, std::uint32_t k);
 
 }  // namespace kvcc

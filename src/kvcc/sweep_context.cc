@@ -2,26 +2,39 @@
 
 namespace kvcc {
 
-SweepContext::SweepContext(const Graph& g, std::uint32_t k,
-                           const std::vector<bool>& strong,
-                           const std::vector<std::vector<VertexId>>& groups,
-                           const std::vector<std::uint32_t>& group_of,
-                           bool neighbor_sweep_enabled,
-                           bool group_sweep_enabled)
-    : graph_(g),
-      k_(k),
-      strong_(strong),
-      groups_(groups),
-      group_of_(group_of),
-      neighbor_sweep_enabled_(neighbor_sweep_enabled),
-      group_sweep_enabled_(group_sweep_enabled),
-      swept_(g.NumVertices(), false),
-      cause_(g.NumVertices(), SweepCause::kTested),
-      deposit_(g.NumVertices(), 0),
-      group_deposit_(groups.size(), 0),
-      group_processed_(groups.size(), false) {}
+void SweepContext::Bind(const Graph& g, std::uint32_t k,
+                        const std::vector<bool>& strong,
+                        const std::vector<std::vector<VertexId>>& groups,
+                        const std::vector<std::uint32_t>& group_of,
+                        bool neighbor_sweep_enabled,
+                        bool group_sweep_enabled) {
+  graph_ = &g;
+  k_ = k;
+  strong_ = &strong;
+  groups_ = &groups;
+  group_of_ = &group_of;
+  neighbor_sweep_enabled_ = neighbor_sweep_enabled;
+  group_sweep_enabled_ = group_sweep_enabled;
+
+  ++epoch_;
+  // Grow-only resizes; new entries carry stamp 0, which never equals a live
+  // epoch. Steady state (graph no larger than any predecessor): no work.
+  if (vertex_epoch_.size() < g.NumVertices()) {
+    vertex_epoch_.resize(g.NumVertices(), 0);
+    swept_.resize(g.NumVertices());
+    cause_.resize(g.NumVertices());
+    deposit_.resize(g.NumVertices());
+  }
+  if (group_epoch_.size() < groups.size()) {
+    group_epoch_.resize(groups.size(), 0);
+    group_deposit_.resize(groups.size());
+    group_processed_.resize(groups.size());
+  }
+  worklist_.clear();
+}
 
 void SweepContext::Enqueue(VertexId v, SweepCause cause) {
+  TouchVertex(v);
   if (swept_[v]) return;
   swept_[v] = true;
   cause_[v] = cause;
@@ -35,10 +48,11 @@ void SweepContext::Sweep(VertexId v, SweepCause cause) {
   while (!worklist_.empty()) {
     const VertexId u = worklist_.back();
     worklist_.pop_back();
-    const bool u_strong = neighbor_sweep_enabled_ && strong_[u];
+    const bool u_strong = neighbor_sweep_enabled_ && (*strong_)[u];
 
     if (neighbor_sweep_enabled_) {
-      for (VertexId w : graph_.Neighbors(u)) {
+      for (VertexId w : graph_->Neighbors(u)) {
+        TouchVertex(w);
         if (swept_[w]) continue;
         ++deposit_[w];
         if (u_strong) {
@@ -49,18 +63,22 @@ void SweepContext::Sweep(VertexId v, SweepCause cause) {
       }
     }
 
-    if (group_sweep_enabled_ && !group_of_.empty()) {
-      const std::uint32_t group = group_of_[u];
-      if (group != kNoGroup && !group_processed_[group]) {
-        ++group_deposit_[group];
-        // Group sweep rule 1 needs a strong side-vertex in the group; rule 2
-        // needs k known-connected members (only possible when |group| > k).
-        const bool group_strong =
-            neighbor_sweep_enabled_ ? strong_[u] : false;
-        if (group_strong || group_deposit_[group] >= k_) {
-          group_processed_[group] = true;
-          for (VertexId w : groups_[group]) {
-            Enqueue(w, SweepCause::kGroupSweep);
+    if (group_sweep_enabled_ && !group_of_->empty()) {
+      const std::uint32_t group = (*group_of_)[u];
+      if (group != kNoGroup) {
+        TouchGroup(group);
+        if (!group_processed_[group]) {
+          ++group_deposit_[group];
+          // Group sweep rule 1 needs a strong side-vertex in the group;
+          // rule 2 needs k known-connected members (only possible when
+          // |group| > k).
+          const bool group_strong =
+              neighbor_sweep_enabled_ ? (*strong_)[u] : false;
+          if (group_strong || group_deposit_[group] >= k_) {
+            group_processed_[group] = true;
+            for (VertexId w : (*groups_)[group]) {
+              Enqueue(w, SweepCause::kGroupSweep);
+            }
           }
         }
       }

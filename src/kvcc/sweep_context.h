@@ -10,6 +10,13 @@
 //     reaches k — or v is a strong side-vertex — sweeps the whole group
 //     (group sweep rules 1 and 2 / Thm 11).
 // Cascades are processed iteratively with an explicit worklist.
+//
+// A SweepContext is reusable: Bind() rebinds it to a new working graph in
+// O(1) amortized time by bumping an epoch instead of clearing (or
+// reallocating) its six per-vertex/per-group arrays. State written under an
+// older epoch reads as pristine (unswept, zero deposits), so one instance
+// per enumeration worker serves every GLOBAL-CUT call of a run without
+// per-call allocation.
 #ifndef KVCC_KVCC_SWEEP_CONTEXT_H_
 #define KVCC_KVCC_SWEEP_CONTEXT_H_
 
@@ -31,38 +38,85 @@ enum class SweepCause : std::uint8_t {
 
 class SweepContext {
  public:
-  /// `g` is the working graph (sweep conditions use its full adjacency);
-  /// `strong` flags strong side-vertices of g; `groups`/`group_of` come from
-  /// the sparse certificate. Either sweep family can be disabled.
+  /// Unbound context; call Bind() before use.
+  SweepContext() = default;
+
+  /// Convenience: construct and Bind in one step (see Bind for parameter
+  /// semantics).
   SweepContext(const Graph& g, std::uint32_t k,
                const std::vector<bool>& strong,
                const std::vector<std::vector<VertexId>>& groups,
                const std::vector<std::uint32_t>& group_of,
-               bool neighbor_sweep_enabled, bool group_sweep_enabled);
+               bool neighbor_sweep_enabled, bool group_sweep_enabled) {
+    Bind(g, k, strong, groups, group_of, neighbor_sweep_enabled,
+         group_sweep_enabled);
+  }
+
+  /// (Re)binds the context to a working graph, resetting all sweep state.
+  /// `g` is the working graph (sweep conditions use its full adjacency);
+  /// `strong` flags strong side-vertices of g; `groups`/`group_of` come
+  /// from the sparse certificate. Either sweep family can be disabled. All
+  /// arguments are borrowed and must outlive the binding (i.e. stay alive
+  /// until the next Bind or destruction).
+  void Bind(const Graph& g, std::uint32_t k, const std::vector<bool>& strong,
+            const std::vector<std::vector<VertexId>>& groups,
+            const std::vector<std::uint32_t>& group_of,
+            bool neighbor_sweep_enabled, bool group_sweep_enabled);
 
   /// Marks v locally k-connected to the source and runs all cascades.
   /// No-op if v is already swept.
   void Sweep(VertexId v, SweepCause cause);
 
-  bool IsSwept(VertexId v) const { return swept_[v]; }
-  SweepCause CauseOf(VertexId v) const { return cause_[v]; }
+  bool IsSwept(VertexId v) const {
+    return vertex_epoch_[v] == epoch_ && swept_[v];
+  }
+  SweepCause CauseOf(VertexId v) const {
+    return vertex_epoch_[v] == epoch_ ? cause_[v] : SweepCause::kTested;
+  }
 
-  std::uint32_t deposit(VertexId v) const { return deposit_[v]; }
+  std::uint32_t deposit(VertexId v) const {
+    return vertex_epoch_[v] == epoch_ ? deposit_[v] : 0;
+  }
   std::uint32_t group_deposit(std::uint32_t group) const {
-    return group_deposit_[group];
+    return group_epoch_[group] == epoch_ ? group_deposit_[group] : 0;
   }
 
  private:
+  /// Lazily initializes v's slice of the per-vertex arrays for the current
+  /// epoch. Every write path goes through here first.
+  void TouchVertex(VertexId v) {
+    if (vertex_epoch_[v] != epoch_) {
+      vertex_epoch_[v] = epoch_;
+      swept_[v] = false;
+      cause_[v] = SweepCause::kTested;
+      deposit_[v] = 0;
+    }
+  }
+  void TouchGroup(std::uint32_t group) {
+    if (group_epoch_[group] != epoch_) {
+      group_epoch_[group] = epoch_;
+      group_deposit_[group] = 0;
+      group_processed_[group] = false;
+    }
+  }
   void Enqueue(VertexId v, SweepCause cause);
 
-  const Graph& graph_;
-  const std::uint32_t k_;
-  const std::vector<bool>& strong_;
-  const std::vector<std::vector<VertexId>>& groups_;
-  const std::vector<std::uint32_t>& group_of_;
-  const bool neighbor_sweep_enabled_;
-  const bool group_sweep_enabled_;
+  const Graph* graph_ = nullptr;
+  std::uint32_t k_ = 0;
+  const std::vector<bool>* strong_ = nullptr;
+  const std::vector<std::vector<VertexId>>* groups_ = nullptr;
+  const std::vector<std::uint32_t>* group_of_ = nullptr;
+  bool neighbor_sweep_enabled_ = false;
+  bool group_sweep_enabled_ = false;
 
+  // Epoch 0 never matches: stamps start at 0, epochs at 1. 64-bit, so the
+  // counter cannot wrap within any feasible run.
+  std::uint64_t epoch_ = 0;
+  std::vector<std::uint64_t> vertex_epoch_;
+  std::vector<std::uint64_t> group_epoch_;
+
+  // Payload arrays, valid for entries stamped with the current epoch. They
+  // only ever grow (to the largest graph seen), never shrink or clear.
   std::vector<bool> swept_;
   std::vector<SweepCause> cause_;
   std::vector<std::uint32_t> deposit_;

@@ -1,0 +1,242 @@
+// KvccEngine: a batch of (graph, k) jobs on one shared scheduler must give
+// every job a result byte-identical to a serial per-call EnumerateKVccs —
+// for every worker count, submission order, and interleaving — because
+// subproblem tasks are pure functions of their input and each job's merged
+// output is canonically sorted.
+
+#include "kvcc/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "gen/fixtures.h"
+#include "gen/planted_vcc.h"
+#include "kvcc/hierarchy.h"
+#include "kvcc/kvcc_enum.h"
+#include "support/brute_force.h"
+
+namespace kvcc {
+namespace {
+
+const std::vector<unsigned> kWorkerCounts = {1, 2, 8};
+
+struct TestJob {
+  Graph graph;
+  std::uint32_t k = 0;
+  KvccOptions options;
+};
+
+/// A mixed bag of jobs: different graphs, ks, and option presets, several
+/// sharing a graph shape so concurrent jobs exercise overlapping scratch
+/// reuse patterns.
+std::vector<TestJob> MakeJobMix() {
+  std::vector<TestJob> jobs;
+
+  const Figure1Fixture fig1 = MakeFigure1Graph();
+  jobs.push_back({fig1.graph, 4, KvccOptions::VcceStar()});
+  jobs.push_back({fig1.graph, 3, KvccOptions::VcceN()});
+
+  PlantedVccConfig config;
+  config.num_blocks = 5;
+  config.block_size_min = 16;
+  config.block_size_max = 24;
+  config.connectivity = 7;
+  config.overlap = 2;
+  config.bridge_edges = 1;
+  config.seed = 41;
+  jobs.push_back({GeneratePlantedVcc(config).graph, 7,
+                  KvccOptions::VcceStar()});
+  config.seed = 42;
+  config.ring = true;
+  jobs.push_back({GeneratePlantedVcc(config).graph, 7,
+                  KvccOptions::VcceG()});
+
+  jobs.push_back({TwoCliquesSharing(6, 2), 4, KvccOptions::Vcce()});
+  jobs.push_back({PetersenGraph(), 3, KvccOptions::VcceStar()});
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    jobs.push_back({kvcc::testing::RandomConnectedGraph(14, 30, seed), 3,
+                    KvccOptions::VcceStar()});
+  }
+  return jobs;
+}
+
+std::vector<KvccResult> SerialReference(const std::vector<TestJob>& jobs) {
+  std::vector<KvccResult> reference;
+  reference.reserve(jobs.size());
+  for (const TestJob& job : jobs) {
+    KvccOptions options = job.options;
+    options.num_threads = 1;
+    reference.push_back(EnumerateKVccs(job.graph, job.k, options));
+  }
+  return reference;
+}
+
+void ExpectSameStats(const KvccStats& a, const KvccStats& b,
+                     const std::string& context) {
+  EXPECT_EQ(a.kvccs_found, b.kvccs_found) << context;
+  EXPECT_EQ(a.global_cut_calls, b.global_cut_calls) << context;
+  EXPECT_EQ(a.overlap_partitions, b.overlap_partitions) << context;
+  EXPECT_EQ(a.loc_cut_flow_calls, b.loc_cut_flow_calls) << context;
+  EXPECT_EQ(a.Phase1Total(), b.Phase1Total()) << context;
+  EXPECT_EQ(a.phase2_pairs_tested, b.phase2_pairs_tested) << context;
+  EXPECT_EQ(a.certificate_cut_fallbacks, b.certificate_cut_fallbacks)
+      << context;
+}
+
+TEST(KvccEngineTest, BatchMatchesSerialPerCallForEveryWorkerCount) {
+  const std::vector<TestJob> jobs = MakeJobMix();
+  const std::vector<KvccResult> reference = SerialReference(jobs);
+
+  for (unsigned workers : kWorkerCounts) {
+    KvccEngine engine(workers);
+    std::vector<KvccEngine::JobId> ids;
+    for (const TestJob& job : jobs) {
+      ids.push_back(engine.Submit(job.graph, job.k, job.options));
+    }
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const KvccResult result = engine.Wait(ids[i]);
+      const std::string context =
+          "workers=" + std::to_string(workers) + " job=" + std::to_string(i);
+      EXPECT_EQ(result.components, reference[i].components) << context;
+      ExpectSameStats(result.stats, reference[i].stats, context);
+    }
+  }
+}
+
+TEST(KvccEngineTest, SubmissionOrderDoesNotChangePerJobResults) {
+  const std::vector<TestJob> jobs = MakeJobMix();
+  const std::vector<KvccResult> reference = SerialReference(jobs);
+
+  // Three submission orders: forward, reverse, interleaved from the middle.
+  std::vector<std::vector<std::size_t>> orders;
+  std::vector<std::size_t> forward(jobs.size());
+  std::iota(forward.begin(), forward.end(), 0);
+  orders.push_back(forward);
+  std::vector<std::size_t> reverse = forward;
+  std::reverse(reverse.begin(), reverse.end());
+  orders.push_back(reverse);
+  std::vector<std::size_t> mixed;
+  for (std::size_t lo = 0, hi = jobs.size(); lo < hi;) {
+    mixed.push_back(lo++);
+    if (lo < hi) mixed.push_back(--hi);
+  }
+  orders.push_back(mixed);
+
+  for (unsigned workers : kWorkerCounts) {
+    for (std::size_t o = 0; o < orders.size(); ++o) {
+      KvccEngine engine(workers);
+      std::vector<KvccEngine::JobId> ids(jobs.size());
+      for (std::size_t j : orders[o]) {
+        ids[j] = engine.Submit(jobs[j].graph, jobs[j].k, jobs[j].options);
+      }
+      // Also wait out of submission order.
+      for (std::size_t i = jobs.size(); i-- > 0;) {
+        const KvccResult result = engine.Wait(ids[i]);
+        EXPECT_EQ(result.components, reference[i].components)
+            << "workers=" << workers << " order=" << o << " job=" << i;
+      }
+    }
+  }
+}
+
+TEST(KvccEngineTest, RunBatchReturnsResultsInSpecOrder) {
+  const std::vector<TestJob> jobs = MakeJobMix();
+  const std::vector<KvccResult> reference = SerialReference(jobs);
+  std::vector<EngineJobSpec> specs;
+  for (const TestJob& job : jobs) {
+    specs.push_back({&job.graph, job.k, job.options});
+  }
+  KvccEngine engine(4);
+  const std::vector<KvccResult> results = engine.RunBatch(specs);
+  ASSERT_EQ(results.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(results[i].components, reference[i].components) << "job=" << i;
+  }
+}
+
+TEST(KvccEngineTest, WarmScratchGivesIdenticalResultsAcrossRepeats) {
+  // The steady-state path (worker scratch already grown) must produce the
+  // same bytes as the cold first run.
+  const Figure1Fixture fig1 = MakeFigure1Graph();
+  KvccEngine engine(2);
+  const KvccResult first = engine.Wait(engine.Submit(fig1.graph, 4));
+  EXPECT_EQ(first.components, fig1.expected_vccs);
+  for (int repeat = 0; repeat < 5; ++repeat) {
+    const KvccResult warm = engine.Wait(engine.Submit(fig1.graph, 4));
+    EXPECT_EQ(warm.components, first.components) << "repeat=" << repeat;
+    ExpectSameStats(warm.stats, first.stats,
+                    "repeat=" + std::to_string(repeat));
+  }
+}
+
+TEST(KvccEngineTest, MixedSizeJobsInterleaveWithoutCrosstalk) {
+  // Jobs of very different sizes in flight at once: scratch rebinding from
+  // a large subgraph down to a tiny one (and back) must not leak state
+  // between jobs. Runs several rounds on one engine to hit warm buffers.
+  PlantedVccConfig big;
+  big.num_blocks = 7;
+  big.block_size_min = 20;
+  big.block_size_max = 32;
+  big.connectivity = 9;
+  big.overlap = 2;
+  big.bridge_edges = 2;
+  big.seed = 7;
+  const PlantedVccGraph planted = GeneratePlantedVcc(big);
+  const Graph small = TwoCliquesSharing(5, 1);
+
+  KvccOptions serial;
+  serial.num_threads = 1;
+  const KvccResult big_ref =
+      EnumerateKVccs(planted.graph, planted.max_connected_k, serial);
+  const KvccResult small_ref = EnumerateKVccs(small, 3, serial);
+
+  KvccEngine engine(4);
+  for (int round = 0; round < 3; ++round) {
+    const KvccEngine::JobId big_id =
+        engine.Submit(planted.graph, planted.max_connected_k);
+    const KvccEngine::JobId small_id = engine.Submit(small, 3);
+    const KvccEngine::JobId big_id2 =
+        engine.Submit(planted.graph, planted.max_connected_k);
+    EXPECT_EQ(engine.Wait(small_id).components, small_ref.components);
+    EXPECT_EQ(engine.Wait(big_id).components, big_ref.components);
+    EXPECT_EQ(engine.Wait(big_id2).components, big_ref.components);
+  }
+}
+
+TEST(KvccEngineTest, SubmitRejectsKZero) {
+  const Graph g = CompleteGraph(4);
+  KvccEngine engine(1);
+  EXPECT_THROW(engine.Submit(g, 0), std::invalid_argument);
+}
+
+TEST(KvccEngineTest, WaitRejectsUnknownJobId) {
+  KvccEngine engine(1);
+  EXPECT_THROW(engine.Wait(123), std::out_of_range);
+}
+
+TEST(KvccEngineTest, WaitConsumesTheTicket) {
+  // Wait reclaims the job's bookkeeping (a long-lived engine must not
+  // accumulate state per served job), so a second Wait on the same id
+  // throws instead of returning stale data.
+  const Figure1Fixture fig1 = MakeFigure1Graph();
+  KvccEngine engine(2);
+  const KvccEngine::JobId id = engine.Submit(fig1.graph, 4);
+  EXPECT_EQ(engine.Wait(id).components, fig1.expected_vccs);
+  EXPECT_THROW(engine.Wait(id), std::out_of_range);
+}
+
+TEST(KvccEngineTest, DestructorDrainsUnwaitedJobs) {
+  // Submitting without waiting must not hang or crash the destructor.
+  const Figure1Fixture fig1 = MakeFigure1Graph();
+  KvccEngine engine(2);
+  for (int i = 0; i < 4; ++i) engine.Submit(fig1.graph, 4);
+  // Engine goes out of scope with jobs potentially still running.
+}
+
+}  // namespace
+}  // namespace kvcc

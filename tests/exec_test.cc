@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <set>
@@ -86,6 +87,51 @@ TEST(TaskSchedulerTest, TaskExceptionIsRethrownAfterDraining) {
   // Every non-throwing task still ran: the failure is recorded, not fatal
   // to the rest of the drain.
   EXPECT_EQ(executed.load(), 19u);
+}
+
+TEST(TaskSchedulerTest, PersistentModeServesMultipleQuiescentCycles) {
+  // Start/Stop mode: workers park at quiescence instead of exiting, so a
+  // long-lived owner can push several independent waves of work. Each wave
+  // signals its own completion through a counter the test waits on.
+  TaskScheduler scheduler(3);
+  scheduler.Start();
+  std::atomic<std::uint64_t> executed{0};
+  for (int wave = 1; wave <= 3; ++wave) {
+    int remaining = 16;  // Guarded by `mutex` so the waiter cannot observe
+    std::mutex mutex;    // completion while a notifier still touches these.
+    std::condition_variable done;
+    for (int i = 0; i < 16; ++i) {
+      scheduler.Submit([&](unsigned) {
+        ++executed;
+        std::lock_guard<std::mutex> lock(mutex);
+        if (--remaining == 0) done.notify_all();
+      });
+    }
+    std::unique_lock<std::mutex> lock(mutex);
+    done.wait(lock, [&] { return remaining == 0; });
+    EXPECT_EQ(executed.load(), 16u * wave) << "wave=" << wave;
+    // The pool is now quiescent (parked); the next wave must wake it.
+  }
+  scheduler.Stop();
+  EXPECT_EQ(executed.load(), 48u);
+}
+
+TEST(TaskSchedulerTest, StopDrainsOutstandingWork) {
+  // Stop() must run every already-submitted task (including children
+  // spawned during the drain) before joining.
+  TaskScheduler scheduler(2);
+  scheduler.Start();
+  std::atomic<std::uint64_t> executed{0};
+  for (int i = 0; i < 32; ++i) {
+    scheduler.Submit([&](unsigned) {
+      ++executed;
+      if (executed.load() <= 32) {
+        scheduler.Submit([&](unsigned) { ++executed; });
+      }
+    });
+  }
+  scheduler.Stop();
+  EXPECT_GE(executed.load(), 32u);
 }
 
 TEST(TaskSchedulerTest, ParallelSumMatchesSerial) {

@@ -5,11 +5,34 @@
 #include "gen/fixtures.h"
 #include "gen/planted_vcc.h"
 #include "graph/graph.h"
+#include "kvcc/engine.h"
 #include "kvcc/kvcc_enum.h"
 #include "support/brute_force.h"
 
 namespace kvcc {
 namespace {
+
+/// Field-by-field equality of two hierarchies (vertices, nesting links,
+/// level grouping, and per-vertex cohesion).
+void ExpectSameHierarchy(const KvccHierarchy& a, const KvccHierarchy& b,
+                         VertexId num_vertices, const std::string& context) {
+  ASSERT_EQ(a.nodes.size(), b.nodes.size()) << context;
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_EQ(a.nodes[i].level, b.nodes[i].level) << context << " node " << i;
+    EXPECT_EQ(a.nodes[i].vertices, b.nodes[i].vertices)
+        << context << " node " << i;
+    EXPECT_EQ(a.nodes[i].parent, b.nodes[i].parent) << context << " node "
+                                                    << i;
+    EXPECT_EQ(a.nodes[i].children, b.nodes[i].children)
+        << context << " node " << i;
+  }
+  EXPECT_EQ(a.levels, b.levels) << context;
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    EXPECT_EQ(a.CohesionOf(v), b.CohesionOf(v)) << context << " v=" << v;
+  }
+  EXPECT_EQ(a.stats.kvccs_found, b.stats.kvccs_found) << context;
+  EXPECT_EQ(a.stats.global_cut_calls, b.stats.global_cut_calls) << context;
+}
 
 TEST(HierarchyTest, CliqueHasSingleChain) {
   const Graph g = CompleteGraph(6);
@@ -31,6 +54,54 @@ TEST(HierarchyTest, EveryLevelMatchesDirectEnumeration) {
       EXPECT_EQ(h.ComponentsAtLevel(k), EnumerateKVccs(g, k).components)
           << "seed=" << seed << " k=" << k;
     }
+  }
+}
+
+TEST(HierarchyTest, ThreadedBuildMatchesSerialExactly) {
+  // The engine-driven build submits each level's parents as independent
+  // jobs; the merged hierarchy must be identical to the serial one for
+  // every worker count.
+  std::vector<Graph> inputs;
+  inputs.push_back(MakeFigure1Graph().graph);
+  inputs.push_back(kvcc::testing::RandomConnectedGraph(30, 70, 3));
+  PlantedVccConfig config;
+  config.num_blocks = 4;
+  config.block_size_min = 12;
+  config.block_size_max = 18;
+  config.connectivity = 7;
+  config.overlap = 2;
+  config.bridge_edges = 1;
+  config.seed = 77;
+  inputs.push_back(GeneratePlantedVcc(config).graph);
+
+  for (std::size_t gi = 0; gi < inputs.size(); ++gi) {
+    const Graph& g = inputs[gi];
+    KvccOptions serial_options;
+    serial_options.num_threads = 1;
+    const KvccHierarchy serial = BuildKvccHierarchy(g, 0, serial_options);
+    for (std::uint32_t threads : {2u, 8u}) {
+      KvccOptions options;
+      options.num_threads = threads;
+      const KvccHierarchy parallel = BuildKvccHierarchy(g, 0, options);
+      ExpectSameHierarchy(serial, parallel, g.NumVertices(),
+                          "graph=" + std::to_string(gi) +
+                              " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(HierarchyTest, SharedEngineBuildMatchesSerial) {
+  // Several hierarchies built back to back on one warm engine.
+  const Figure1Fixture f = MakeFigure1Graph();
+  KvccOptions serial_options;
+  serial_options.num_threads = 1;
+  const KvccHierarchy serial =
+      BuildKvccHierarchy(f.graph, 0, serial_options);
+  KvccEngine engine(4);
+  for (int round = 0; round < 3; ++round) {
+    const KvccHierarchy shared = BuildKvccHierarchy(engine, f.graph);
+    ExpectSameHierarchy(serial, shared, f.graph.NumVertices(),
+                        "round=" + std::to_string(round));
   }
 }
 

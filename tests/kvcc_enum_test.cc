@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "ecc/kecc.h"
 #include "gen/fixtures.h"
@@ -148,6 +149,20 @@ TEST(KvccEnumTest, OverlapPartitionDuplicatesCut) {
                                    piece.vertices.end(), 4u));
     EXPECT_EQ(piece.graph.NumVertices(), 5u);
   }
+}
+
+TEST(KvccEnumTest, OverlapPartitionRejectsNonSeparatingCut) {
+  // Regression: this precondition used to be an assert, so a Release build
+  // fed a non-cut would return the parent graph as its own single piece
+  // and the recursion would respawn it forever. Now every build mode
+  // throws.
+  const Graph g = CompleteGraph(5);
+  EXPECT_THROW(OverlapPartition(g, {0}), std::logic_error);   // 1 piece.
+  EXPECT_THROW(OverlapPartition(g, {}), std::logic_error);    // No cut.
+  EXPECT_THROW(OverlapPartition(g, {0, 1, 2, 3, 4}), std::logic_error);
+  // A real cut still partitions fine.
+  const Graph chain = TwoCliquesSharing(5, 1);
+  EXPECT_EQ(OverlapPartition(chain, {4}).size(), 2u);
 }
 
 TEST(KvccEnumTest, CaseStudyShapesMatchFig14) {

@@ -2,6 +2,7 @@
 //
 // Subcommands:
 //   decompose   enumerate the k-VCCs of an edge-list graph
+//   batch       serve many (graph, k) jobs on one shared KvccEngine
 //   hierarchy   print the full k-VCC hierarchy (cohesive blocking)
 //   connectivity  report kappa(G) / test k-vertex-connectivity
 //   models      compare k-core / k-ECC / k-VCC on one graph
@@ -13,6 +14,8 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -21,6 +24,7 @@
 #include "graph/graph_io.h"
 #include "graph/k_core.h"
 #include "kvcc/connectivity.h"
+#include "kvcc/engine.h"
 #include "kvcc/hierarchy.h"
 #include "kvcc/kvcc_enum.h"
 #include "kvcc/validation.h"
@@ -37,12 +41,40 @@ int Usage() {
       "  decompose <graph> <k> [--variant=VCCE*|VCCE|VCCE-N|VCCE-G]\n"
       "            [--threads=N] [--validate] [--stats] [--quiet]\n"
       "            (--threads: 1 = serial, 0 = all hardware threads)\n"
-      "  hierarchy <graph> [max_k]\n"
+      "  batch <jobs-file> [--threads=N] [--stats] [--quiet]\n"
+      "        (jobs-file lines: \"<graph> <k> [variant]\"; '#' comments.\n"
+      "         All jobs run concurrently on one shared engine; output\n"
+      "         order and content match per-job serial decompose runs.)\n"
+      "  hierarchy <graph> [max_k] [--threads=N]\n"
       "  connectivity <graph> [k]\n"
       "  models <graph> <k>\n"
       "  generate <dataset> <out-file> [scale]\n"
       "  datasets\n";
   return 2;
+}
+
+/// Strict unsigned parse: pure digits only, capped. strtoul alone accepts
+/// a leading '-' (wrapping) and trailing junk, so "-1" or "12abc" would
+/// otherwise slip through as enormous or truncated values.
+bool ParseUint(const std::string& value, unsigned long cap,
+               std::uint32_t& out) {
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+  if (value.empty() || *end != '\0' || value[0] == '-' || parsed > cap) {
+    return false;
+  }
+  out = static_cast<std::uint32_t>(parsed);
+  return true;
+}
+
+/// Parses a --threads=N value; prints an error and returns false on junk.
+bool ParseThreads(const std::string& value, std::uint32_t& threads) {
+  if (!ParseUint(value, 1024, threads)) {
+    std::cerr << "error: --threads expects an integer in [0, 1024] "
+                 "(0 = all hardware threads)\n";
+    return false;
+  }
+  return true;
 }
 
 void PrintComponents(const Graph& g,
@@ -63,17 +95,7 @@ int CmdDecompose(const std::vector<std::string>& args) {
     if (args[i].rfind("--variant=", 0) == 0) {
       options = KvccOptions::FromVariantName(args[i].substr(10));
     } else if (args[i].rfind("--threads=", 0) == 0) {
-      const std::string value = args[i].substr(10);
-      char* end = nullptr;
-      const unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
-      // strtoul accepts a leading '-' (wrapping); require pure digits and a
-      // sane cap so a typo cannot ask for billions of workers.
-      if (value.empty() || *end != '\0' || value[0] == '-' || parsed > 1024) {
-        std::cerr << "error: --threads expects an integer in [0, 1024] "
-                     "(0 = all hardware threads)\n";
-        return 2;
-      }
-      threads = static_cast<std::uint32_t>(parsed);
+      if (!ParseThreads(args[i].substr(10), threads)) return 2;
     } else if (args[i] == "--validate") {
       validate = true;
     } else if (args[i] == "--stats") {
@@ -110,12 +132,114 @@ int CmdDecompose(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// One parsed line of a batch jobs file.
+struct BatchJobLine {
+  std::string graph_path;
+  std::uint32_t k = 0;
+  KvccOptions options;
+};
+
+int CmdBatch(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  bool stats = false, quiet = false;
+  std::uint32_t threads = 0;  // Batch mode defaults to all hardware threads.
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i].rfind("--threads=", 0) == 0) {
+      if (!ParseThreads(args[i].substr(10), threads)) return 2;
+    } else if (args[i] == "--stats") {
+      stats = true;
+    } else if (args[i] == "--quiet") {
+      quiet = true;
+    } else {
+      return Usage();
+    }
+  }
+
+  std::ifstream in(args[0]);
+  if (!in) {
+    std::cerr << "error: cannot open jobs file " << args[0] << "\n";
+    return 1;
+  }
+  std::vector<BatchJobLine> jobs;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream fields(line);
+    BatchJobLine job;
+    if (!(fields >> job.graph_path) || job.graph_path[0] == '#' ||
+        job.graph_path[0] == '%') {
+      continue;  // Blank or comment line.
+    }
+    std::string k_field, variant;
+    if (!(fields >> k_field) ||
+        !ParseUint(k_field, 0xffffffffUL, job.k) || job.k == 0) {
+      std::cerr << "error: " << args[0] << ":" << line_no
+                << ": expected \"<graph> <k> [variant]\" with k >= 1\n";
+      return 2;
+    }
+    job.options = fields >> variant ? KvccOptions::FromVariantName(variant)
+                                    : KvccOptions::VcceStar();
+    jobs.push_back(std::move(job));
+  }
+  if (jobs.empty()) {
+    std::cerr << "error: no jobs in " << args[0] << "\n";
+    return 1;
+  }
+
+  // Load each distinct graph once; jobs borrow from the cache (std::map
+  // nodes are pointer-stable while the engine runs).
+  std::map<std::string, Graph> graphs;
+  for (const BatchJobLine& job : jobs) {
+    if (!graphs.count(job.graph_path)) {
+      graphs.emplace(job.graph_path, ReadEdgeListFile(job.graph_path));
+    }
+  }
+
+  KvccEngine engine(threads);
+  Timer timer;
+  std::vector<KvccEngine::JobId> ids;
+  ids.reserve(jobs.size());
+  for (const BatchJobLine& job : jobs) {
+    ids.push_back(engine.Submit(graphs.at(job.graph_path), job.k,
+                                job.options));
+  }
+  KvccStats totals;
+  std::size_t total_components = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Graph& g = graphs.at(jobs[i].graph_path);
+    const KvccResult result = engine.Wait(ids[i]);
+    std::cerr << "job " << i << ": " << jobs[i].graph_path
+              << " |V|=" << g.NumVertices() << " |E|=" << g.NumEdges()
+              << " k=" << jobs[i].k << ": " << result.components.size()
+              << " k-VCCs\n";
+    if (!quiet) PrintComponents(g, result.components);
+    totals.Add(result.stats);
+    total_components += result.components.size();
+  }
+  std::cerr << jobs.size() << " jobs (" << total_components
+            << " k-VCCs) on " << engine.num_workers() << " workers in "
+            << timer.ElapsedMillis() << "ms\n";
+  if (stats) std::cerr << totals.ToString();
+  return 0;
+}
+
 int CmdHierarchy(const std::vector<std::string>& args) {
   if (args.empty()) return Usage();
+  std::uint32_t max_k = 0;
+  std::uint32_t threads = 1;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i].rfind("--threads=", 0) == 0) {
+      if (!ParseThreads(args[i].substr(10), threads)) return 2;
+    } else if (!ParseUint(args[i], 0xffffffffUL, max_k)) {
+      std::cerr << "error: hierarchy max_k must be a non-negative integer\n";
+      return 2;
+    }
+  }
   const Graph g = ReadEdgeListFile(args[0]);
-  const std::uint32_t max_k =
-      args.size() > 1 ? static_cast<std::uint32_t>(std::stoul(args[1])) : 0;
-  const KvccHierarchy hierarchy = BuildKvccHierarchy(g, max_k);
+  KvccOptions options;
+  options.num_threads = threads;
+  const KvccHierarchy hierarchy = BuildKvccHierarchy(g, max_k, options);
   for (std::uint32_t k = 1; k <= hierarchy.MaxLevel(); ++k) {
     const auto& nodes = hierarchy.NodesAtLevel(k);
     std::cout << "level " << k << ": " << nodes.size() << " component(s)";
@@ -186,6 +310,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 2, argv + argc);
   try {
     if (command == "decompose") return CmdDecompose(args);
+    if (command == "batch") return CmdBatch(args);
     if (command == "hierarchy") return CmdHierarchy(args);
     if (command == "connectivity") return CmdConnectivity(args);
     if (command == "models") return CmdModels(args);

@@ -3,6 +3,12 @@
 # machine-readable BENCH_kvcc.json in the repo root so the benchmark
 # trajectory can be tracked across commits.
 #
+# The build is verified (and if necessary forced) to be a Release build:
+# a previous revision of this script reused whatever build directory it
+# found and silently recorded debug-build numbers. Every snapshot line is
+# stamped with the build type and git commit so a stray debug number can
+# never masquerade as a trajectory point again.
+#
 # usage: tools/run_bench.sh [build-dir] [out-file]
 set -euo pipefail
 
@@ -10,27 +16,61 @@ REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
 OUT_FILE="${2:-$REPO_ROOT/BENCH_kvcc.json}"
 
-if [[ ! -d "$BUILD_DIR" ]]; then
-  cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+build_type() {
+  sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" 2>/dev/null
+}
+
+# Configure fresh, or reconfigure an existing dir whose build type is not
+# Release (cmake updates the cached entry in place; ninja/make then rebuild
+# whatever the flag change dirties).
+if [[ ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release
+elif [[ "$(build_type)" != "Release" ]]; then
+  echo "run_bench.sh: $BUILD_DIR is a '$(build_type)' build; forcing Release" >&2
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release
 fi
+
 cmake --build "$BUILD_DIR" -j \
-  --target bench_scalability_threads bench_micro_kvcc 2>/dev/null ||
+  --target bench_scalability_threads bench_batch_throughput \
+           bench_micro_kvcc 2>/dev/null ||
   cmake --build "$BUILD_DIR" -j
+
+BUILD_TYPE="$(build_type)"
+if [[ "$BUILD_TYPE" != "Release" ]]; then
+  echo "run_bench.sh: refusing to record a '$BUILD_TYPE' build" >&2
+  exit 1
+fi
+# --always --dirty: a snapshot from an uncommitted tree says so.
+GIT_COMMIT="$(git -C "$REPO_ROOT" describe --always --dirty 2>/dev/null || echo unknown)"
 
 rm -f "$OUT_FILE"
 
 # Thread-scalability sweep (also validates identical output per thread count).
-"$BUILD_DIR/bench_scalability_threads" --threads=1,2,4 --json="$OUT_FILE"
+"$BUILD_DIR/bench_scalability_threads" --threads=1,2,4 --json="$OUT_FILE" \
+  --build-type="$BUILD_TYPE" --commit="$GIT_COMMIT"
 
-# google-benchmark micro suite, if it was built.
+# Batch serving throughput on the shared engine.
+"$BUILD_DIR/bench_batch_throughput" --threads=1,2,4 --json="$OUT_FILE" \
+  --build-type="$BUILD_TYPE" --commit="$GIT_COMMIT"
+
+# google-benchmark micro suite, if it was built. The report is wrapped in
+# an envelope carrying OUR build stamp: the inner context's
+# "library_build_type" describes how the google-benchmark *library
+# package* was compiled (Debian ships it as "debug"), not this repo.
 if [[ -x "$BUILD_DIR/bench_micro_kvcc" ]]; then
   MICRO_OUT="$(mktemp)"
   "$BUILD_DIR/bench_micro_kvcc" --benchmark_format=json \
     --benchmark_min_time=0.1 >"$MICRO_OUT" 2>/dev/null
-  # Append as a second JSON line: one snapshot object per line.
+  # Append as one more JSON line: one snapshot object per line.
+  printf '{"bench": "micro_kvcc", "build_type": "%s", "git_commit": "%s", "report": ' \
+    "$BUILD_TYPE" "$GIT_COMMIT" >>"$OUT_FILE"
   tr -d '\n' <"$MICRO_OUT" >>"$OUT_FILE"
-  echo >>"$OUT_FILE"
+  printf '}\n' >>"$OUT_FILE"
   rm -f "$MICRO_OUT"
 fi
 
-echo "perf snapshot written to $OUT_FILE"
+if ! grep -q '"build_type": "Release"' "$OUT_FILE"; then
+  echo "run_bench.sh: snapshot is missing the Release stamp" >&2
+  exit 1
+fi
+echo "perf snapshot written to $OUT_FILE (Release @ $GIT_COMMIT)"
