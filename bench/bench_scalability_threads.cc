@@ -1,11 +1,18 @@
-// Thread scalability of the parallel enumeration engine: sweeps
-// KvccOptions::num_threads over the planted-VCC benchmark workload,
-// reports wall-clock speedup vs the serial path, and verifies that every
+// Thread scalability of the parallel enumeration engine, two scenarios:
+//
+//   1. planted-VCC workload — a bushy recursion tree; scales through
+//      inter-subproblem parallelism (PR 1/2);
+//   2. shallow single-k-VCC workload — one large k-connected graph, a
+//      recursion tree of depth 1 where the subproblem level offers no
+//      parallelism at all; scales through the intra-GLOBAL-CUT probe
+//      wavefronts, whose probe-waste stats are reported and snapshotted.
+//
+// Both report wall-clock speedup vs the serial path and verify that every
 // thread count enumerates byte-identical components.
 //
 // Flags:
 //   --scale=<double>   workload size multiplier (default 1.0)
-//   --ks=16,24         k sweep override
+//   --ks=16,24         k sweep override (planted scenario)
 //   --threads=1,2,4,8  thread counts to sweep (first entry is the baseline)
 //   --quick            shrink the workload for smoke runs
 //   --json=<path>      append a machine-readable perf snapshot to <path>
@@ -21,6 +28,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "gen/harary.h"
 #include "gen/planted_vcc.h"
 #include "kvcc/kvcc_enum.h"
 #include "util/timer.h"
@@ -87,6 +95,71 @@ PlantedVccGraph MakeWorkload(double scale, bool quick) {
   return GeneratePlantedVcc(config);
 }
 
+/// Shallow-recursion scenario: one Harary graph H_{k,n} is exactly
+/// k-connected, so the whole enumeration is a single GLOBAL-CUT that finds
+/// no cut — the worst case for subproblem-level parallelism and the target
+/// case for intra-cut wavefronts.
+int RunShallowScenario(const ThreadBenchArgs& args, std::ostream& json_out) {
+  const double s = args.quick ? args.scale * 0.3 : args.scale;
+  const std::uint32_t k = 12;
+  // Floor above intra_cut_min_vertices so wavefronts engage even in
+  // --quick smoke runs.
+  const VertexId n = std::max<VertexId>(150, static_cast<VertexId>(400 * s));
+  const Graph g = HararyGraph(k, n);
+
+  std::cout << "\nshallow workload (single " << k << "-connected graph): |V|="
+            << g.NumVertices() << " |E|=" << g.NumEdges() << "\n\n";
+  const std::vector<int> widths = {8, 10, 10, 12, 12, 12, 10};
+  PrintRow({"threads", "time", "speedup", "wavefronts", "probes",
+            "wasted", "match"},
+           widths);
+
+  std::vector<std::vector<VertexId>> reference;
+  double reference_seconds = 0.0;
+  bool all_match = true;
+  bool first_json = true;
+  json_out << "{\"bench\": \"scalability_threads_shallow\", \"workload\": "
+           << "{\"n\": " << g.NumVertices() << ", \"m\": " << g.NumEdges()
+           << ", \"k\": " << k << "}, \"results\": [";
+  for (const std::uint32_t threads : args.threads) {
+    KvccOptions options = KvccOptions::VcceStar();
+    options.num_threads = threads;
+    Timer timer;
+    const KvccResult result = EnumerateKVccs(g, k, options);
+    const double seconds = timer.ElapsedSeconds();
+
+    bool match = true;
+    if (reference.empty() && reference_seconds == 0.0) {
+      reference = result.components;
+      reference_seconds = seconds;
+    } else {
+      match = result.components == reference;
+    }
+    all_match = all_match && match;
+    const std::uint64_t wasted = result.stats.probes_wasted_swept +
+                                 result.stats.probes_wasted_after_cut;
+    PrintRow({std::to_string(threads), FormatSeconds(seconds),
+              FormatDouble(reference_seconds / seconds, 2) + "x",
+              std::to_string(result.stats.probe_wavefronts),
+              std::to_string(result.stats.probes_launched),
+              std::to_string(wasted), match ? "yes" : "NO"},
+             widths);
+    if (!first_json) json_out << ", ";
+    first_json = false;
+    json_out << "{\"threads\": " << threads << ", \"seconds\": " << seconds
+             << ", \"probe_wavefronts\": " << result.stats.probe_wavefronts
+             << ", \"probes_launched\": " << result.stats.probes_launched
+             << ", \"probes_wasted_swept\": "
+             << result.stats.probes_wasted_swept
+             << ", \"probes_wasted_after_cut\": "
+             << result.stats.probes_wasted_after_cut
+             << ", \"identical_output\": " << (match ? "true" : "false")
+             << "}";
+  }
+  json_out << "]}";
+  return all_match ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -144,14 +217,27 @@ int main(int argc, char** argv) {
   }
   json << "]}";
 
+  // Shallow scenario: depth-1 recursion, intra-cut wavefronts only.
+  std::ostringstream shallow_body;
+  const int shallow_rc = RunShallowScenario(args, shallow_body);
+  all_match = all_match && shallow_rc == 0;
+  std::string shallow_line = shallow_body.str();
+  // Inject the build stamp right after the opening brace so every snapshot
+  // line carries it (run_bench.sh greps for the Release stamp).
+  shallow_line.insert(1, "\"build_type\": \"" + args.build_type +
+                             "\", \"git_commit\": \"" + args.commit + "\", ");
+
   if (!args.json_path.empty()) {
     std::ofstream out(args.json_path, std::ios::app);
-    out << json.str() << "\n";
+    out << json.str() << "\n" << shallow_line << "\n";
     std::cout << "\nwrote perf snapshot to " << args.json_path << "\n";
   }
   std::cout << "\nExpected shape: speedup approaches the physical core "
                "count while every row reports match=yes (the output is "
-               "canonically sorted, so scheduling cannot change it).\n";
+               "canonically sorted, so scheduling cannot change it). In the "
+               "shallow scenario the speedup comes entirely from intra-cut "
+               "probe wavefronts; probe waste stays a bounded fraction of "
+               "probes launched.\n";
   if (!all_match) {
     std::cerr << "ERROR: some thread count produced different output\n";
     return 1;

@@ -1,5 +1,7 @@
 #include "exec/task_scheduler.h"
 
+#include <atomic>
+#include <memory>
 #include <utility>
 
 namespace kvcc::exec {
@@ -8,6 +10,12 @@ namespace {
 /// Worker id of the current thread while inside WorkerLoop; -1 elsewhere.
 /// Lets Submit route child tasks to the spawning worker's own deque.
 thread_local int tls_worker_id = -1;
+
+/// The scheduler the current thread is a worker of; null elsewhere. A
+/// worker id is only meaningful relative to its own scheduler — ParallelFor
+/// on scheduler A called from a worker of scheduler B must treat the caller
+/// as external, or its slot could collide with one of A's helpers.
+thread_local const TaskScheduler* tls_scheduler = nullptr;
 
 }  // namespace
 
@@ -27,13 +35,14 @@ TaskScheduler::TaskScheduler(unsigned num_workers) {
 
 TaskScheduler::~TaskScheduler() { Stop(); }
 
-void TaskScheduler::Submit(Task task) {
+void TaskScheduler::Enqueue(Task task, bool shared) {
   unsigned target;
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
     ++outstanding_;
     const int self = tls_worker_id;
-    if (self >= 0 && static_cast<unsigned>(self) < queues_.size()) {
+    if (!shared && tls_scheduler == this && self >= 0 &&
+        static_cast<unsigned>(self) < queues_.size()) {
       target = static_cast<unsigned>(self);
     } else {
       target = next_seed_queue_++ % num_workers();
@@ -48,6 +57,92 @@ void TaskScheduler::Submit(Task task) {
     ++submit_seq_;  // After the push: sleepers re-scan once they see it.
   }
   wake_cv_.notify_one();
+}
+
+void TaskScheduler::Submit(Task task) { Enqueue(std::move(task), false); }
+
+void TaskScheduler::SubmitShared(Task task) { Enqueue(std::move(task), true); }
+
+std::uint64_t TaskScheduler::ApproxOutstanding() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return outstanding_;
+}
+
+void TaskScheduler::ParallelFor(
+    std::size_t count,
+    const std::function<void(std::size_t index, unsigned slot)>& body) {
+  const unsigned caller_slot =
+      (tls_scheduler == this && tls_worker_id >= 0)
+          ? static_cast<unsigned>(tls_worker_id)
+          : num_workers();
+  if (count <= 1 || num_workers() == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i, caller_slot);
+    return;
+  }
+
+  // Shared by the caller and the helper stubs. Heap-owned so a stub that
+  // runs after the caller already returned (every index long claimed) finds
+  // dead-but-valid state instead of a dangling stack frame; such a straggler
+  // sees next >= count and exits without ever touching `body`.
+  struct ForState {
+    std::atomic<std::size_t> next{0};
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::size_t completed = 0;
+    std::size_t count = 0;
+    std::exception_ptr first_error;
+    const std::function<void(std::size_t, unsigned)>* body = nullptr;
+  };
+  auto state = std::make_shared<ForState>();
+  state->count = count;
+  state->body = &body;
+
+  auto drain = [](const std::shared_ptr<ForState>& s, unsigned slot) {
+    std::size_t done_here = 0;
+    std::exception_ptr error;
+    while (true) {
+      const std::size_t i = s->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= s->count) break;
+      try {
+        (*s->body)(i, slot);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+      ++done_here;
+    }
+    if (done_here == 0 && !error) return;
+    std::lock_guard<std::mutex> lock(s->mutex);
+    if (error && !s->first_error) s->first_error = error;
+    s->completed += done_here;
+    if (s->completed == s->count) s->done_cv.notify_all();
+  };
+
+  // Helper stubs are worth their submission cost only when part of the pool
+  // is idle (outstanding < workers, counting the caller's own task). When
+  // the queues are already saturated with real tasks, the caller simply
+  // drains the whole range itself — same results, no stub churn.
+  const std::uint64_t outstanding = ApproxOutstanding();
+  std::size_t helpers = 0;
+  if (outstanding < num_workers()) {
+    helpers = std::min<std::size_t>(num_workers() - 1, count - 1);
+  }
+  for (std::size_t h = 0; h < helpers; ++h) {
+    SubmitShared([state, drain](unsigned worker) { drain(state, worker); });
+  }
+
+  drain(state, caller_slot);
+
+  // Bounded wait: every unclaimed index was drained by the caller above, so
+  // this only waits for bodies other threads are executing right now. A
+  // helper stub never blocks, so no wait cycle can form — nested calls
+  // (even on one worker, even from inside a body) always terminate.
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done_cv.wait(lock, [&] { return state->completed == state->count; });
+  if (state->first_error) {
+    std::exception_ptr error = std::exchange(state->first_error, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 bool TaskScheduler::TryPopOwn(unsigned worker, Task& task) {
@@ -74,6 +169,7 @@ bool TaskScheduler::TrySteal(unsigned thief, Task& task) {
 
 void TaskScheduler::WorkerLoop(unsigned worker) {
   tls_worker_id = static_cast<int>(worker);
+  tls_scheduler = this;
   Task task;
   while (true) {
     // Snapshot the submit sequence *before* scanning: any task pushed
@@ -112,6 +208,7 @@ void TaskScheduler::WorkerLoop(unsigned worker) {
     if (stop_ && outstanding_ == 0) break;
   }
   tls_worker_id = -1;
+  tls_scheduler = nullptr;
 }
 
 void TaskScheduler::Start() {

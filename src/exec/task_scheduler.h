@@ -26,10 +26,20 @@
 // Tasks receive their worker's id (0 <= id < num_workers), which callers
 // use to index per-worker scratch state without any synchronization.
 //
+// Besides whole tasks, a running task can fan a flat index range out to the
+// idle part of the pool with ParallelFor: the caller claims indices itself
+// (so progress never depends on anyone else being free) while helper stubs
+// submitted to the other workers claim from the same shared counter. The
+// wait at the end is bounded by the in-flight bodies only — helpers never
+// block and the owner never executes unrelated tasks — so ParallelFor nests
+// inside tasks (and inside other ParallelFor bodies) without deadlock even
+// on a single worker.
+//
 // Determinism note: the scheduler makes no ordering guarantees between
 // tasks. Callers that need deterministic output must make each task a pure
 // function of its input and canonicalize (e.g. sort) the merged results —
-// exactly what the k-VCC engine does.
+// exactly what the k-VCC engine does. ParallelFor makes no assignment
+// guarantees either: bodies must write only to their own index's slot.
 #ifndef KVCC_EXEC_TASK_SCHEDULER_H_
 #define KVCC_EXEC_TASK_SCHEDULER_H_
 
@@ -69,6 +79,39 @@ class TaskScheduler {
   /// thread while the workers are parked.
   void Submit(Task task);
 
+  /// Like Submit, but always seeds round-robin across the worker deques,
+  /// even when called from within a running task. Use for root tasks of new
+  /// independent jobs (fairness: a job submitted from inside a busy worker
+  /// must not queue behind that worker's whole subtree) and for helper
+  /// stubs that should be picked up by *other* workers.
+  void SubmitShared(Task task);
+
+  /// Tasks submitted but not yet finished (queued + running), sampled now.
+  /// `ApproxOutstanding() < num_workers()` means part of the pool is idle —
+  /// the signal ParallelFor uses to decide whether helper stubs are worth
+  /// submitting.
+  std::uint64_t ApproxOutstanding();
+
+  /// Runs body(index, slot) for every index in [0, count). The calling
+  /// thread claims indices from a shared counter; when the pool looks
+  /// starved, helper stubs are submitted so idle workers claim from the
+  /// same counter concurrently. `slot` identifies the executing thread for
+  /// per-slot scratch: a worker of this scheduler gets its worker id, any
+  /// other thread gets num_workers() — so slots of concurrent participants
+  /// never collide and callers size per-slot pools to num_workers() + 1.
+  ///
+  /// Safe to call from inside a task (nested fork-join) and reentrantly
+  /// from inside a ParallelFor body: the caller never blocks on a helper
+  /// *starting* (it drains the index space itself) and waits only for
+  /// bodies already in flight on other threads. If one external (non-
+  /// worker) thread may call this concurrently with another, callers must
+  /// serialize those external calls themselves (they would share the
+  /// external slot). Rethrows the first exception thrown by a body after
+  /// all claimed bodies have finished.
+  void ParallelFor(std::size_t count,
+                   const std::function<void(std::size_t index, unsigned slot)>&
+                       body);
+
   /// Runs until every submitted task (including tasks submitted while
   /// running) has completed, then joins the workers. Call at most once,
   /// and not after Start(). If any task threw, the first recorded
@@ -96,6 +139,7 @@ class TaskScheduler {
   bool TryPopOwn(unsigned worker, Task& task);
   bool TrySteal(unsigned thief, Task& task);
   void WorkerLoop(unsigned worker);
+  void Enqueue(Task task, bool shared);
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
 

@@ -32,7 +32,11 @@ KvccEngine::JobId KvccEngine::Submit(const Graph& g, std::uint32_t k,
     id = next_job_id_++;
     jobs_.emplace(id, std::move(state));
   }
-  scheduler_.Submit([this, job](unsigned worker_id) {
+  // Root tasks seed round-robin across the worker deques even when Submit
+  // is called from inside a worker (e.g. a job spawned from a running
+  // task): landing a new job behind the submitter's whole LIFO subtree
+  // would let one huge job starve every small one.
+  scheduler_.SubmitShared([this, job](unsigned worker_id) {
     RunTask(job, internal::WorkItem{}, /*is_root=*/true, worker_id);
   });
   return id;
@@ -48,7 +52,7 @@ void KvccEngine::RunTask(JobState* job, internal::WorkItem&& item,
   try {
     internal::ProcessItem(
         std::move(item), is_root ? job->graph : nullptr, job->k, job->options,
-        job->maintain, scratch_[worker_id], stats,
+        job->maintain, scratch_[worker_id], stats, &scheduler_,
         [&](std::vector<VertexId> ids) { found.push_back(std::move(ids)); },
         [&](internal::WorkItem&& child) {
           // Count the child before it can possibly run and finish, so

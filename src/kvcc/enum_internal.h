@@ -77,11 +77,16 @@ inline const std::vector<bool>& NeighborsOfSet(
 /// `spawn` as child items; counters accumulate into `stats`. `root` is
 /// non-null only for the initial item: the step then reads the caller's
 /// graph in place (no identity-label copy) and derived subgraphs seed their
-/// label chain at the root via InducedSubgraphAsRoot.
+/// label chain at the root via InducedSubgraphAsRoot. `scheduler` (may be
+/// null: fully serial) is handed down into GLOBAL-CUT so a single hard
+/// subproblem can fan its flow probes out to idle workers as deterministic
+/// wavefronts — the missing parallelism level when the recursion tree is
+/// too shallow to feed the pool on its own.
 template <typename Emit, typename Spawn>
 void ProcessItem(WorkItem&& item, const Graph* root, std::uint32_t k,
                  const KvccOptions& options, bool maintain,
-                 EnumScratch& scratch, KvccStats& stats, Emit&& emit,
+                 EnumScratch& scratch, KvccStats& stats,
+                 exec::TaskScheduler* scheduler, Emit&& emit,
                  Spawn&& spawn) {
   const bool as_root = root != nullptr;
   const Graph& cur = as_root ? *root : item.graph;
@@ -169,7 +174,7 @@ void ProcessItem(WorkItem&& item, const Graph* root, std::uint32_t k,
 
     // --- cut search (Alg. 1 line 5) ---
     GlobalCutResult found = GlobalCut(*sub, k, sub_hints, options, &stats,
-                                      &scratch.cut_scratch);
+                                      &scratch.cut_scratch, scheduler);
 
     if (found.cut.empty()) {
       // sub is k-vertex-connected and maximal within this branch: k-VCC.
@@ -186,6 +191,10 @@ void ProcessItem(WorkItem&& item, const Graph* root, std::uint32_t k,
 
     // --- overlapped partition (Alg. 1 line 9) ---
     ++stats.overlap_partitions;
+    // The strong-side verdicts live in the cut scratch (GlobalCutResult
+    // documents this); they stay valid until the next GlobalCut call, and
+    // every use below happens before this loop iteration ends.
+    const std::vector<bool>& strong_side = scratch.cut_scratch.side.strong;
     const std::vector<bool>* cut_touched = nullptr;
     if (maintain && found.strong_side_valid) {
       cut_touched = &NeighborsOfSet(*sub, found.cut, scratch);
@@ -197,7 +206,7 @@ void ProcessItem(WorkItem&& item, const Graph* root, std::uint32_t k,
         child_hints.resize(piece.graph.NumVertices());
         for (VertexId i = 0; i < piece.graph.NumVertices(); ++i) {
           const VertexId sub_v = piece.vertices[i];
-          if (!found.strong_side[sub_v]) {
+          if (!strong_side[sub_v]) {
             child_hints[i] = SideVertexHint::kNotStrong;  // Lemma 15.
           } else if ((*cut_touched)[sub_v]) {
             child_hints[i] = SideVertexHint::kRecheck;

@@ -23,6 +23,12 @@ namespace kvcc {
 /// graph with Rebuild(): the flow network's buffers are recycled, so one
 /// long-lived instance (e.g. per enumeration worker) runs the whole
 /// recursion without reallocating per subgraph.
+///
+/// Instances are not thread-safe, but they are affine: GLOBAL-CUT's probe
+/// wavefronts keep a pool of these, one per executor slot, each lazily
+/// Rebuild-bound ("epoch rebind", see GlobalCutScratch::probe_pool) to the
+/// invocation's shared test graph — concurrent probes then query disjoint
+/// oracles over one immutable Graph, which is safe.
 class DirectedFlowGraph {
  public:
   /// Unbound oracle; call Rebuild() before querying.

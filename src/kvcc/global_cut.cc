@@ -4,9 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
-#include "graph/bfs.h"
-#include "graph/connected_components.h"
 #include "kvcc/flow_graph.h"
 #include "kvcc/sparse_certificate.h"
 #include "kvcc/sweep_context.h"
@@ -14,43 +13,18 @@
 namespace kvcc {
 namespace {
 
-/// True iff removing `cut` disconnects g (or empties it). Uses the BFS
-/// buffers in `scratch` so repeated calls do not allocate.
-bool CutDisconnects(const Graph& g, const std::vector<VertexId>& cut,
-                    GlobalCutScratch& scratch) {
-  std::vector<bool>& removed = scratch.cut_removed;
-  std::vector<bool>& seen = scratch.cut_seen;
-  std::vector<VertexId>& queue = scratch.cut_queue;
-  removed.assign(g.NumVertices(), false);
-  for (VertexId v : cut) removed[v] = true;
-  VertexId start = kInvalidVertex;
-  VertexId alive = 0;
-  for (VertexId v = 0; v < g.NumVertices(); ++v) {
-    if (!removed[v]) {
-      if (start == kInvalidVertex) start = v;
-      ++alive;
-    }
+/// Grow-only sizing of the epoch-stamped visit marks. New entries carry
+/// stamp 0, which never equals a live epoch.
+void EnsureMarks(GlobalCutScratch& scratch, VertexId n) {
+  if (scratch.removed_mark.size() < n) {
+    scratch.removed_mark.resize(n, 0);
+    scratch.seen_mark.resize(n, 0);
   }
-  if (alive == 0) return false;  // Removing everything is not a cut.
-  queue.clear();
-  queue.push_back(start);
-  seen.assign(g.NumVertices(), false);
-  seen[start] = true;
-  VertexId reached = 1;
-  for (std::size_t head = 0; head < queue.size(); ++head) {
-    for (VertexId w : g.Neighbors(queue[head])) {
-      if (!removed[w] && !seen[w]) {
-        seen[w] = true;
-        ++reached;
-        queue.push_back(w);
-      }
-    }
-  }
-  return reached < alive;
 }
 
 /// BFS from the source into scratch.order_dist and returns the largest
-/// distance. Throws std::invalid_argument if some vertex is unreachable —
+/// distance. Visited state is epoch-stamped (no O(n) re-assignment per
+/// call). Throws std::invalid_argument if some vertex is unreachable —
 /// a hard check in every build mode, because the old assert compiled out
 /// of Release builds and let kUnreachable either index out of bounds
 /// (distance ordering) or silently misread a 0-flow as local
@@ -58,19 +32,43 @@ bool CutDisconnects(const Graph& g, const std::vector<VertexId>& cut,
 std::uint32_t CheckConnectedFromSource(const Graph& g, VertexId source,
                                        GlobalCutScratch& scratch) {
   const VertexId n = g.NumVertices();
+  EnsureMarks(scratch, n);
+  if (scratch.order_dist.size() < n) scratch.order_dist.resize(n);
+  const std::uint64_t epoch = ++scratch.mark_epoch;
   std::vector<std::uint32_t>& dist = scratch.order_dist;
-  BfsDistances(g, source, dist);
-  std::uint32_t max_dist = 0;
-  for (VertexId v = 0; v < n; ++v) {
-    if (dist[v] == kUnreachable) {
-      throw std::invalid_argument(
-          "GlobalCut: input graph is not connected (vertex " +
-          std::to_string(v) + " is unreachable from source " +
-          std::to_string(source) + ")");
+  std::vector<std::uint64_t>& seen = scratch.seen_mark;
+  std::vector<VertexId>& queue = scratch.mark_queue;
+  queue.clear();
+  queue.push_back(source);
+  seen[source] = epoch;
+  dist[source] = 0;
+  VertexId reached = 1;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const VertexId u = queue[head];
+    const std::uint32_t next_dist = dist[u] + 1;
+    for (VertexId w : g.Neighbors(u)) {
+      if (seen[w] != epoch) {
+        seen[w] = epoch;
+        dist[w] = next_dist;
+        ++reached;
+        queue.push_back(w);
+      }
     }
-    max_dist = std::max(max_dist, dist[v]);
   }
-  return max_dist;
+  if (reached < n) {
+    VertexId unreachable = kInvalidVertex;
+    for (VertexId v = 0; v < n; ++v) {
+      if (seen[v] != epoch) {
+        unreachable = v;
+        break;
+      }
+    }
+    throw std::invalid_argument(
+        "GlobalCut: input graph is not connected (vertex " +
+        std::to_string(unreachable) + " is unreachable from source " +
+        std::to_string(source) + ")");
+  }
+  return dist[queue.back()];  // BFS order: the last vertex is farthest.
 }
 
 /// Fills scratch.order with the phase-1 processing order: non-ascending
@@ -121,18 +119,66 @@ void CountPrunedVertex(SweepCause cause, KvccStats* stats) {
   }
 }
 
+// Adaptive wavefront batch bounds: start small (distance ordering tends to
+// surface cuts within the first few probes, and every probe past a
+// committed cut is waste), grow while the observed prune rate keeps
+// speculative waste low, shrink when sweeps are pruning aggressively.
+// Driven purely by committed (deterministic) outcomes, so the batch-size
+// trajectory — and with it every probe-waste counter — is a pure function
+// of (input, options), independent of thread count or timing.
+constexpr std::uint32_t kBatchInit = 4;
+constexpr std::uint32_t kBatchMin = 4;
+constexpr std::uint32_t kBatchMax = 256;
+
 }  // namespace
+
+namespace detail {
+
+// Precondition: `cut` entries are distinct vertices of g (LocCut extracts
+// them from a deduplicated residual scan).
+bool CutDisconnects(const Graph& g, const std::vector<VertexId>& cut,
+                    GlobalCutScratch& scratch) {
+  const VertexId n = g.NumVertices();
+  EnsureMarks(scratch, n);
+  const std::uint64_t epoch = ++scratch.mark_epoch;
+  std::vector<std::uint64_t>& removed = scratch.removed_mark;
+  std::vector<std::uint64_t>& seen = scratch.seen_mark;
+  std::vector<VertexId>& queue = scratch.mark_queue;
+  for (VertexId v : cut) removed[v] = epoch;
+  const VertexId alive = n - static_cast<VertexId>(cut.size());
+  if (alive == 0) return false;  // Removing everything is not a cut.
+  VertexId start = 0;
+  while (removed[start] == epoch) ++start;
+  queue.clear();
+  queue.push_back(start);
+  seen[start] = epoch;
+  VertexId reached = 1;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    for (VertexId w : g.Neighbors(queue[head])) {
+      if (removed[w] != epoch && seen[w] != epoch) {
+        seen[w] = epoch;
+        ++reached;
+        queue.push_back(w);
+      }
+    }
+  }
+  return reached < alive;
+}
+
+}  // namespace detail
 
 GlobalCutResult GlobalCut(const Graph& g, std::uint32_t k,
                           const std::vector<SideVertexHint>& hints,
                           const KvccOptions& options, KvccStats* stats,
-                          GlobalCutScratch* scratch) {
+                          GlobalCutScratch* scratch,
+                          exec::TaskScheduler* scheduler) {
   GlobalCutScratch transient;
   if (scratch == nullptr) scratch = &transient;
   const VertexId n = g.NumVertices();
   assert(n > k);
   assert(hints.empty() || hints.size() == n);
   ++stats->global_cut_calls;
+  ++scratch->probe_epoch;  // Pool oracles from older invocations are stale.
 
   GlobalCutResult result;
 
@@ -155,62 +201,72 @@ GlobalCutResult GlobalCut(const Graph& g, std::uint32_t k,
   const auto& group_of = group_sweep ? sc.group_of : kNoGroupOf;
 
   // --- strong side-vertices (Alg. 3 line 3) ---
-  SideVertexResult side;
+  // Verdicts land in the scratch's reused buffer (no per-call O(n) copy);
+  // they stay readable there until the scratch's next GlobalCut call.
   if (options.neighbor_sweep) {
     static const std::vector<SideVertexHint> kNoHints;
     const auto& effective_hints =
         options.maintain_side_vertices ? hints : kNoHints;
-    side = ComputeStrongSideVertices(g, k, effective_hints,
-                                     options.side_vertex_degree_cap);
-    stats->strong_side_vertices_found += side.strong_count;
-    stats->strong_side_checks_run += side.checks_run;
-    stats->strong_side_verdicts_reused += side.reused;
-    result.strong_side = side.strong;
+    const SideVertexCounts side_counts = ComputeStrongSideVerticesInto(
+        g, k, effective_hints, options.side_vertex_degree_cap, scratch->side);
+    stats->strong_side_vertices_found += side_counts.strong_count;
+    stats->strong_side_checks_run += side_counts.checks_run;
+    stats->strong_side_verdicts_reused += side_counts.reused;
     result.strong_side_valid = true;
   } else {
-    side.strong.assign(n, false);
+    scratch->side.strong.assign(n, false);
   }
+  const std::vector<bool>& strong = scratch->side.strong;
 
   // --- source selection (Alg. 3 lines 4-7) ---
   VertexId source = kInvalidVertex;
   if (options.neighbor_sweep) {
     for (VertexId v = 0; v < n; ++v) {
-      if (side.strong[v]) {
+      if (strong[v]) {
         source = v;
         break;
       }
     }
   }
   if (source == kInvalidVertex) source = test_graph.MinDegreeVertex();
-  const bool source_is_strong =
-      options.neighbor_sweep && side.strong[source];
+  const bool source_is_strong = options.neighbor_sweep && strong[source];
 
+  // Wavefront engagement, decided up front (see the machinery comment
+  // below): in wavefront mode every probe runs on the per-slot pool, so the
+  // scratch's serial oracle is not rebuilt at all. The vertex floor keeps
+  // small subproblems — which the subproblem level already parallelizes —
+  // on the exact serial loop, where speculation cannot pay for itself.
+  const bool wavefronts = scheduler != nullptr &&
+                          scheduler->num_workers() > 1 &&
+                          options.intra_cut_parallelism &&
+                          (options.intra_cut_min_vertices == 0 ||
+                           n >= options.intra_cut_min_vertices);
   DirectedFlowGraph& oracle = scratch->oracle;
-  oracle.Rebuild(test_graph);
+  if (!wavefronts) oracle.Rebuild(test_graph);
   // Epoch rebind: O(1) reset of the sweep arrays, no reallocation.
   SweepContext& sweep = scratch->sweep;
-  sweep.Bind(g, k, side.strong, groups, group_of, options.neighbor_sweep,
+  sweep.Bind(g, k, strong, groups, group_of, options.neighbor_sweep,
              group_sweep);
   sweep.Sweep(source, SweepCause::kTested);
 
   auto finish_with_cut = [&](std::vector<VertexId> cut) {
     if (use_certificate && options.verify_cuts &&
-        !CutDisconnects(g, cut, *scratch)) {
+        !detail::CutDisconnects(g, cut, *scratch)) {
       // By the certificate theorem this cannot happen; if it ever does,
       // fall back to an exact search on the full graph. The recursive call
-      // rebinds the scratch's oracle/sweep/order state; none of it is used
-      // here afterwards.
+      // rebinds the scratch's oracle/sweep/order/wavefront state; none of
+      // it is used here afterwards.
       ++stats->certificate_cut_fallbacks;
       KvccOptions fallback = options;
       fallback.sparse_certificate = false;
-      return GlobalCut(g, k, hints, fallback, stats, scratch);
+      return GlobalCut(g, k, hints, fallback, stats, scratch, scheduler);
     }
     std::sort(cut.begin(), cut.end());
     result.cut = std::move(cut);
     return result;
   };
 
-  // --- phase 1 (Alg. 3 lines 8-15): covers every cut avoiding the source ---
+  // --- phase-1 processing order ---
   // The connectivity precondition is enforced for every variant (one BFS,
   // dwarfed by the flow tests), not just when its distances are needed.
   const std::uint32_t max_dist = CheckConnectedFromSource(g, source, *scratch);
@@ -223,51 +279,257 @@ GlobalCutResult GlobalCut(const Graph& g, std::uint32_t k,
       if (v != source) scratch->order.push_back(v);
     }
   }
-  for (VertexId v : scratch->order) {
-    if (sweep.IsSwept(v)) {
-      CountPrunedVertex(sweep.CauseOf(v), stats);
-      continue;
+
+  // --- intra-cut wavefront machinery ---
+  // Engagement depends only on (options, scheduler shape), never on runtime
+  // load: whether a wavefront's probes actually execute on several workers
+  // is the scheduler's starvation-gated call, but the wavefront *structure*
+  // — which probes launch, in which batches — is a pure function of the
+  // input, so the probe-waste counters (and everything else) reproduce
+  // exactly across runs and thread counts.
+  std::uint32_t batch =
+      options.probe_batch_size != 0 ? options.probe_batch_size : kBatchInit;
+  const bool adaptive_batch = options.probe_batch_size == 0;
+  auto adapt = [&](std::uint32_t launched, std::uint32_t wasted) {
+    if (!adaptive_batch || launched == 0) return;
+    if (wasted * 4 >= launched) {
+      batch = std::max(kBatchMin, batch / 2);  // > 25% waste: back off.
+    } else if (wasted * 8 <= launched) {
+      batch = std::min(kBatchMax, batch * 2);  // <= 12.5% waste: open up.
     }
-    if (g.HasEdge(source, v)) {
-      // Lemma 5: adjacent vertices are locally k-connected for free.
-      ++stats->phase1_tested_trivial;
+  };
+
+  // Runs the current wavefront's probe list concurrently. Each executor
+  // slot owns one pool oracle, lazily rebound to this invocation's
+  // test_graph (epoch rebind) the first time the slot participates; a probe
+  // writes only its own wave_cuts entry, and the commit loop below reads
+  // the results only after ParallelFor returned, so probes race with
+  // nothing. The sweep state is snapshot-immutable during the wavefront:
+  // formation read it serially, and commits mutate it serially afterwards.
+  auto run_probes = [&]() {
+    const auto& args = scratch->wave_probe_args;
+    const std::uint32_t launched = static_cast<std::uint32_t>(args.size());
+    if (launched == 0) return;
+    const unsigned slots = scheduler->num_workers() + 1;
+    if (scratch->probe_pool.size() < slots) scratch->probe_pool.resize(slots);
+    if (scratch->wave_cuts.size() < launched) {
+      scratch->wave_cuts.resize(launched);
+    }
+    ++stats->probe_wavefronts;
+    stats->probes_launched += launched;
+    auto& pool = scratch->probe_pool;
+    auto& cuts = scratch->wave_cuts;
+    const std::uint64_t epoch = scratch->probe_epoch;
+    const Graph& probe_graph = test_graph;
+    scheduler->ParallelFor(
+        launched, [&pool, &cuts, &args, &probe_graph, epoch,
+                   k](std::size_t i, unsigned slot) {
+          if (!pool[slot]) pool[slot] = std::make_unique<ProbeOracle>();
+          ProbeOracle& po = *pool[slot];
+          if (po.bound_epoch != epoch) {
+            po.oracle.Rebuild(probe_graph);
+            po.bound_epoch = epoch;
+          }
+          cuts[i] = po.oracle.LocCut(args[i].first, args[i].second, k);
+        });
+  };
+
+  // --- phase 1 (Alg. 3 lines 8-15): covers every cut avoiding the source ---
+  if (!wavefronts) {
+    for (VertexId v : scratch->order) {
+      if (sweep.IsSwept(v)) {
+        CountPrunedVertex(sweep.CauseOf(v), stats);
+        continue;
+      }
+      if (g.HasEdge(source, v)) {
+        // Lemma 5: adjacent vertices are locally k-connected for free.
+        ++stats->phase1_tested_trivial;
+        sweep.Sweep(v, SweepCause::kTested);
+        continue;
+      }
+      ++stats->phase1_tested_flow;
+      ++stats->loc_cut_flow_calls;
+      std::vector<VertexId> cut = oracle.LocCut(source, v, k);
+      if (!cut.empty()) return finish_with_cut(std::move(cut));
       sweep.Sweep(v, SweepCause::kTested);
-      continue;
     }
-    ++stats->phase1_tested_flow;
-    ++stats->loc_cut_flow_calls;
-    std::vector<VertexId> cut = oracle.LocCut(source, v, k);
-    if (!cut.empty()) return finish_with_cut(std::move(cut));
-    sweep.Sweep(v, SweepCause::kTested);
+  } else {
+    const std::vector<VertexId>& order = scratch->order;
+    std::size_t pos = 0;
+    while (pos < order.size()) {
+      // Formation (serial): classify vertices from the current position
+      // until `batch` probes are collected. The sweep snapshot is the live
+      // state — no commit of this wavefront has happened yet, so anything
+      // unswept here is exactly what the serial loop could still reach.
+      std::vector<ProbeCandidate>& wave = scratch->wave;
+      auto& args = scratch->wave_probe_args;
+      wave.clear();
+      args.clear();
+      std::size_t end = pos;
+      while (end < order.size() && args.size() < batch) {
+        const VertexId v = order[end];
+        ProbeCandidate cand;
+        cand.a = v;
+        if (sweep.IsSwept(v)) {
+          cand.kind = ProbeCandidate::Kind::kSwept;
+        } else if (g.HasEdge(source, v)) {
+          cand.kind = ProbeCandidate::Kind::kAdjacent;
+        } else {
+          cand.kind = ProbeCandidate::Kind::kProbe;
+          cand.probe_index = static_cast<std::uint32_t>(args.size());
+          args.emplace_back(source, v);
+        }
+        wave.push_back(cand);
+        ++end;
+      }
+      const std::uint32_t launched = static_cast<std::uint32_t>(args.size());
+      run_probes();
+
+      // Commit (serial replay): walk the slice in order, re-deriving every
+      // serial decision against the *live* sweep state. A probe whose
+      // vertex got swept by an earlier commit in this very wavefront is
+      // discarded (the serial loop never ran it) and counted as waste.
+      std::uint32_t used = 0;
+      std::uint32_t wasted_swept = 0;
+      for (const ProbeCandidate& cand : wave) {
+        const VertexId v = cand.a;
+        if (sweep.IsSwept(v)) {
+          CountPrunedVertex(sweep.CauseOf(v), stats);
+          if (cand.kind == ProbeCandidate::Kind::kProbe) ++wasted_swept;
+          continue;
+        }
+        if (cand.kind == ProbeCandidate::Kind::kAdjacent) {
+          ++stats->phase1_tested_trivial;
+          sweep.Sweep(v, SweepCause::kTested);
+          continue;
+        }
+        // Unswept and non-adjacent: formation necessarily probed it
+        // (sweeps only grow between formation and commit).
+        assert(cand.kind == ProbeCandidate::Kind::kProbe);
+        ++stats->phase1_tested_flow;
+        ++stats->loc_cut_flow_calls;
+        ++used;
+        std::vector<VertexId>& cut = scratch->wave_cuts[cand.probe_index];
+        if (!cut.empty()) {
+          // Earliest-in-order cut wins; everything the serial loop would
+          // not have reached is pure waste.
+          stats->probes_wasted_swept += wasted_swept;
+          stats->probes_wasted_after_cut += launched - used - wasted_swept;
+          return finish_with_cut(std::move(cut));
+        }
+        sweep.Sweep(v, SweepCause::kTested);
+      }
+      stats->probes_wasted_swept += wasted_swept;
+      adapt(launched, wasted_swept);
+      pos = end;
+    }
   }
 
   // --- phase 2 (Alg. 3 lines 16-21): covers cuts containing the source ---
   // A strong side-vertex source is in no minimum cut; skip entirely.
   if (!source_is_strong) {
     const auto nbrs = test_graph.Neighbors(source);
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
-        const VertexId va = nbrs[i];
-        const VertexId vb = nbrs[j];
-        if (group_sweep && group_of[va] != kNoGroup &&
-            group_of[va] == group_of[vb]) {
-          // Group sweep rule 3: same side-group => locally k-connected.
-          ++stats->phase2_pairs_skipped_group;
-          continue;
+    const std::size_t deg = nbrs.size();
+    // Restart the adaptive ramp: a batch grown across a cut-free phase 1
+    // would otherwise turn an early phase-2 cut into a full-batch write-off.
+    if (adaptive_batch) batch = kBatchInit;
+    if (!wavefronts) {
+      for (std::size_t i = 0; i < deg; ++i) {
+        for (std::size_t j = i + 1; j < deg; ++j) {
+          const VertexId va = nbrs[i];
+          const VertexId vb = nbrs[j];
+          if (group_sweep && group_of[va] != kNoGroup &&
+              group_of[va] == group_of[vb]) {
+            // Group sweep rule 3: same side-group => locally k-connected.
+            ++stats->phase2_pairs_skipped_group;
+            continue;
+          }
+          if (g.HasEdge(va, vb)) {
+            ++stats->phase2_pairs_skipped_adjacent;  // Lemma 5.
+            continue;
+          }
+          if (options.phase2_common_neighbor_skip &&
+              CommonNeighborsAtLeast(g, va, vb, k)) {
+            ++stats->phase2_pairs_skipped_common;  // Lemma 13.
+            continue;
+          }
+          ++stats->phase2_pairs_tested;
+          ++stats->loc_cut_flow_calls;
+          std::vector<VertexId> cut = oracle.LocCut(va, vb, k);
+          if (!cut.empty()) return finish_with_cut(std::move(cut));
         }
-        if (g.HasEdge(va, vb)) {
-          ++stats->phase2_pairs_skipped_adjacent;  // Lemma 5.
-          continue;
+      }
+    } else {
+      // Pair wavefronts. Every skip predicate here is a pure function of
+      // the graphs (no sweep state), so formation classifies exactly as
+      // the serial loop would; the commit replay exists to keep the skip
+      // counters honest — pairs past a committed cut are never counted.
+      std::size_t pi = 0;
+      std::size_t pj = 1;
+      while (pi + 1 < deg) {
+        std::vector<ProbeCandidate>& wave = scratch->wave;
+        auto& args = scratch->wave_probe_args;
+        wave.clear();
+        args.clear();
+        while (pi + 1 < deg && args.size() < batch) {
+          const VertexId va = nbrs[pi];
+          const VertexId vb = nbrs[pj];
+          ProbeCandidate cand;
+          cand.a = va;
+          cand.b = vb;
+          if (group_sweep && group_of[va] != kNoGroup &&
+              group_of[va] == group_of[vb]) {
+            cand.kind = ProbeCandidate::Kind::kPairGroupSkip;
+          } else if (g.HasEdge(va, vb)) {
+            cand.kind = ProbeCandidate::Kind::kPairAdjacent;
+          } else if (options.phase2_common_neighbor_skip &&
+                     CommonNeighborsAtLeast(g, va, vb, k)) {
+            cand.kind = ProbeCandidate::Kind::kPairCommonSkip;
+          } else {
+            cand.kind = ProbeCandidate::Kind::kProbe;
+            cand.probe_index = static_cast<std::uint32_t>(args.size());
+            args.emplace_back(va, vb);
+          }
+          wave.push_back(cand);
+          ++pj;
+          if (pj >= deg) {
+            ++pi;
+            pj = pi + 1;
+          }
         }
-        if (options.phase2_common_neighbor_skip &&
-            CommonNeighborsAtLeast(g, va, vb, k)) {
-          ++stats->phase2_pairs_skipped_common;  // Lemma 13.
-          continue;
+        const std::uint32_t launched = static_cast<std::uint32_t>(args.size());
+        run_probes();
+
+        std::uint32_t used = 0;
+        for (const ProbeCandidate& cand : wave) {
+          switch (cand.kind) {
+            case ProbeCandidate::Kind::kPairGroupSkip:
+              ++stats->phase2_pairs_skipped_group;
+              break;
+            case ProbeCandidate::Kind::kPairAdjacent:
+              ++stats->phase2_pairs_skipped_adjacent;
+              break;
+            case ProbeCandidate::Kind::kPairCommonSkip:
+              ++stats->phase2_pairs_skipped_common;
+              break;
+            case ProbeCandidate::Kind::kProbe: {
+              ++stats->phase2_pairs_tested;
+              ++stats->loc_cut_flow_calls;
+              ++used;
+              std::vector<VertexId>& cut =
+                  scratch->wave_cuts[cand.probe_index];
+              if (!cut.empty()) {
+                stats->probes_wasted_after_cut += launched - used;
+                return finish_with_cut(std::move(cut));
+              }
+              break;
+            }
+            case ProbeCandidate::Kind::kSwept:
+            case ProbeCandidate::Kind::kAdjacent:
+              break;  // Phase-1 kinds; unreachable here.
+          }
         }
-        ++stats->phase2_pairs_tested;
-        ++stats->loc_cut_flow_calls;
-        std::vector<VertexId> cut = oracle.LocCut(va, vb, k);
-        if (!cut.empty()) return finish_with_cut(std::move(cut));
+        adapt(launched, 0);
       }
     }
   }

@@ -89,12 +89,14 @@ KvccResult EnumerateKVccs(const Graph& g, std::uint32_t k,
     stack.push_back(std::move(child));
   };
   internal::ProcessItem(internal::WorkItem{}, &g, k, options, maintain,
-                        scratch, result.stats, emit, spawn);
+                        scratch, result.stats, /*scheduler=*/nullptr, emit,
+                        spawn);
   while (!stack.empty()) {
     internal::WorkItem item = std::move(stack.back());
     stack.pop_back();
     internal::ProcessItem(std::move(item), nullptr, k, options, maintain,
-                          scratch, result.stats, emit, spawn);
+                          scratch, result.stats, /*scheduler=*/nullptr, emit,
+                          spawn);
   }
   std::sort(result.components.begin(), result.components.end());
   return result;

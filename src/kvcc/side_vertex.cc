@@ -1,32 +1,74 @@
 #include "kvcc/side_vertex.h"
 
-#include <unordered_map>
+#include <algorithm>
 
 namespace kvcc {
 namespace {
 
-/// Memoized Theorem-8 pair check. In clique-rich graphs the same neighbor
-/// pair (v, v') appears in N(u) for every common neighbor u, so caching the
-/// verdict turns Theta(d^2 * common) repeated work into a hash lookup.
+/// SplitMix64 finalizer: spreads packed (min, max) vertex pairs across the
+/// table (consecutive ids would otherwise cluster in one probe run).
+std::uint64_t MixPairKey(std::uint64_t key) {
+  key += 0x9e3779b97f4a7c15ull;
+  key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ull;
+  key = (key ^ (key >> 27)) * 0x94d049bb133111ebull;
+  return key ^ (key >> 31);
+}
+
+/// Memoized Theorem-8 pair check over the flat epoch-stamped table in
+/// SideVertexScratch. In clique-rich graphs the same neighbor pair (v, v')
+/// appears in N(u) for every common neighbor u, so caching the verdict
+/// turns Theta(d^2 * common) repeated work into a probe-and-read — without
+/// the per-node allocations an unordered_map would pay on every insert.
 class PairVerdictCache {
  public:
-  PairVerdictCache(const Graph& g, std::uint32_t k) : graph_(g), k_(k) {}
+  PairVerdictCache(const Graph& g, std::uint32_t k, SideVertexScratch& scratch)
+      : graph_(g), k_(k), scratch_(scratch) {
+    ++scratch_.pair_epoch;  // O(1) invalidation of all cached verdicts.
+    scratch_.pair_live = 0;
+    if (scratch_.pair_slots.empty()) scratch_.pair_slots.resize(kMinSlots);
+  }
 
   bool PairIsGood(VertexId v, VertexId w) {
     if (graph_.HasEdge(v, w)) return true;
     const std::uint64_t key =
         (static_cast<std::uint64_t>(std::min(v, w)) << 32) | std::max(v, w);
-    const auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
-    const bool good = CommonNeighborsAtLeast(graph_, v, w, k_);
-    cache_.emplace(key, good);
-    return good;
+    auto& slots = scratch_.pair_slots;
+    const std::size_t mask = slots.size() - 1;
+    std::size_t i = MixPairKey(key) & mask;
+    while (true) {
+      SideVertexScratch::PairSlot& slot = slots[i];
+      if (slot.epoch != scratch_.pair_epoch) {
+        // Empty slot for this epoch: compute, memoize, maybe grow.
+        const bool good = CommonNeighborsAtLeast(graph_, v, w, k_);
+        slot.key = key;
+        slot.epoch = scratch_.pair_epoch;
+        slot.good = good;
+        if (++scratch_.pair_live * 2 > slots.size()) Grow();
+        return good;
+      }
+      if (slot.key == key) return slot.good;
+      i = (i + 1) & mask;
+    }
   }
 
  private:
+  /// Doubles the table. Cached verdicts are dropped (epoch bump) rather
+  /// than rehashed: they are pure functions of (graph, k, pair), so losing
+  /// them costs recomputation, never correctness — and steady state (table
+  /// already at the high-water mark of the run) never grows again.
+  void Grow() {
+    auto& slots = scratch_.pair_slots;
+    const std::size_t next = slots.size() * 2;
+    slots.assign(next, SideVertexScratch::PairSlot{});
+    ++scratch_.pair_epoch;
+    scratch_.pair_live = 0;
+  }
+
+  static constexpr std::size_t kMinSlots = 64;  // power of two
+
   const Graph& graph_;
   const std::uint32_t k_;
-  std::unordered_map<std::uint64_t, bool> cache_;
+  SideVertexScratch& scratch_;
 };
 
 }  // namespace
@@ -69,17 +111,17 @@ bool IsStrongSideVertex(const Graph& g, VertexId u, std::uint32_t k) {
   return true;
 }
 
-SideVertexResult ComputeStrongSideVertices(
+SideVertexCounts ComputeStrongSideVerticesInto(
     const Graph& g, std::uint32_t k, const std::vector<SideVertexHint>& hints,
-    std::uint32_t degree_cap) {
+    std::uint32_t degree_cap, SideVertexScratch& scratch) {
   const VertexId n = g.NumVertices();
-  SideVertexResult out;
-  out.strong.assign(n, false);
-  PairVerdictCache pairs(g, k);
+  SideVertexCounts out;
+  scratch.strong.assign(n, false);
+  PairVerdictCache pairs(g, k, scratch);
   for (VertexId u = 0; u < n; ++u) {
     if (!hints.empty()) {
       if (hints[u] == SideVertexHint::kStrong) {
-        out.strong[u] = true;
+        scratch.strong[u] = true;
         ++out.reused;
         ++out.strong_count;
         continue;
@@ -102,10 +144,24 @@ SideVertexResult ComputeStrongSideVertices(
       }
     }
     if (strong) {
-      out.strong[u] = true;
+      scratch.strong[u] = true;
       ++out.strong_count;
     }
   }
+  return out;
+}
+
+SideVertexResult ComputeStrongSideVertices(
+    const Graph& g, std::uint32_t k, const std::vector<SideVertexHint>& hints,
+    std::uint32_t degree_cap) {
+  SideVertexScratch scratch;
+  const SideVertexCounts counts =
+      ComputeStrongSideVerticesInto(g, k, hints, degree_cap, scratch);
+  SideVertexResult out;
+  out.strong = std::move(scratch.strong);
+  out.checks_run = counts.checks_run;
+  out.reused = counts.reused;
+  out.strong_count = counts.strong_count;
   return out;
 }
 

@@ -38,6 +38,46 @@ struct SideVertexResult {
   std::uint64_t strong_count = 0;
 };
 
+/// Instrumentation counters of one detection pass (the buffer-reusing API
+/// below returns these; the verdicts land in the scratch).
+struct SideVertexCounts {
+  std::uint64_t checks_run = 0;
+  std::uint64_t reused = 0;
+  std::uint64_t strong_count = 0;
+};
+
+/// Reusable working set for strong side-vertex detection. One instance per
+/// enumeration worker (inside GlobalCutScratch) serves every GLOBAL-CUT
+/// call of a run: the verdict vector and the memoized pair-verdict table
+/// only ever grow, so the steady-state detection pass performs no heap
+/// allocation. A default-constructed scratch is always valid.
+struct SideVertexScratch {
+  /// Verdicts of the most recent ComputeStrongSideVerticesInto call
+  /// (size n of that call's graph). Stable until the next call.
+  std::vector<bool> strong;
+
+  // Open-addressing pair-verdict cache (Theorem-8 memoization). Slots are
+  // epoch-stamped so a new detection pass invalidates the table in O(1);
+  // growth reallocates and simply drops the cached verdicts (they are
+  // deterministic, so re-deriving them cannot change any result).
+  struct PairSlot {
+    std::uint64_t key = 0;
+    std::uint64_t epoch = 0;
+    bool good = false;
+  };
+  std::vector<PairSlot> pair_slots;
+  std::uint64_t pair_epoch = 0;
+  std::size_t pair_live = 0;
+};
+
+/// Buffer-reusing core of ComputeStrongSideVertices: verdicts are written
+/// into scratch.strong (grown, never shrunk) and the Theorem-8 pair checks
+/// are memoized in the scratch's flat table. Steady state (capacities
+/// already grown): no heap allocation.
+SideVertexCounts ComputeStrongSideVerticesInto(
+    const Graph& g, std::uint32_t k, const std::vector<SideVertexHint>& hints,
+    std::uint32_t degree_cap, SideVertexScratch& scratch);
+
 /// True iff a and b have at least k common neighbors in g (Lemma 13 gives
 /// a ≡k b then). Linear merge of the sorted adjacency lists, early exit.
 bool CommonNeighborsAtLeast(const Graph& g, VertexId a, VertexId b,

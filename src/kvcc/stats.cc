@@ -50,6 +50,10 @@ void KvccStats::Add(const KvccStats& other) {
   strong_side_checks_run += other.strong_side_checks_run;
   strong_side_verdicts_reused += other.strong_side_verdicts_reused;
   certificate_cut_fallbacks += other.certificate_cut_fallbacks;
+  probe_wavefronts += other.probe_wavefronts;
+  probes_launched += other.probes_launched;
+  probes_wasted_swept += other.probes_wasted_swept;
+  probes_wasted_after_cut += other.probes_wasted_after_cut;
 }
 
 std::string KvccStats::ToString() const {
@@ -70,7 +74,11 @@ std::string KvccStats::ToString() const {
       << ", strong_side=" << strong_side_vertices_found
       << " (checks=" << strong_side_checks_run
       << ", reused=" << strong_side_verdicts_reused
-      << "), fallbacks=" << certificate_cut_fallbacks << "\n";
+      << "), fallbacks=" << certificate_cut_fallbacks << "\n"
+      << "wavefronts: " << probe_wavefronts
+      << " probes_launched=" << probes_launched
+      << " wasted_swept=" << probes_wasted_swept
+      << " wasted_after_cut=" << probes_wasted_after_cut << "\n";
   return out.str();
 }
 

@@ -54,6 +54,22 @@ struct KvccStats {
   /// KvccOptions::verify_cuts.
   std::uint64_t certificate_cut_fallbacks = 0;
 
+  // --- intra-GLOBAL-CUT wavefront diagnostics ---
+  // A wavefront speculatively probes the next batch of phase-1 vertices /
+  // phase-2 pairs concurrently and then commits serially, so some probes
+  // are redundant: the serial loop would have pruned the vertex (an earlier
+  // commit swept it) or stopped before the pair (an earlier probe found the
+  // cut). These counters quantify that waste; they stay 0 on serial runs
+  // and are the only stats fields that differ between a serial and an
+  // intra-cut-parallel run of the same input (everything above is replay-
+  // identical by construction).
+  std::uint64_t probe_wavefronts = 0;
+  std::uint64_t probes_launched = 0;
+  /// Probes whose vertex was swept between launch and its serial commit.
+  std::uint64_t probes_wasted_swept = 0;
+  /// Probes past the point where the committed cut ended the search.
+  std::uint64_t probes_wasted_after_cut = 0;
+
   /// Total phase-1 vertices considered (all categories above).
   std::uint64_t Phase1Total() const {
     return phase1_pruned_ns1 + phase1_pruned_ns2 + phase1_pruned_gs +

@@ -17,6 +17,16 @@
 // older epoch reads as pristine (unswept, zero deposits), so one instance
 // per enumeration worker serves every GLOBAL-CUT call of a run without
 // per-call allocation.
+//
+// Concurrency contract (intra-cut wavefronts): the API splits into const
+// snapshot queries (IsSwept, CauseOf, deposit, group_deposit) and the
+// mutating commit call (Sweep). GLOBAL-CUT's wavefronts rely on that
+// split — wavefront *formation* reads the snapshot and *commits* replay
+// sweeps, both on the owning thread, while the concurrent probes read no
+// sweep state at all (a probe's flow result does not depend on what is
+// swept; sweeping only decides whether a probe's result is used). The
+// context itself is therefore never accessed from more than one thread and
+// needs no synchronization.
 #ifndef KVCC_KVCC_SWEEP_CONTEXT_H_
 #define KVCC_KVCC_SWEEP_CONTEXT_H_
 

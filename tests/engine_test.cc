@@ -9,9 +9,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "gen/fixtures.h"
@@ -206,6 +208,44 @@ TEST(KvccEngineTest, MixedSizeJobsInterleaveWithoutCrosstalk) {
     EXPECT_EQ(engine.Wait(big_id).components, big_ref.components);
     EXPECT_EQ(engine.Wait(big_id2).components, big_ref.components);
   }
+}
+
+TEST(KvccEngineTest, SmallJobCompletesWhileLargeJobInFlight) {
+  // Fairness: root tasks seed round-robin across the worker deques
+  // (SubmitShared), so a small latency-sensitive job never queues behind a
+  // huge job's whole recursion subtree. The big job here is sized to run
+  // for a long multiple of the small job's latency; the small job's Wait
+  // must return while the big one is still in flight.
+  PlantedVccConfig big;
+  big.num_blocks = 10;
+  big.block_size_min = 26;
+  big.block_size_max = 40;
+  big.connectivity = 12;
+  big.overlap = 2;
+  big.bridge_edges = 2;
+  big.seed = 5;
+  const PlantedVccGraph planted = GeneratePlantedVcc(big);
+  const Graph small = TwoCliquesSharing(5, 1);
+
+  KvccOptions serial;
+  serial.num_threads = 1;
+  const KvccResult small_ref = EnumerateKVccs(small, 3, serial);
+
+  KvccEngine engine(2);
+  std::atomic<bool> big_done{false};
+  const KvccEngine::JobId big_id =
+      engine.Submit(planted.graph, planted.max_connected_k);
+  const KvccEngine::JobId small_id = engine.Submit(small, 3);
+  std::thread big_waiter([&] {
+    engine.Wait(big_id);
+    big_done.store(true);
+  });
+  const KvccResult small_result = engine.Wait(small_id);
+  const bool small_finished_first = !big_done.load();
+  big_waiter.join();
+  EXPECT_EQ(small_result.components, small_ref.components);
+  EXPECT_TRUE(small_finished_first)
+      << "small job waited for the large job's subtree";
 }
 
 TEST(KvccEngineTest, SubmitRejectsKZero) {

@@ -134,6 +134,145 @@ TEST(TaskSchedulerTest, StopDrainsOutstandingWork) {
   EXPECT_GE(executed.load(), 32u);
 }
 
+TEST(TaskSchedulerTest, SubmitSharedRunsEveryTask) {
+  for (unsigned workers : {1u, 3u}) {
+    TaskScheduler scheduler(workers);
+    scheduler.Start();
+    std::atomic<std::uint64_t> executed{0};
+    std::mutex mutex;
+    std::condition_variable done;
+    int remaining = 40;
+    for (int i = 0; i < 40; ++i) {
+      scheduler.SubmitShared([&](unsigned) {
+        ++executed;
+        std::lock_guard<std::mutex> lock(mutex);
+        if (--remaining == 0) done.notify_all();
+      });
+    }
+    std::unique_lock<std::mutex> lock(mutex);
+    done.wait(lock, [&] { return remaining == 0; });
+    EXPECT_EQ(executed.load(), 40u) << "workers=" << workers;
+  }
+}
+
+TEST(TaskSchedulerTest, SubmitSharedFromInsideTaskStillRuns) {
+  // Shared submits from within a running task must not be lost; unlike
+  // Submit they seed round-robin instead of the submitter's own deque.
+  TaskScheduler scheduler(2);
+  std::atomic<std::uint64_t> executed{0};
+  scheduler.Submit([&](unsigned) {
+    for (int i = 0; i < 10; ++i) {
+      scheduler.SubmitShared([&](unsigned) { ++executed; });
+    }
+  });
+  scheduler.Run();
+  EXPECT_EQ(executed.load(), 10u);
+}
+
+TEST(ParallelForTest, RunsEveryIndexExactlyOnceWithValidSlots) {
+  for (unsigned workers : {1u, 2u, 4u}) {
+    TaskScheduler scheduler(workers);
+    scheduler.Start();
+    constexpr std::size_t kCount = 200;
+    std::vector<std::atomic<int>> hits(kCount);
+    std::atomic<bool> slot_ok{true};
+    // External caller: its slot is num_workers (the extra pool slot).
+    scheduler.ParallelFor(kCount, [&](std::size_t i, unsigned slot) {
+      if (slot > workers) slot_ok = false;
+      hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < kCount; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "workers=" << workers << " i=" << i;
+    }
+    EXPECT_TRUE(slot_ok.load());
+    scheduler.Stop();
+  }
+}
+
+TEST(ParallelForTest, ZeroAndOneIndexFastPaths) {
+  TaskScheduler scheduler(3);
+  scheduler.Start();
+  int calls = 0;
+  scheduler.ParallelFor(0, [&](std::size_t, unsigned) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  scheduler.ParallelFor(1, [&](std::size_t i, unsigned slot) {
+    ++calls;
+    EXPECT_EQ(i, 0u);
+    EXPECT_EQ(slot, 3u);  // external caller
+  });
+  EXPECT_EQ(calls, 1);
+  scheduler.Stop();
+}
+
+TEST(ParallelForTest, NestedInsideTaskDoesNotDeadlockOnOneWorker) {
+  // Regression for the nested-wait hazard: a worker that blocks waiting
+  // for its own sub-tasks would deadlock a single-worker pool if those
+  // sub-tasks could only run on another worker. ParallelFor's caller
+  // drains the index space itself, so this must complete.
+  TaskScheduler scheduler(1);
+  scheduler.Start();
+  std::atomic<std::uint64_t> sum{0};
+  std::mutex mutex;
+  std::condition_variable done;
+  bool finished = false;
+  scheduler.Submit([&](unsigned) {
+    scheduler.ParallelFor(64, [&](std::size_t i, unsigned) { sum += i; });
+    std::lock_guard<std::mutex> lock(mutex);
+    finished = true;
+    done.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(mutex);
+  done.wait(lock, [&] { return finished; });
+  EXPECT_EQ(sum.load(), 64u * 63u / 2);
+  scheduler.Stop();
+}
+
+TEST(ParallelForTest, ReentrantNestingCompletes) {
+  // ParallelFor inside a ParallelFor body, called from inside tasks, on a
+  // pool already saturated with sibling tasks: every level must terminate
+  // because no participant ever waits on a helper *starting*.
+  for (unsigned workers : {1u, 4u}) {
+    TaskScheduler scheduler(workers);
+    scheduler.Start();
+    std::atomic<std::uint64_t> leaf_count{0};
+    std::mutex mutex;
+    std::condition_variable done;
+    int remaining = 8;
+    for (int t = 0; t < 8; ++t) {
+      scheduler.Submit([&](unsigned) {
+        scheduler.ParallelFor(4, [&](std::size_t, unsigned) {
+          scheduler.ParallelFor(4, [&](std::size_t, unsigned) {
+            ++leaf_count;
+          });
+        });
+        std::lock_guard<std::mutex> lock(mutex);
+        if (--remaining == 0) done.notify_all();
+      });
+    }
+    std::unique_lock<std::mutex> lock(mutex);
+    done.wait(lock, [&] { return remaining == 0; });
+    EXPECT_EQ(leaf_count.load(), 8u * 4u * 4u) << "workers=" << workers;
+    scheduler.Stop();
+  }
+}
+
+TEST(ParallelForTest, BodyExceptionIsRethrownAfterDraining) {
+  TaskScheduler scheduler(2);
+  scheduler.Start();
+  std::atomic<std::uint64_t> executed{0};
+  EXPECT_THROW(scheduler.ParallelFor(50,
+                                     [&](std::size_t i, unsigned) {
+                                       if (i == 17) {
+                                         throw std::runtime_error("probe");
+                                       }
+                                       ++executed;
+                                     }),
+               std::runtime_error);
+  // Every non-throwing index still ran before the rethrow.
+  EXPECT_EQ(executed.load(), 49u);
+  scheduler.Stop();
+}
+
 TEST(TaskSchedulerTest, ParallelSumMatchesSerial) {
   // Each task contributes a deterministic value; the scheduler must not
   // lose or duplicate any contribution regardless of stealing.

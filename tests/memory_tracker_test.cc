@@ -8,6 +8,9 @@
 #include <memory>
 #include <vector>
 
+#include "gen/fixtures.h"
+#include "gen/harary.h"
+#include "kvcc/global_cut.h"
 #include "util/process_memory.h"
 
 namespace kvcc {
@@ -55,6 +58,53 @@ TEST(MemoryTrackerTest, ArrayAndScalarFormsBalance) {
   delete q;
   // Back near the starting level (gtest itself may allocate a little).
   EXPECT_LE(MemoryTracker::CurrentBytes(), before + 4096);
+}
+
+// The scratch-reuse pattern, sharpened into an allocation regression test:
+// with a warm GlobalCutScratch, a full serial GLOBAL-CUT on a k-connected
+// graph — sparse certificate, strong side-vertex detection (including its
+// memoized pair cache), sweeps, distance ordering, and every flow probe of
+// both phases — must perform ZERO heap allocation. Peak staying at the
+// pre-call level proves even transient allocations are gone.
+TEST(MemoryTrackerTest, WarmGlobalCutAllocatesNothing) {
+  ASSERT_TRUE(MemoryTracker::Enabled());
+  const Graph g = HararyGraph(5, 40);
+  const KvccOptions options = KvccOptions::VcceStar();
+  GlobalCutScratch scratch;
+  KvccStats stats;
+  // Two warm-up calls: grow every buffer (certificate, side-vertex cache,
+  // sweep arrays, flow network, marks) to this graph's high-water mark.
+  for (int warm = 0; warm < 2; ++warm) {
+    ASSERT_TRUE(GlobalCut(g, 5, {}, options, &stats, &scratch).cut.empty());
+  }
+  MemoryTracker::ResetPeak();
+  const std::uint64_t baseline = MemoryTracker::CurrentBytes();
+  const GlobalCutResult result = GlobalCut(g, 5, {}, options, &stats, &scratch);
+  EXPECT_EQ(MemoryTracker::PeakBytes(), baseline)
+      << "steady-state GLOBAL-CUT touched the allocator";
+  EXPECT_TRUE(result.cut.empty());
+}
+
+// Same property for the cut-verification path in isolation: CutDisconnects
+// with warm epoch-stamped marks must not allocate (it used to re-assign
+// three O(n) arrays per candidate cut).
+TEST(MemoryTrackerTest, WarmCutDisconnectsAllocatesNothing) {
+  ASSERT_TRUE(MemoryTracker::Enabled());
+  const Graph g = TwoCliquesSharing(8, 3);
+  // The three shared vertices form a cut; vertices 0 and 1 do not.
+  const std::vector<VertexId> separating = {5, 6, 7};
+  const std::vector<VertexId> non_separating = {0, 1};
+  GlobalCutScratch scratch;
+  ASSERT_TRUE(detail::CutDisconnects(g, separating, scratch));   // warm-up
+  ASSERT_FALSE(detail::CutDisconnects(g, non_separating, scratch));
+  MemoryTracker::ResetPeak();
+  const std::uint64_t baseline = MemoryTracker::CurrentBytes();
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(detail::CutDisconnects(g, separating, scratch));
+    EXPECT_FALSE(detail::CutDisconnects(g, non_separating, scratch));
+  }
+  EXPECT_EQ(MemoryTracker::PeakBytes(), baseline)
+      << "steady-state cut verification touched the allocator";
 }
 
 TEST(ProcessMemoryTest, RssReadable) {

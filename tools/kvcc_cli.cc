@@ -39,9 +39,14 @@ int Usage() {
   std::cerr <<
       "usage: kvcc <command> [args]\n"
       "  decompose <graph> <k> [--variant=VCCE*|VCCE|VCCE-N|VCCE-G]\n"
-      "            [--threads=N] [--validate] [--stats] [--quiet]\n"
-      "            (--threads: 1 = serial, 0 = all hardware threads)\n"
-      "  batch <jobs-file> [--threads=N] [--stats] [--quiet]\n"
+      "            [--threads=N] [--probe-batch=B] [--no-intra-cut]\n"
+      "            [--validate] [--stats] [--quiet]\n"
+      "            (--threads: 1 = serial, 0 = all hardware threads;\n"
+      "             --probe-batch: probes per intra-cut wavefront, 0 =\n"
+      "             adaptive; --no-intra-cut: disable intra-GLOBAL-CUT\n"
+      "             probe parallelism)\n"
+      "  batch <jobs-file> [--threads=N] [--probe-batch=B] [--no-intra-cut]\n"
+      "        [--stats] [--quiet]\n"
       "        (jobs-file lines: \"<graph> <k> [variant]\"; '#' comments.\n"
       "         All jobs run concurrently on one shared engine; output\n"
       "         order and content match per-job serial decompose runs.)\n"
@@ -77,6 +82,17 @@ bool ParseThreads(const std::string& value, std::uint32_t& threads) {
   return true;
 }
 
+/// Parses a --probe-batch=B value; prints an error and returns false on
+/// junk.
+bool ParseProbeBatch(const std::string& value, std::uint32_t& batch) {
+  if (!ParseUint(value, 1u << 20, batch)) {
+    std::cerr << "error: --probe-batch expects an integer in [0, 2^20] "
+                 "(0 = adaptive)\n";
+    return false;
+  }
+  return true;
+}
+
 void PrintComponents(const Graph& g,
                      const std::vector<std::vector<VertexId>>& components) {
   for (std::size_t i = 0; i < components.size(); ++i) {
@@ -91,11 +107,17 @@ int CmdDecompose(const std::vector<std::string>& args) {
   KvccOptions options = KvccOptions::VcceStar();
   bool validate = false, stats = false, quiet = false;
   std::uint32_t threads = 1;
+  std::uint32_t probe_batch = 0;
+  bool intra_cut = true;
   for (std::size_t i = 2; i < args.size(); ++i) {
     if (args[i].rfind("--variant=", 0) == 0) {
       options = KvccOptions::FromVariantName(args[i].substr(10));
     } else if (args[i].rfind("--threads=", 0) == 0) {
       if (!ParseThreads(args[i].substr(10), threads)) return 2;
+    } else if (args[i].rfind("--probe-batch=", 0) == 0) {
+      if (!ParseProbeBatch(args[i].substr(14), probe_batch)) return 2;
+    } else if (args[i] == "--no-intra-cut") {
+      intra_cut = false;
     } else if (args[i] == "--validate") {
       validate = true;
     } else if (args[i] == "--stats") {
@@ -109,6 +131,8 @@ int CmdDecompose(const std::vector<std::string>& args) {
   const Graph g = ReadEdgeListFile(args[0]);
   const auto k = static_cast<std::uint32_t>(std::stoul(args[1]));
   options.num_threads = threads;
+  options.probe_batch_size = probe_batch;
+  options.intra_cut_parallelism = intra_cut;
   Timer timer;
   const KvccResult result = EnumerateKVccs(g, k, options);
   std::cerr << "|V|=" << g.NumVertices() << " |E|=" << g.NumEdges() << " k="
@@ -143,9 +167,15 @@ int CmdBatch(const std::vector<std::string>& args) {
   if (args.empty()) return Usage();
   bool stats = false, quiet = false;
   std::uint32_t threads = 0;  // Batch mode defaults to all hardware threads.
+  std::uint32_t probe_batch = 0;
+  bool intra_cut = true;
   for (std::size_t i = 1; i < args.size(); ++i) {
     if (args[i].rfind("--threads=", 0) == 0) {
       if (!ParseThreads(args[i].substr(10), threads)) return 2;
+    } else if (args[i].rfind("--probe-batch=", 0) == 0) {
+      if (!ParseProbeBatch(args[i].substr(14), probe_batch)) return 2;
+    } else if (args[i] == "--no-intra-cut") {
+      intra_cut = false;
     } else if (args[i] == "--stats") {
       stats = true;
     } else if (args[i] == "--quiet") {
@@ -180,6 +210,8 @@ int CmdBatch(const std::vector<std::string>& args) {
     }
     job.options = fields >> variant ? KvccOptions::FromVariantName(variant)
                                     : KvccOptions::VcceStar();
+    job.options.probe_batch_size = probe_batch;
+    job.options.intra_cut_parallelism = intra_cut;
     jobs.push_back(std::move(job));
   }
   if (jobs.empty()) {

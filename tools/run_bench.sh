@@ -45,7 +45,10 @@ GIT_COMMIT="$(git -C "$REPO_ROOT" describe --always --dirty 2>/dev/null || echo 
 
 rm -f "$OUT_FILE"
 
-# Thread-scalability sweep (also validates identical output per thread count).
+# Thread-scalability sweep (also validates identical output per thread
+# count). Emits two snapshot lines: the planted bushy-recursion workload and
+# the shallow single-k-VCC workload whose scaling comes entirely from the
+# intra-GLOBAL-CUT probe wavefronts (probe-waste stats included).
 "$BUILD_DIR/bench_scalability_threads" --threads=1,2,4 --json="$OUT_FILE" \
   --build-type="$BUILD_TYPE" --commit="$GIT_COMMIT"
 
@@ -71,6 +74,11 @@ fi
 
 if ! grep -q '"build_type": "Release"' "$OUT_FILE"; then
   echo "run_bench.sh: snapshot is missing the Release stamp" >&2
+  exit 1
+fi
+if ! grep -q '"bench": "scalability_threads_shallow"' "$OUT_FILE" ||
+   ! grep -q '"probes_launched"' "$OUT_FILE"; then
+  echo "run_bench.sh: snapshot is missing the shallow-recursion wavefront entry" >&2
   exit 1
 fi
 echo "perf snapshot written to $OUT_FILE (Release @ $GIT_COMMIT)"
