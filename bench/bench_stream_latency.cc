@@ -1,0 +1,206 @@
+// Time-to-component latency of streaming delivery vs buffered Wait().
+//
+// A server answering a decomposition request can start responding as soon
+// as the first k-VCC commits; Wait() pins that latency to the *last*
+// subtree. This bench submits one bushy planted-VCC job per configuration
+// and reports when the first / median / last component arrived through a
+// ResultStream, against the total time a buffered Submit+Wait took — for
+// both delivery modes (immediate and --stable-order). Every streamed run
+// is checked multiset-identical to the buffered baseline, so the bench
+// doubles as an end-to-end determinism check.
+//
+// Flags:
+//   --blocks=<N>         planted k-VCC blocks, i.e. expected components
+//                        (default 8)
+//   --scale=<double>     block size multiplier (default 1.0)
+//   --threads=1,2,4      engine worker counts to sweep
+//   --quick              shrink the workload for smoke runs
+//   --json=<path>        append a machine-readable perf snapshot to <path>
+//   --build-type=<s>     stamp the snapshot with the CMake build type
+//   --commit=<s>         stamp the snapshot with the git commit
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "gen/planted_vcc.h"
+#include "kvcc/engine.h"
+#include "kvcc/kvcc_enum.h"
+#include "kvcc/stream.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace kvcc;
+using namespace kvcc::bench;
+
+struct StreamBenchArgs {
+  std::size_t blocks = 8;
+  double scale = 1.0;
+  bool quick = false;
+  std::vector<std::uint32_t> threads = {1, 2, 4};
+  std::string json_path;
+  std::string build_type = "unknown";
+  std::string commit = "unknown";
+};
+
+StreamBenchArgs ParseStreamBenchArgs(int argc, char** argv) {
+  StreamBenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--blocks=", 0) == 0) {
+      args.blocks = static_cast<std::size_t>(std::atol(arg.substr(9).c_str()));
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      args.scale = std::atof(arg.substr(8).c_str());
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      args.threads = ParseUintList(arg.substr(10));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      args.json_path = arg.substr(7);
+    } else if (arg.rfind("--build-type=", 0) == 0) {
+      args.build_type = arg.substr(13);
+    } else if (arg.rfind("--commit=", 0) == 0) {
+      args.commit = arg.substr(9);
+    } else if (arg == "--quick") {
+      args.quick = true;
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n"
+                << "usage: bench_stream_latency [--blocks=N] [--scale=S]"
+                   " [--threads=a,b,c] [--quick] [--json=path]"
+                   " [--build-type=s] [--commit=s]\n";
+      std::exit(2);
+    }
+  }
+  if (args.blocks < 2) args.blocks = 2;
+  if (args.threads.empty()) args.threads = {1};
+  return args;
+}
+
+struct StreamRun {
+  double first_ms = 0;
+  double median_ms = 0;
+  double last_ms = 0;
+  bool match = false;
+};
+
+/// Streams one job and timestamps each arrival; `reference` is the sorted
+/// buffered result the streamed multiset must reproduce.
+StreamRun RunStreaming(KvccEngine& engine, const Graph& g, std::uint32_t k,
+                       bool stable_order,
+                       const std::vector<std::vector<VertexId>>& reference) {
+  KvccOptions options = KvccOptions::VcceStar();
+  options.stable_order = stable_order;
+  std::vector<std::vector<VertexId>> streamed;
+  std::vector<double> arrival_ms;
+  Timer timer;
+  ResultStream stream = engine.SubmitStream(g, k, options);
+  while (std::optional<StreamedComponent> c = stream.Next()) {
+    arrival_ms.push_back(timer.ElapsedMillis());
+    streamed.push_back(std::move(c->vertices));
+  }
+  StreamRun run;
+  if (!arrival_ms.empty()) {
+    run.first_ms = arrival_ms.front();
+    run.median_ms = arrival_ms[(arrival_ms.size() - 1) / 2];
+    run.last_ms = arrival_ms.back();
+  }
+  std::sort(streamed.begin(), streamed.end());
+  run.match = streamed == reference;
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const StreamBenchArgs args = ParseStreamBenchArgs(argc, argv);
+
+  PrintBanner("Streaming latency",
+              "time-to-first/median/last component: ResultStream vs Wait()");
+
+  // One bushy job: `blocks` planted k-VCCs, so the recursion emits its
+  // first component roughly 1/blocks of the way through the tree.
+  const double s = args.quick ? args.scale * 0.5 : args.scale;
+  PlantedVccConfig config;
+  config.num_blocks = static_cast<int>(args.blocks);
+  config.block_size_min = std::max<VertexId>(14, static_cast<VertexId>(26 * s));
+  config.block_size_max = std::max<VertexId>(18, static_cast<VertexId>(40 * s));
+  config.connectivity =
+      std::min<std::uint32_t>(8, config.block_size_min - 2);
+  config.overlap = 2;
+  config.bridge_edges = 1;
+  config.seed = 97;
+  const PlantedVccGraph planted = GeneratePlantedVcc(config);
+  const Graph& g = planted.graph;
+  const std::uint32_t k = config.connectivity;
+  std::cout << "workload: |V|=" << g.NumVertices() << " |E|=" << g.NumEdges()
+            << " k=" << k << " (" << args.blocks << " planted blocks)\n\n";
+
+  const std::vector<int> widths = {16, 10, 12, 12, 12, 12, 8};
+  PrintRow({"mode", "threads", "first", "median", "last", "wait_total",
+            "match"},
+           widths);
+
+  std::ostringstream json;
+  json << "{\"bench\": \"stream_latency\", \"build_type\": \""
+       << args.build_type << "\", \"git_commit\": \"" << args.commit
+       << "\", \"workload\": {\"n\": " << g.NumVertices()
+       << ", \"m\": " << g.NumEdges() << ", \"k\": " << k
+       << ", \"blocks\": " << args.blocks << "}, \"results\": [";
+
+  bool all_match = true;
+  bool first_json = true;
+  for (const std::uint32_t threads : args.threads) {
+    KvccEngine engine(threads);
+
+    // Buffered baseline: result available only when everything finished.
+    Timer wait_timer;
+    const KvccResult buffered = engine.Wait(engine.Submit(g, k));
+    const double wait_ms = wait_timer.ElapsedMillis();
+
+    for (const bool stable : {false, true}) {
+      const StreamRun run =
+          RunStreaming(engine, g, k, stable, buffered.components);
+      all_match = all_match && run.match;
+      const std::string mode =
+          stable ? "stream/stable" : "stream/immediate";
+      PrintRow({mode, std::to_string(threads),
+                FormatDouble(run.first_ms, 2) + "ms",
+                FormatDouble(run.median_ms, 2) + "ms",
+                FormatDouble(run.last_ms, 2) + "ms",
+                FormatDouble(wait_ms, 2) + "ms", run.match ? "yes" : "NO"},
+               widths);
+      if (!first_json) json << ", ";
+      first_json = false;
+      json << "{\"threads\": " << threads << ", \"stable_order\": "
+           << (stable ? "true" : "false")
+           << ", \"first_component_ms\": " << run.first_ms
+           << ", \"median_component_ms\": " << run.median_ms
+           << ", \"last_component_ms\": " << run.last_ms
+           << ", \"buffered_wait_ms\": " << wait_ms
+           << ", \"identical_multiset\": " << (run.match ? "true" : "false")
+           << "}";
+    }
+  }
+  json << "]}";
+
+  if (!args.json_path.empty()) {
+    std::ofstream out(args.json_path, std::ios::app);
+    out << json.str() << "\n";
+    std::cout << "\nwrote perf snapshot to " << args.json_path << "\n";
+  }
+  std::cout << "\nExpected shape: first-component latency lands well under "
+               "the buffered wait (the recursion emits leaves long before "
+               "the tail drains); stable order pays a small holdback over "
+               "immediate delivery; every row reports match=yes.\n";
+  if (!all_match) {
+    std::cerr << "ERROR: a streamed multiset differed from Wait() output\n";
+    return 1;
+  }
+  return 0;
+}

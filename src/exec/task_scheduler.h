@@ -53,52 +53,85 @@
 #include <thread>
 #include <vector>
 
+/// \file
+/// \brief Work-stealing task scheduler for recursive decomposition
+/// workloads: per-worker deques, one-shot and persistent driving modes,
+/// and a nest-safe ParallelFor.
+
+/// \brief Execution substrate: the work-stealing task scheduler shared by
+/// every parallel layer of the k-VCC engine.
 namespace kvcc::exec {
 
-/// Maps a user-facing thread-count request to a concrete worker count:
-/// 0 = one worker per hardware thread, otherwise the request itself.
+/// \brief Maps a user-facing thread-count request to a concrete worker
+/// count: 0 = one worker per hardware thread, otherwise the request
+/// itself.
+/// \param requested The user-facing thread-count knob.
+/// \return The resolved worker count (>= 1).
 unsigned ResolveThreadCount(unsigned requested);
 
+/// \brief Work-stealing task scheduler for dynamic trees of independent
+/// tasks (see file comment for the deque discipline and the two driving
+/// modes).
 class TaskScheduler {
  public:
-  /// A task body; the argument is the executing worker's id.
+  /// \brief A task body; the argument is the executing worker's id.
   using Task = std::function<void(unsigned worker)>;
 
-  /// Creates `num_workers` (>= 1) workers. Threads are spawned by Run().
+  /// \brief Creates the scheduler. Threads are spawned by Run() or
+  /// Start(), not here.
+  /// \param num_workers Number of worker threads (>= 1).
   explicit TaskScheduler(unsigned num_workers);
+
+  /// \brief Stops the workers (as if by Stop()) if still running.
   ~TaskScheduler();
 
+  /// \brief Schedulers are not copyable (they own threads).
   TaskScheduler(const TaskScheduler&) = delete;
+  /// \brief Schedulers are not copyable (they own threads).
   TaskScheduler& operator=(const TaskScheduler&) = delete;
 
+  /// \brief Number of worker threads.
+  /// \return The count passed to the constructor.
   unsigned num_workers() const { return static_cast<unsigned>(queues_.size()); }
 
-  /// Enqueues a task. Callable before Run()/Start() (seeding), from within
-  /// a running task (spawning children; the task lands on the calling
-  /// worker's own deque), and — in persistent mode — from any external
-  /// thread while the workers are parked.
+  /// \brief Enqueues a task.
+  ///
+  /// Callable before Run()/Start() (seeding), from within a running task
+  /// (spawning children; the task lands on the calling worker's own
+  /// deque), and — in persistent mode — from any external thread while
+  /// the workers are parked.
+  /// \param task The body to run; receives the executing worker's id.
   void Submit(Task task);
 
-  /// Like Submit, but always seeds round-robin across the worker deques,
-  /// even when called from within a running task. Use for root tasks of new
-  /// independent jobs (fairness: a job submitted from inside a busy worker
-  /// must not queue behind that worker's whole subtree) and for helper
-  /// stubs that should be picked up by *other* workers.
+  /// \brief Like Submit, but always seeds round-robin across the worker
+  /// deques, even when called from within a running task.
+  ///
+  /// Use for root tasks of new independent jobs (fairness: a job
+  /// submitted from inside a busy worker must not queue behind that
+  /// worker's whole subtree) and for helper stubs that should be picked
+  /// up by *other* workers.
+  /// \param task The body to run; receives the executing worker's id.
   void SubmitShared(Task task);
 
-  /// Tasks submitted but not yet finished (queued + running), sampled now.
-  /// `ApproxOutstanding() < num_workers()` means part of the pool is idle —
-  /// the signal ParallelFor uses to decide whether helper stubs are worth
-  /// submitting.
+  /// \brief Tasks submitted but not yet finished (queued + running),
+  /// sampled now.
+  ///
+  /// `ApproxOutstanding() < num_workers()` means part of the pool is
+  /// idle — the signal ParallelFor uses to decide whether helper stubs
+  /// are worth submitting.
+  /// \return The sampled outstanding-task count.
   std::uint64_t ApproxOutstanding();
 
-  /// Runs body(index, slot) for every index in [0, count). The calling
-  /// thread claims indices from a shared counter; when the pool looks
-  /// starved, helper stubs are submitted so idle workers claim from the
-  /// same counter concurrently. `slot` identifies the executing thread for
-  /// per-slot scratch: a worker of this scheduler gets its worker id, any
-  /// other thread gets num_workers() — so slots of concurrent participants
-  /// never collide and callers size per-slot pools to num_workers() + 1.
+  /// \brief Runs body(index, slot) for every index in [0, count) as a
+  /// nested fork-join.
+  ///
+  /// The calling thread claims indices from a shared counter; when the
+  /// pool looks starved, helper stubs are submitted so idle workers claim
+  /// from the same counter concurrently. `slot` identifies the executing
+  /// thread for per-slot scratch: a worker of this scheduler gets its
+  /// worker id, any other thread gets num_workers() — so slots of
+  /// concurrent participants never collide and callers size per-slot
+  /// pools to num_workers() + 1.
   ///
   /// Safe to call from inside a task (nested fork-join) and reentrantly
   /// from inside a ParallelFor body: the caller never blocks on a helper
@@ -106,26 +139,32 @@ class TaskScheduler {
   /// bodies already in flight on other threads. If one external (non-
   /// worker) thread may call this concurrently with another, callers must
   /// serialize those external calls themselves (they would share the
-  /// external slot). Rethrows the first exception thrown by a body after
-  /// all claimed bodies have finished.
+  /// external slot).
+  /// \param count Number of indices to process.
+  /// \param body Called once per index with (index, slot).
+  /// \throws Rethrows the first exception thrown by a body after all
+  ///   claimed bodies have finished.
   void ParallelFor(std::size_t count,
                    const std::function<void(std::size_t index, unsigned slot)>&
                        body);
 
-  /// Runs until every submitted task (including tasks submitted while
-  /// running) has completed, then joins the workers. Call at most once,
-  /// and not after Start(). If any task threw, the first recorded
-  /// exception is rethrown here (after all remaining tasks have still
-  /// been drained).
+  /// \brief One-shot mode: runs until every submitted task (including
+  /// tasks submitted while running) has completed, then joins the
+  /// workers.
+  ///
+  /// Call at most once, and not after Start().
+  /// \throws Rethrows the first exception a task threw (after all
+  ///   remaining tasks have still been drained).
   void Run();
 
-  /// Spawns the persistent worker threads. Unlike Run(), the workers park
-  /// at quiescence and wake on the next Submit, so the scheduler serves an
-  /// open-ended stream of task trees. Call at most once; pair with Stop().
+  /// \brief Persistent mode: spawns worker threads that park at
+  /// quiescence and wake on the next Submit, so the scheduler serves an
+  /// open-ended stream of task trees. Call at most once; pair with
+  /// Stop().
   void Start();
 
-  /// Drains every outstanding task, joins the workers, and retires the
-  /// scheduler. Exceptions thrown by tasks are NOT rethrown here (a
+  /// \brief Drains every outstanding task, joins the workers, and retires
+  /// the scheduler. Exceptions thrown by tasks are NOT rethrown here (a
   /// persistent owner is expected to capture failures per job); they are
   /// swallowed after the drain. Idempotent.
   void Stop();

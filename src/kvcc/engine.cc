@@ -6,6 +6,53 @@
 
 namespace kvcc {
 
+namespace {
+
+/// Producer side of a SubmitStream channel: forwards deliveries into the
+/// shared StreamChannel, dropping them once the consumer abandoned it.
+class ChannelSink : public ComponentSink {
+ public:
+  explicit ChannelSink(std::shared_ptr<internal::StreamChannel> channel)
+      : channel_(std::move(channel)) {}
+
+  void OnComponent(StreamedComponent component) override {
+    std::lock_guard<std::mutex> lock(channel_->mutex);
+    if (channel_->abandoned) return;
+    channel_->queue.push_back(std::move(component));
+    channel_->cv.notify_one();
+  }
+
+  void OnComplete(const KvccStats& stats) override {
+    std::lock_guard<std::mutex> lock(channel_->mutex);
+    channel_->stats = stats;
+    channel_->complete = true;
+    channel_->cv.notify_all();
+  }
+
+  void OnError(std::exception_ptr error) override {
+    std::lock_guard<std::mutex> lock(channel_->mutex);
+    channel_->error = std::move(error);
+    channel_->complete = true;
+    channel_->cv.notify_all();
+  }
+
+ private:
+  std::shared_ptr<internal::StreamChannel> channel_;
+};
+
+/// The smallest emission key the subtree of an item at `path` that has
+/// already emitted `emitted` own components can still produce: its next
+/// own emit. (Every child subtree key is larger — child elements carry the
+/// top bit.)
+std::vector<std::uint64_t> MinFutureKey(
+    const std::vector<std::uint64_t>& path, std::uint64_t emitted) {
+  std::vector<std::uint64_t> key = path;
+  key.push_back(emitted);
+  return key;
+}
+
+}  // namespace
+
 KvccEngine::KvccEngine(unsigned num_threads)
     : scratch_(exec::ResolveThreadCount(num_threads)),
       scheduler_(exec::ResolveThreadCount(num_threads)) {
@@ -16,16 +63,55 @@ KvccEngine::~KvccEngine() { scheduler_.Stop(); }
 
 KvccEngine::JobId KvccEngine::Submit(const Graph& g, std::uint32_t k,
                                      const KvccOptions& options) {
+  return SubmitJob(g, k, options, /*sink=*/nullptr);
+}
+
+KvccEngine::JobId KvccEngine::SubmitStreaming(
+    const Graph& g, std::uint32_t k, std::shared_ptr<ComponentSink> sink,
+    const KvccOptions& options) {
+  if (!sink) {
+    throw std::invalid_argument(
+        "KvccEngine::SubmitStreaming: sink must be non-null");
+  }
+  return SubmitJob(g, k, options, std::move(sink));
+}
+
+ResultStream KvccEngine::SubmitStream(const Graph& g, std::uint32_t k,
+                                      const KvccOptions& options) {
+  auto channel = std::make_shared<internal::StreamChannel>();
+  const JobId id =
+      SubmitJob(g, k, options, std::make_shared<ChannelSink>(channel));
+  {
+    // Detach: the stream observes completion (and errors) through the
+    // channel, so the Wait table must not hold the job hostage — and an
+    // abandoned stream must not leak an unclaimable ticket. Tasks keep
+    // the JobState alive through their shared_ptr until the tree drains.
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    jobs_.erase(id);
+  }
+  return ResultStream(std::move(channel));
+}
+
+KvccEngine::JobId KvccEngine::SubmitJob(const Graph& g, std::uint32_t k,
+                                        const KvccOptions& options,
+                                        std::shared_ptr<ComponentSink> sink) {
   if (k == 0) {
     throw std::invalid_argument("KvccEngine::Submit: k must be at least 1");
   }
-  auto state = std::make_unique<JobState>();
+  auto state = std::make_shared<JobState>();
   state->graph = &g;
   state->k = k;
   state->options = options;
   state->maintain = options.maintain_side_vertices && options.neighbor_sweep;
+  state->sink = std::move(sink);
+  state->stable_order = state->sink != nullptr && options.stable_order;
   state->pending.store(1, std::memory_order_relaxed);  // The root task.
-  JobState* job = state.get();
+  if (state->stable_order) {
+    // The root item is live from submission on; its subtree can still
+    // produce every key, the smallest being its own first emit {0}.
+    state->live_min_keys.insert(MinFutureKey({}, 0));
+  }
+  std::shared_ptr<JobState> job = state;
   JobId id;
   {
     std::lock_guard<std::mutex> lock(jobs_mutex_);
@@ -36,38 +122,154 @@ KvccEngine::JobId KvccEngine::Submit(const Graph& g, std::uint32_t k,
   // is called from inside a worker (e.g. a job spawned from a running
   // task): landing a new job behind the submitter's whole LIFO subtree
   // would let one huge job starve every small one.
-  scheduler_.SubmitShared([this, job](unsigned worker_id) {
-    RunTask(job, internal::WorkItem{}, /*is_root=*/true, worker_id);
+  scheduler_.SubmitShared([this, job = std::move(job)](unsigned worker_id) {
+    RunTask(job, internal::WorkItem{}, /*is_root=*/true, EmitKey{},
+            worker_id);
   });
   return id;
 }
 
-void KvccEngine::RunTask(JobState* job, internal::WorkItem&& item,
-                         bool is_root, unsigned worker_id) {
-  // Task-local accumulators: one lock acquisition per task (below), not one
-  // per found component or counter bump.
+void KvccEngine::DeliverLocked(JobState* job, std::vector<VertexId> ids) {
+  if (job->delivery_suppressed) return;
+  StreamedComponent component;
+  component.sequence = job->next_sequence++;
+  component.vertices = std::move(ids);
+  try {
+    job->sink->OnComponent(std::move(component));
+  } catch (...) {
+    // A throwing sink poisons the job exactly like a failing subproblem:
+    // stop delivering, let the tree drain, surface the error at the end.
+    job->delivery_suppressed = true;
+    std::lock_guard<std::mutex> lock(job->mutex);
+    if (!job->error) job->error = std::current_exception();
+  }
+}
+
+void KvccEngine::DrainReorderLocked(JobState* job) {
+  // A buffered component is deliverable once no live item's subtree can
+  // still emit a smaller key. Every future emission's key is bounded
+  // below by some live item's min-future key (the emitting item is live,
+  // and children register before their parent retires), so comparing
+  // against the smallest live key is exact, not heuristic.
+  while (!job->reorder.empty() &&
+         (job->live_min_keys.empty() ||
+          job->reorder.begin()->first < *job->live_min_keys.begin())) {
+    auto first = job->reorder.begin();
+    std::vector<VertexId> ids = std::move(first->second);
+    job->reorder.erase(first);
+    DeliverLocked(job, std::move(ids));
+  }
+}
+
+void KvccEngine::FinishStreaming(JobState* job) {
+  std::lock_guard<std::mutex> lock(job->emit_mutex);
+  // Every item has retired, so the live set is empty and the drain
+  // releases any still-buffered tail in key order.
+  DrainReorderLocked(job);
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> job_lock(job->mutex);
+    error = job->error;
+  }
+  if (error) {
+    try {
+      job->sink->OnError(error);
+    } catch (...) {
+      // The job already failed; a throwing OnError has nothing further
+      // to add. Wait() rethrows the original error.
+    }
+  } else {
+    try {
+      // Safe to read without job->mutex: every task merged its stats
+      // (under the mutex) before the final pending decrement that led
+      // here, and acq_rel on that counter orders the merges before us.
+      job->sink->OnComplete(job->stats);
+    } catch (...) {
+      std::lock_guard<std::mutex> job_lock(job->mutex);
+      if (!job->error) job->error = std::current_exception();
+    }
+  }
+}
+
+void KvccEngine::RunTask(const std::shared_ptr<JobState>& job,
+                         internal::WorkItem&& item, bool is_root,
+                         EmitKey path, unsigned worker_id) {
+  const bool streaming = job->sink != nullptr;
+  const bool stable = job->stable_order;
+  // Buffered mode keeps task-local accumulators: one lock acquisition per
+  // task (below), not one per found component. Streaming mode delivers
+  // each component under the job's emit mutex the moment it commits.
   std::vector<std::vector<VertexId>> found;
   KvccStats stats;
   std::exception_ptr error;
+  std::uint64_t emit_count = 0;   // own components emitted by this item
+  std::uint64_t spawn_count = 0;  // children spawned by this item
+
+  auto emit = [&](std::vector<VertexId> ids) {
+    if (!streaming) {
+      found.push_back(std::move(ids));
+      return;
+    }
+    std::lock_guard<std::mutex> lock(job->emit_mutex);
+    if (!stable) {
+      // Immediate delivery; emit_count is stable-order bookkeeping only.
+      DeliverLocked(job.get(), std::move(ids));
+      return;
+    }
+    // Advance this item's min-future key past the component being
+    // buffered, then release whatever became in-order.
+    EmitKey key = MinFutureKey(path, emit_count);
+    job->live_min_keys.erase(job->live_min_keys.find(key));
+    ++emit_count;
+    job->live_min_keys.insert(MinFutureKey(path, emit_count));
+    job->reorder.emplace(std::move(key), std::move(ids));
+    DrainReorderLocked(job.get());
+  };
+
+  auto spawn = [&](internal::WorkItem&& child) {
+    EmitKey child_path;
+    if (stable) {
+      child_path = path;
+      // Descending in spawn index: the serial LIFO stack runs the
+      // last-spawned child's subtree first.
+      child_path.push_back(kChildFlag | (kChildMax - spawn_count));
+      ++spawn_count;
+      std::lock_guard<std::mutex> lock(job->emit_mutex);
+      // Register the child live *before* its parent retires (and before
+      // the child can run), so the reorder drain never releases a key the
+      // child's subtree could still undercut.
+      job->live_min_keys.insert(MinFutureKey(child_path, 0));
+    }
+    // Count the child before it can possibly run and finish, so
+    // `pending` can never dip to zero while work remains.
+    job->pending.fetch_add(1, std::memory_order_relaxed);
+    scheduler_.Submit([this, job, moved = std::move(child),
+                       child_path = std::move(child_path)](
+                          unsigned w) mutable {
+      RunTask(job, std::move(moved), /*is_root=*/false,
+              std::move(child_path), w);
+    });
+  };
+
   try {
-    internal::ProcessItem(
-        std::move(item), is_root ? job->graph : nullptr, job->k, job->options,
-        job->maintain, scratch_[worker_id], stats, &scheduler_,
-        [&](std::vector<VertexId> ids) { found.push_back(std::move(ids)); },
-        [&](internal::WorkItem&& child) {
-          // Count the child before it can possibly run and finish, so
-          // `pending` can never dip to zero while work remains.
-          job->pending.fetch_add(1, std::memory_order_relaxed);
-          scheduler_.Submit(
-              [this, job, moved = std::move(child)](unsigned w) mutable {
-                RunTask(job, std::move(moved), /*is_root=*/false, w);
-              });
-        });
+    internal::ProcessItem(std::move(item), is_root ? job->graph : nullptr,
+                          job->k, job->options, job->maintain,
+                          scratch_[worker_id], stats, &scheduler_, emit,
+                          spawn);
   } catch (...) {
     // A failing subproblem poisons only its own job: record the first
     // exception for Wait() to rethrow; sibling tasks (already spawned
     // children included) still run to completion so `pending` drains.
     error = std::current_exception();
+  }
+
+  if (stable) {
+    // This item retires: it can emit nothing further. Children spawned
+    // above (even on the exception path) are already registered.
+    std::lock_guard<std::mutex> lock(job->emit_mutex);
+    job->live_min_keys.erase(
+        job->live_min_keys.find(MinFutureKey(path, emit_count)));
+    DrainReorderLocked(job.get());
   }
 
   {
@@ -79,9 +281,12 @@ void KvccEngine::RunTask(JobState* job, internal::WorkItem&& item,
     if (error && !job->error) job->error = error;
   }
   if (job->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    // Last task of the tree: canonicalize and publish. No other thread
-    // touches the accumulators anymore, but the mutex still orders the
-    // publication against a concurrent Wait().
+    // Last task of the tree. Streaming jobs flush the reorder tail and
+    // close out the sink before the done flag is published, so a Wait()er
+    // observes delivery fully finished.
+    if (streaming) FinishStreaming(job.get());
+    // No other thread touches the accumulators anymore, but the mutex
+    // still orders the publication against a concurrent Wait().
     std::lock_guard<std::mutex> lock(job->mutex);
     std::sort(job->components.begin(), job->components.end());
     job->done = true;
@@ -95,7 +300,7 @@ KvccResult KvccEngine::Wait(JobId id) {
   // only jobs still worth remembering. Destruction is safe after `done`
   // — the final task's notify happens under the job mutex, so reacquiring
   // it in the wait proves no task touches the state anymore.
-  std::unique_ptr<JobState> job;
+  std::shared_ptr<JobState> job;
   {
     std::lock_guard<std::mutex> lock(jobs_mutex_);
     const auto it = jobs_.find(id);

@@ -13,14 +13,23 @@
 // engine's worker count, concurrent jobs, or submission order — subproblem
 // tasks are pure functions of their input and each job's merged output is
 // canonically sorted.
+//
+// Streaming: SubmitStreaming / SubmitStream deliver each k-VCC the moment
+// its subproblem commits instead of buffering until Wait(). The multiset
+// of streamed components is byte-identical to the buffered result; with
+// KvccOptions::stable_order the delivery *order* additionally reproduces
+// the exact serial emission order via a reorder buffer (see stream.h and
+// docs/ARCHITECTURE.md).
 #ifndef KVCC_KVCC_ENGINE_H_
 #define KVCC_KVCC_ENGINE_H_
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -28,56 +37,149 @@
 #include "kvcc/enum_internal.h"
 #include "kvcc/kvcc_enum.h"
 #include "kvcc/options.h"
+#include "kvcc/stream.h"
+
+/// \file
+/// \brief KvccEngine: a long-lived batch engine serving many concurrent
+/// (graph, k) jobs on one persistent work-stealing pool, with buffered
+/// (Wait) and streaming (SubmitStreaming / SubmitStream) result delivery.
 
 namespace kvcc {
 
-/// One (graph, k) request for KvccEngine::RunBatch. The graph is borrowed:
-/// it must stay alive until the batch call returns.
+/// \brief One (graph, k) request for KvccEngine::RunBatch.
+///
+/// The graph is borrowed: it must stay alive until the batch call returns.
 struct EngineJobSpec {
+  /// \brief The graph to decompose (borrowed, non-null).
   const Graph* graph = nullptr;
+  /// \brief Connectivity parameter (>= 1).
   std::uint32_t k = 0;
+  /// \brief Algorithm options for this job (num_threads is ignored; the
+  /// engine's worker count governs parallelism).
   KvccOptions options;
 };
 
+/// \brief Batch execution engine serving many concurrent (graph, k)
+/// decomposition jobs on one persistent work-stealing worker pool.
 class KvccEngine {
  public:
-  /// Ticket for a submitted job; pass to Wait() exactly once.
+  /// \brief Ticket for a submitted job; pass to Wait() exactly once.
   using JobId = std::size_t;
 
-  /// Creates the engine with `num_threads` workers (0 = one per hardware
-  /// thread) and starts the persistent worker pool immediately.
-  /// KvccOptions::num_threads is ignored for jobs served by an engine; the
-  /// engine's own worker count governs parallelism.
+  /// \brief Creates the engine and starts the persistent worker pool
+  /// immediately.
+  /// \param num_threads Worker count; 0 = one per hardware thread.
+  ///   KvccOptions::num_threads is ignored for jobs served by an engine;
+  ///   the engine's own worker count governs parallelism.
   explicit KvccEngine(unsigned num_threads = 0);
 
-  /// Drains any jobs still in flight, then joins the workers. Results of
-  /// jobs never Wait()ed on are discarded.
+  /// \brief Drains any jobs still in flight, then joins the workers.
+  /// Results of jobs never Wait()ed on are discarded.
   ~KvccEngine();
 
+  /// \brief Engines are not copyable (they own threads and scratch).
   KvccEngine(const KvccEngine&) = delete;
+  /// \brief Engines are not copyable (they own threads and scratch).
   KvccEngine& operator=(const KvccEngine&) = delete;
 
+  /// \brief Number of worker threads serving this engine.
+  /// \return The resolved worker count (>= 1).
   unsigned num_workers() const { return scheduler_.num_workers(); }
 
-  /// Enqueues one job (k >= 1; g is borrowed and must outlive the matching
-  /// Wait). Returns immediately; the job starts running on the shared pool
-  /// right away, interleaved with every other in-flight job.
+  /// \brief Enqueues one buffered job.
+  ///
+  /// Returns immediately; the job starts running on the shared pool right
+  /// away, interleaved with every other in-flight job.
+  /// \param g The graph to decompose; borrowed, must outlive the matching
+  ///   Wait.
+  /// \param k Connectivity parameter (>= 1).
+  /// \param options Algorithm options (num_threads ignored).
+  /// \return Ticket to pass to Wait() exactly once.
+  /// \throws std::invalid_argument if k == 0.
   JobId Submit(const Graph& g, std::uint32_t k,
                const KvccOptions& options = {});
 
-  /// Blocks until job `id` completes and returns its result (components
-  /// canonically sorted, stats totals equal to the serial run's). If the
-  /// job failed, rethrows its first recorded exception. Waiting consumes
-  /// the ticket and reclaims the job's bookkeeping — a long-lived engine
-  /// holds state only for in-flight and not-yet-waited jobs — so each id
-  /// is valid for exactly one Wait; reusing it throws std::out_of_range.
+  /// \brief Enqueues one streaming job: `sink` receives every finished
+  /// k-VCC as soon as its subproblem commits, then the final stats.
+  ///
+  /// Sink calls are serialized per job but arrive on worker threads; see
+  /// ComponentSink for the full delivery contract. With
+  /// options.stable_order the delivery order is the exact serial emission
+  /// order (out-of-order completions are held in a reorder buffer);
+  /// otherwise components are delivered the moment they commit, in a
+  /// thread-count-dependent order whose multiset is still byte-identical
+  /// to the buffered result. The returned ticket must still be Wait()ed:
+  /// Wait blocks until delivery has finished, rethrows the first error
+  /// (from the algorithm or from the sink), and returns a KvccResult
+  /// whose `components` is empty (they were streamed) and whose `stats`
+  /// equals what OnComplete received.
+  /// \param g The graph to decompose; borrowed, must outlive Wait.
+  /// \param k Connectivity parameter (>= 1).
+  /// \param sink Non-null consumer for components and completion.
+  /// \param options Algorithm options (num_threads ignored;
+  ///   stable_order selects ordered delivery).
+  /// \return Ticket to pass to Wait() exactly once.
+  /// \throws std::invalid_argument if k == 0 or sink is null.
+  JobId SubmitStreaming(const Graph& g, std::uint32_t k,
+                        std::shared_ptr<ComponentSink> sink,
+                        const KvccOptions& options = {});
+
+  /// \brief Enqueues one streaming job and returns a pull-style handle.
+  ///
+  /// Built on the same delivery channel as SubmitStreaming. The job is
+  /// detached from the Wait table: completion, stats, and errors are all
+  /// observed through the stream (Next() rethrows job errors), and
+  /// destroying the stream mid-flight abandons the remaining components
+  /// without blocking — the job still drains on the engine, reclaiming
+  /// its bookkeeping. The stream must not outlive the engine.
+  /// \param g The graph to decompose; borrowed, must stay alive until the
+  ///   stream reports completion or the engine is destroyed.
+  /// \param k Connectivity parameter (>= 1).
+  /// \param options Algorithm options (num_threads ignored;
+  ///   stable_order selects ordered delivery).
+  /// \return Stream handle delivering the job's components.
+  /// \throws std::invalid_argument if k == 0.
+  ResultStream SubmitStream(const Graph& g, std::uint32_t k,
+                            const KvccOptions& options = {});
+
+  /// \brief Blocks until job `id` completes and returns its result
+  /// (components canonically sorted, stats totals equal to the serial
+  /// run's).
+  ///
+  /// If the job failed, rethrows its first recorded exception. Waiting
+  /// consumes the ticket and reclaims the job's bookkeeping — a
+  /// long-lived engine holds state only for in-flight and not-yet-waited
+  /// jobs — so each id is valid for exactly one Wait. For streaming jobs
+  /// the returned components are empty (they were delivered to the sink).
+  /// \param id Ticket from Submit or SubmitStreaming.
+  /// \return The job's result.
+  /// \throws std::out_of_range on an unknown or already-consumed id.
   KvccResult Wait(JobId id);
 
-  /// Convenience: submits every spec, waits for all, and returns results
-  /// in spec order. Equivalent to per-call EnumerateKVccs output-wise.
+  /// \brief Convenience: submits every spec, waits for all, and returns
+  /// results in spec order. Equivalent to per-call EnumerateKVccs
+  /// output-wise.
+  /// \param jobs The specs to run (graphs borrowed for the call).
+  /// \return One result per spec, in spec order.
+  /// \throws std::invalid_argument if any spec's graph is null.
   std::vector<KvccResult> RunBatch(const std::vector<EngineJobSpec>& jobs);
 
  private:
+  // Serial-emission-order key of one streamed component (stable_order
+  // mode). Keys are sequences of elements, compared lexicographically:
+  //   * an item's own j-th emitted component appends element j
+  //     (top bit clear, ascending: earlier emits sort first);
+  //   * the child spawned i-th appends element (kChildFlag | (kChildMax -
+  //     i)) (top bit set: children sort after every own emit; descending
+  //     in i: the serial LIFO stack processes the *last*-spawned child
+  //     first, so later spawns sort earlier).
+  // The serial run's emission order is exactly ascending key order, and
+  // keys are prefix-free, so a reorder buffer over them can replay the
+  // serial order from any parallel interleaving.
+  using EmitKey = std::vector<std::uint64_t>;
+  static constexpr std::uint64_t kChildFlag = std::uint64_t{1} << 63;
+  static constexpr std::uint64_t kChildMax = kChildFlag - 1;
+
   struct JobState {
     const Graph* graph = nullptr;
     std::uint32_t k = 0;
@@ -92,20 +194,44 @@ class KvccEngine {
 
     std::mutex mutex;
     std::condition_variable done_cv;
-    std::vector<std::vector<VertexId>> components;
+    std::vector<std::vector<VertexId>> components;  // buffered mode only
     KvccStats stats;
     std::exception_ptr error;
     bool done = false;
+
+    // --- streaming delivery (sink != nullptr) ---
+    // emit_mutex serializes every sink call and all reorder bookkeeping.
+    // Lock order: emit_mutex before mutex, never the reverse.
+    std::shared_ptr<ComponentSink> sink;
+    bool stable_order = false;
+    std::mutex emit_mutex;
+    std::uint64_t next_sequence = 0;
+    bool delivery_suppressed = false;  // sink threw; drop the rest
+    // stable_order reorder state: components buffered until no live item
+    // can emit a serially-earlier one. `live_min_keys` holds, per live
+    // recursion item, the smallest key its subtree can still produce.
+    std::map<EmitKey, std::vector<VertexId>> reorder;
+    std::multiset<EmitKey> live_min_keys;
   };
 
-  void RunTask(JobState* job, internal::WorkItem&& item, bool is_root,
+  JobId SubmitJob(const Graph& g, std::uint32_t k, const KvccOptions& options,
+                  std::shared_ptr<ComponentSink> sink);
+  void RunTask(const std::shared_ptr<JobState>& job,
+               internal::WorkItem&& item, bool is_root, EmitKey path,
                unsigned worker_id);
+  // All three require job->emit_mutex to be held by the caller.
+  void DeliverLocked(JobState* job, std::vector<VertexId> ids);
+  void DrainReorderLocked(JobState* job);
+  void FinishStreaming(JobState* job);
 
   std::vector<internal::EnumScratch> scratch_;  // one per worker, unshared
   std::mutex jobs_mutex_;
-  // Live tickets only: Wait() extracts and frees its entry, so the table
-  // holds in-flight / unclaimed jobs, not the full submission history.
-  std::unordered_map<JobId, std::unique_ptr<JobState>> jobs_;
+  // Live tickets only: Wait() extracts and frees its entry (and detached
+  // stream jobs never hold one past submission), so the table holds
+  // in-flight / unclaimed jobs, not the full submission history. Tasks
+  // share ownership of their JobState, so erasing an entry while the job
+  // runs is safe — the state dies with its last task.
+  std::unordered_map<JobId, std::shared_ptr<JobState>> jobs_;
   JobId next_job_id_ = 0;
   exec::TaskScheduler scheduler_;
 };

@@ -17,65 +17,99 @@
 #include "kvcc/options.h"
 #include "kvcc/stats.h"
 
+/// \file
+/// \brief The k-VCC hierarchy (cohesive blocking): nested k-VCCs for
+/// every k, built level-inside-level with parent links for free.
+
 namespace kvcc {
 
 class KvccEngine;
 
+/// \brief One component of the k-VCC hierarchy dendrogram.
 struct HierarchyNode {
-  /// Connectivity level of this component (it is a level-VCC).
+  /// \brief Connectivity level of this component (it is a level-VCC).
   std::uint32_t level = 0;
-  /// Sorted vertex ids (in the input graph's id space).
+  /// \brief Sorted vertex ids (in the input graph's id space).
   std::vector<VertexId> vertices;
-  /// Index of the enclosing node at level-1, or kNoParent for level 1.
+  /// \brief Index of the enclosing node at level-1, or kNoParent for
+  /// level 1.
   std::size_t parent = kNoParent;
-  /// Indices of the nodes at level+1 nested inside this one.
+  /// \brief Indices of the nodes at level+1 nested inside this one.
   std::vector<std::size_t> children;
 
+  /// \brief Sentinel parent index for level-1 nodes.
   static constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
 };
 
+/// \brief The full dendrogram produced by BuildKvccHierarchy.
 struct KvccHierarchy {
-  /// All nodes, grouped by level: levels[k-1] lists node indices of level k.
+  /// \brief All nodes, in construction order.
   std::vector<HierarchyNode> nodes;
+  /// \brief Nodes grouped by level: levels[k-1] lists node indices of
+  /// level k.
   std::vector<std::vector<std::size_t>> levels;
+  /// \brief Execution counters summed over every level's enumeration.
   KvccStats stats;
 
-  /// The deepest level that still has components.
+  /// \brief The deepest level that still has components.
+  /// \return Largest k with at least one k-VCC (0 for an empty
+  /// hierarchy).
   std::uint32_t MaxLevel() const {
     return static_cast<std::uint32_t>(levels.size());
   }
 
-  /// Node indices of the k-VCCs (empty if k is beyond the hierarchy).
+  /// \brief Node indices of the k-VCCs at one level.
+  /// \param k The connectivity level to look up.
+  /// \return The node indices (empty if k is beyond the hierarchy).
   const std::vector<std::size_t>& NodesAtLevel(std::uint32_t k) const;
 
-  /// The components at level k in EnumerateKVccs output format.
+  /// \brief The components at level k in EnumerateKVccs output format.
+  /// \param k The connectivity level to extract.
+  /// \return Sorted component lists, sorted lexicographically.
   std::vector<std::vector<VertexId>> ComponentsAtLevel(std::uint32_t k) const;
 
-  /// Largest k such that some k-VCC contains vertex v (0 if none does).
+  /// \brief Largest k such that some k-VCC contains vertex v.
+  /// \param v A vertex id of the input graph.
+  /// \return The vertex's structural cohesion (0 if no component holds
+  /// it).
   std::uint32_t CohesionOf(VertexId v) const;
 
  private:
+  /// \cond INTERNAL
   friend KvccHierarchy BuildKvccHierarchy(const Graph&, std::uint32_t,
                                           const KvccOptions&);
   friend KvccHierarchy BuildKvccHierarchy(KvccEngine&, const Graph&,
                                           std::uint32_t,
                                           const KvccOptions&);
+  /// \endcond
   std::vector<std::uint32_t> cohesion_;  // per input vertex
 };
 
-/// Builds the hierarchy up to `max_level` (0 = until no components remain,
-/// bounded by the degeneracy since a k-VCC needs minimum degree >= k).
+/// \brief Builds the hierarchy up to `max_level`.
+///
 /// With KvccOptions::num_threads resolving to more than one worker, each
 /// level's parent components are decomposed as independent jobs on a
 /// KvccEngine and merged in parent order, so the output is identical for
 /// every thread count.
+/// \param g The input graph.
+/// \param max_level Deepest level to compute; 0 = until no components
+///   remain (bounded by the degeneracy since a k-VCC needs minimum degree
+///   >= k).
+/// \param options Algorithm variant and execution knobs.
+/// \return The dendrogram of nested k-VCCs.
 KvccHierarchy BuildKvccHierarchy(const Graph& g, std::uint32_t max_level = 0,
                                  const KvccOptions& options = {});
 
-/// Same, but runs every level's jobs on a caller-provided engine — the way
-/// to build many hierarchies (or mix hierarchy and plain enumeration
-/// traffic) on one warm worker pool. The engine's worker count governs
-/// parallelism; KvccOptions::num_threads is ignored.
+/// \brief Same, but runs every level's jobs on a caller-provided engine —
+/// the way to build many hierarchies (or mix hierarchy and plain
+/// enumeration traffic) on one warm worker pool.
+/// \param engine The engine to run on; its worker count governs
+///   parallelism (KvccOptions::num_threads is ignored).
+/// \param g The input graph.
+/// \param max_level Deepest level to compute; 0 = until no components
+///   remain.
+/// \param options Algorithm variant and execution knobs.
+/// \return The dendrogram of nested k-VCCs.
 KvccHierarchy BuildKvccHierarchy(KvccEngine& engine, const Graph& g,
                                  std::uint32_t max_level = 0,
                                  const KvccOptions& options = {});

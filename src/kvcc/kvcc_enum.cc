@@ -102,4 +102,64 @@ KvccResult EnumerateKVccs(const Graph& g, std::uint32_t k,
   return result;
 }
 
+void EnumerateKVccsStreaming(const Graph& g, std::uint32_t k,
+                             ComponentSink& sink,
+                             const KvccOptions& options) {
+  if (k == 0) {
+    throw std::invalid_argument(
+        "EnumerateKVccsStreaming: k must be at least 1");
+  }
+  const unsigned num_workers = exec::ResolveThreadCount(options.num_threads);
+  if (num_workers > 1) {
+    // One-job streaming batch on a transient engine; Wait() rethrows the
+    // first algorithm or sink error after the tree drains, matching the
+    // serial path's throw-through semantics. The sink is borrowed, not
+    // owned: alias it into a shared_ptr with no ownership.
+    KvccEngine engine(num_workers);
+    std::shared_ptr<ComponentSink> borrowed(std::shared_ptr<void>(), &sink);
+    engine.Wait(engine.SubmitStreaming(g, k, std::move(borrowed), options));
+    return;
+  }
+
+  // Serial path: the LIFO stack below *is* the definition of the serial
+  // emission order (stable_order replays it) — each item's own components
+  // first, then the subtree of its last-spawned child, and so on.
+  const bool maintain =
+      options.maintain_side_vertices && options.neighbor_sweep;
+  internal::EnumScratch scratch;
+  KvccStats stats;
+  std::uint64_t sequence = 0;
+  std::vector<internal::WorkItem> stack;
+  auto emit = [&](std::vector<VertexId> ids) {
+    StreamedComponent component;
+    component.sequence = sequence++;
+    component.vertices = std::move(ids);
+    sink.OnComponent(std::move(component));
+  };
+  auto spawn = [&stack](internal::WorkItem&& child) {
+    stack.push_back(std::move(child));
+  };
+  try {
+    internal::ProcessItem(internal::WorkItem{}, &g, k, options, maintain,
+                          scratch, stats, /*scheduler=*/nullptr, emit, spawn);
+    while (!stack.empty()) {
+      internal::WorkItem item = std::move(stack.back());
+      stack.pop_back();
+      internal::ProcessItem(std::move(item), nullptr, k, options, maintain,
+                            scratch, stats, /*scheduler=*/nullptr, emit,
+                            spawn);
+    }
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    try {
+      sink.OnError(error);
+    } catch (...) {
+      // OnError is informational; the first error is the one the caller
+      // must see (same semantics as the engine path's FinishStreaming).
+    }
+    std::rethrow_exception(error);
+  }
+  sink.OnComplete(stats);
+}
+
 }  // namespace kvcc

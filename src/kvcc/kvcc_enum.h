@@ -17,47 +17,104 @@
 #include "graph/graph.h"
 #include "kvcc/options.h"
 #include "kvcc/stats.h"
+#include "kvcc/stream.h"
 
+/// \file
+/// \brief KVCC-ENUM (paper Algorithm 1): enumerate all k-vertex connected
+/// components by recursive overlapped partitioning — buffered
+/// (EnumerateKVccs) and streaming (EnumerateKVccsStreaming) entry points.
+
+/// \brief The k-VCC library: enumeration (EnumerateKVccs), batch serving
+/// (KvccEngine), streaming delivery (stream.h), and the cohesion
+/// hierarchy (hierarchy.h).
 namespace kvcc {
 
+/// \brief The complete output of one k-VCC enumeration.
 struct KvccResult {
-  /// All k-VCCs, each as a sorted list of vertex ids of the *input* graph;
-  /// the list of components is sorted lexicographically. (If the input
-  /// graph carries labels, map with Graph::LabelsOf.)
+  /// \brief All k-VCCs, each as a sorted list of vertex ids of the
+  /// *input* graph; the list of components is sorted lexicographically.
+  /// (If the input graph carries labels, map with Graph::LabelsOf.)
   std::vector<std::vector<VertexId>> components;
 
-  /// Execution counters accumulated over the whole run.
+  /// \brief Execution counters accumulated over the whole run.
   KvccStats stats;
 };
 
-/// Enumerates all k-VCCs of g (k >= 1; g need not be connected).
-/// Deterministic: identical inputs and options give identical output order,
-/// for every KvccOptions::num_threads setting. With num_threads > 1 this is
-/// a thin one-job wrapper over KvccEngine (see kvcc/engine.h); callers with
-/// many (graph, k) requests should hold an engine and batch them instead.
+/// \brief Enumerates all k-VCCs of g (k >= 1; g need not be connected).
+///
+/// Deterministic: identical inputs and options give identical output
+/// order, for every KvccOptions::num_threads setting. With num_threads > 1
+/// this is a thin one-job wrapper over KvccEngine (see kvcc/engine.h);
+/// callers with many (graph, k) requests should hold an engine and batch
+/// them instead.
+/// \param g The input graph.
+/// \param k Connectivity parameter (>= 1).
+/// \param options Algorithm variant and execution knobs.
+/// \return Every k-VCC plus the run's execution counters.
+/// \throws std::invalid_argument if k == 0.
 KvccResult EnumerateKVccs(const Graph& g, std::uint32_t k,
                           const KvccOptions& options = {});
 
-/// OVERLAP-PARTITION (Algorithm 1 lines 13-18): removes `cut` from g,
-/// splits the remainder into connected components, and returns for each
-/// component the induced subgraph on (component ∪ cut) together with the
-/// vertex ids (in g's id space) it was built from. `cut` must be a real
-/// vertex cut of g, so at least two pieces are returned; a set that fails
-/// to separate g (or swallows it whole) throws std::logic_error — checked
-/// in every build mode, since recursing on a single self-equal piece would
-/// never terminate. With `as_root`
-/// the pieces' label chains bottom out at g's local ids (see
-/// Graph::InducedSubgraphAsRoot) instead of composing g's own labels.
+/// \brief Streams all k-VCCs of g to `sink` in the order the recursion
+/// emits them, instead of buffering the whole set.
+///
+/// With num_threads resolving to 1 this runs the exact serial recursion
+/// and delivers each component the moment its branch bottoms out — the
+/// emission order of this serial path *defines* the "serial order" that
+/// KvccOptions::stable_order reproduces. With num_threads > 1 the call is
+/// a one-job wrapper over KvccEngine::SubmitStreaming on a transient
+/// engine (hold an engine yourself to amortize pool spin-up). In both
+/// cases the multiset of streamed components is byte-identical to
+/// EnumerateKVccs(g, k, options).components, the sink receives the final
+/// stats via OnComplete, and a sink exception aborts delivery and is
+/// rethrown here (after OnError fires).
+/// \param g The input graph.
+/// \param k Connectivity parameter (>= 1).
+/// \param sink Receives every component, then OnComplete (or OnError).
+/// \param options Algorithm variant and execution knobs; stable_order
+///   makes multi-threaded runs reproduce the serial delivery order.
+/// \throws std::invalid_argument if k == 0; rethrows the first algorithm
+///   or sink error otherwise.
+void EnumerateKVccsStreaming(const Graph& g, std::uint32_t k,
+                             ComponentSink& sink,
+                             const KvccOptions& options = {});
+
+/// \brief One piece of an overlapped partition: the induced subgraph on
+/// (component ∪ cut) plus the ids it was built from.
 struct PartitionPiece {
+  /// \brief The piece as a graph (label chain per OverlapPartition's
+  /// `as_root` parameter).
   Graph graph;
-  std::vector<VertexId> vertices;  // sorted ids in g's space
+  /// \brief Sorted vertex ids of the piece in the parent graph's id space.
+  std::vector<VertexId> vertices;
 };
+
+/// \brief OVERLAP-PARTITION (Algorithm 1 lines 13-18): removes `cut` from
+/// g, splits the remainder into connected components, and returns for each
+/// component the induced subgraph on (component ∪ cut) together with the
+/// vertex ids (in g's id space) it was built from.
+///
+/// `cut` must be a real vertex cut of g, so at least two pieces are
+/// returned; a set that fails to separate g (or swallows it whole) throws
+/// std::logic_error — checked in every build mode, since recursing on a
+/// single self-equal piece would never terminate.
+/// \param g The graph to partition.
+/// \param cut A vertex cut of g (ids in g's id space).
+/// \param as_root When true the pieces' label chains bottom out at g's
+///   local ids (see Graph::InducedSubgraphAsRoot) instead of composing
+///   g's own labels.
+/// \return One piece per connected component of g - cut (at least two).
+/// \throws std::logic_error if removing `cut` leaves fewer than two
+///   pieces.
 std::vector<PartitionPiece> OverlapPartition(const Graph& g,
                                              const std::vector<VertexId>& cut,
                                              bool as_root = false);
 
-/// Materializes one k-VCC (as returned in KvccResult::components) as an
-/// induced subgraph of the input graph.
+/// \brief Materializes one k-VCC (as returned in KvccResult::components)
+/// as an induced subgraph of the input graph.
+/// \param g The graph the enumeration ran on.
+/// \param component One entry of KvccResult::components.
+/// \return The induced subgraph on `component`.
 Graph MaterializeComponent(const Graph& g,
                            const std::vector<VertexId>& component);
 

@@ -56,6 +56,38 @@ void KvccStats::Add(const KvccStats& other) {
   probes_wasted_after_cut += other.probes_wasted_after_cut;
 }
 
+std::string KvccStats::ToJson() const {
+  std::ostringstream out;
+  out << "{\"phase1_pruned_ns1\": " << phase1_pruned_ns1
+      << ", \"phase1_pruned_ns2\": " << phase1_pruned_ns2
+      << ", \"phase1_pruned_gs\": " << phase1_pruned_gs
+      << ", \"phase1_tested_flow\": " << phase1_tested_flow
+      << ", \"phase1_tested_trivial\": " << phase1_tested_trivial
+      << ", \"phase2_pairs_tested\": " << phase2_pairs_tested
+      << ", \"phase2_pairs_skipped_group\": " << phase2_pairs_skipped_group
+      << ", \"phase2_pairs_skipped_adjacent\": "
+      << phase2_pairs_skipped_adjacent
+      << ", \"phase2_pairs_skipped_common\": " << phase2_pairs_skipped_common
+      << ", \"global_cut_calls\": " << global_cut_calls
+      << ", \"loc_cut_flow_calls\": " << loc_cut_flow_calls
+      << ", \"overlap_partitions\": " << overlap_partitions
+      << ", \"kvccs_found\": " << kvccs_found
+      << ", \"kcore_rounds\": " << kcore_rounds
+      << ", \"kcore_removed_vertices\": " << kcore_removed_vertices
+      << ", \"certificate_edges_input\": " << certificate_edges_input
+      << ", \"certificate_edges_kept\": " << certificate_edges_kept
+      << ", \"side_groups_found\": " << side_groups_found
+      << ", \"strong_side_vertices_found\": " << strong_side_vertices_found
+      << ", \"strong_side_checks_run\": " << strong_side_checks_run
+      << ", \"strong_side_verdicts_reused\": " << strong_side_verdicts_reused
+      << ", \"certificate_cut_fallbacks\": " << certificate_cut_fallbacks
+      << ", \"probe_wavefronts\": " << probe_wavefronts
+      << ", \"probes_launched\": " << probes_launched
+      << ", \"probes_wasted_swept\": " << probes_wasted_swept
+      << ", \"probes_wasted_after_cut\": " << probes_wasted_after_cut << "}";
+  return out.str();
+}
+
 std::string KvccStats::ToString() const {
   std::ostringstream out;
   out << "phase1: ns1=" << phase1_pruned_ns1 << " ns2=" << phase1_pruned_ns2

@@ -1,0 +1,64 @@
+#include "kvcc/stream.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace kvcc {
+
+ComponentSink::~ComponentSink() = default;
+
+void ComponentSink::OnError(std::exception_ptr /*error*/) {}
+
+ResultStream::ResultStream(std::shared_ptr<internal::StreamChannel> channel)
+    : channel_(std::move(channel)) {}
+
+ResultStream& ResultStream::operator=(ResultStream&& other) noexcept {
+  if (this != &other) {
+    Abandon();
+    channel_ = std::move(other.channel_);
+  }
+  return *this;
+}
+
+ResultStream::~ResultStream() { Abandon(); }
+
+void ResultStream::Abandon() {
+  if (!channel_) return;
+  std::lock_guard<std::mutex> lock(channel_->mutex);
+  channel_->abandoned = true;
+  channel_->queue.clear();
+}
+
+std::optional<StreamedComponent> ResultStream::Next() {
+  if (!channel_) {
+    throw std::logic_error("ResultStream::Next: stream was moved from");
+  }
+  std::unique_lock<std::mutex> lock(channel_->mutex);
+  channel_->cv.wait(lock,
+                    [&] { return !channel_->queue.empty() || channel_->complete; });
+  if (!channel_->queue.empty()) {
+    StreamedComponent component = std::move(channel_->queue.front());
+    channel_->queue.pop_front();
+    return component;
+  }
+  if (channel_->error) std::rethrow_exception(channel_->error);
+  return std::nullopt;
+}
+
+const KvccStats& ResultStream::Stats() const {
+  if (!channel_) {
+    throw std::logic_error("ResultStream::Stats: stream was moved from");
+  }
+  std::lock_guard<std::mutex> lock(channel_->mutex);
+  if (!channel_->complete) {
+    throw std::logic_error(
+        "ResultStream::Stats: stream not finished; drain with Next() until "
+        "it returns nullopt first");
+  }
+  // A failed job has no final stats; surface the recorded error (the same
+  // one Next() rethrows) instead of a misleading drain hint.
+  if (channel_->error) std::rethrow_exception(channel_->error);
+  return channel_->stats;
+}
+
+}  // namespace kvcc

@@ -1,0 +1,161 @@
+// Streaming result delivery for k-VCC enumeration.
+//
+// The VCCE recursion (paper Algorithm 1) emits each k-VCC the moment its
+// recursion branch bottoms out, but KvccEngine::Wait buffers the whole
+// component set until the last subtree finishes. The types here let a
+// consumer observe components as they commit instead:
+//
+//   * ComponentSink — push-style: KvccEngine::SubmitStreaming invokes the
+//     sink for every finished component and once more on completion;
+//   * ResultStream — pull-style: KvccEngine::SubmitStream returns an
+//     iterator-like handle whose Next() blocks for the next component.
+//
+// Delivery contract (enforced by tests/engine_test.cc): the multiset of
+// streamed components is byte-identical to the KvccResult::components a
+// Wait() on the same (graph, k, options) would return, for every worker
+// count. With KvccOptions::stable_order the *order* is additionally the
+// exact serial emission order (the order EnumerateKVccsStreaming with
+// num_threads = 1 produces), reconstructed from out-of-order completions
+// by a reorder buffer inside the engine.
+#ifndef KVCC_KVCC_STREAM_H_
+#define KVCC_KVCC_STREAM_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "kvcc/stats.h"
+
+/// \file
+/// \brief Streaming result delivery: ComponentSink (push) and
+/// ResultStream (pull) observe each k-VCC the moment its subproblem
+/// commits, instead of buffering until KvccEngine::Wait.
+
+namespace kvcc {
+
+/// \brief One k-VCC delivered through a streaming channel.
+struct StreamedComponent {
+  /// \brief Per-job delivery index: 0 for the first component a job
+  /// delivers, then 1, 2, ... with no gaps. Under
+  /// KvccOptions::stable_order this equals the component's position in
+  /// the serial emission order.
+  std::uint64_t sequence = 0;
+
+  /// \brief The component's vertex ids in the input graph's id space,
+  /// sorted ascending — the same bytes Wait() would have returned for
+  /// this component.
+  std::vector<VertexId> vertices;
+};
+
+/// \brief Consumer interface for push-style streaming
+/// (KvccEngine::SubmitStreaming, EnumerateKVccsStreaming).
+///
+/// Calls are *serialized per job* (never concurrent with each other) but
+/// may arrive on any worker thread, so implementations need no locking of
+/// their own state against the engine — only against the implementor's
+/// other threads. Exactly one of OnComplete / OnError is the last call a
+/// job makes. An exception thrown from OnComponent poisons the job:
+/// delivery stops, the job's remaining subproblems still drain, and the
+/// exception is rethrown by KvccEngine::Wait (or immediately by the
+/// serial EnumerateKVccsStreaming path).
+class ComponentSink {
+ public:
+  /// \brief Sinks are owned (or borrowed) by the caller; destroying one
+  /// while its job is in flight is the caller's bug.
+  virtual ~ComponentSink();
+
+  /// \brief Receives one finished k-VCC as soon as its subproblem commits
+  /// (or, under stable_order, as soon as every serially-earlier component
+  /// has been delivered).
+  /// \param component The component and its per-job sequence number.
+  virtual void OnComponent(StreamedComponent component) = 0;
+
+  /// \brief Final call on success: every component has been delivered.
+  /// \param stats The job's merged execution counters (identical totals
+  ///   to the serial run's for every pre-existing field; probe-waste
+  ///   diagnostics may differ, see KvccStats).
+  virtual void OnComplete(const KvccStats& stats) = 0;
+
+  /// \brief Final call on failure: the job (or the sink itself) threw.
+  /// Default implementation does nothing; the error also reaches the
+  /// caller by throw (from Wait or from EnumerateKVccsStreaming).
+  /// \param error The first exception the job recorded.
+  virtual void OnError(std::exception_ptr error);
+};
+
+namespace internal {
+
+/// Shared state between a streaming job's producer side (the engine's
+/// channel sink) and a ResultStream consumer. Unbounded queue: undelivered
+/// components occupy the same memory a buffered Wait() would have held.
+struct StreamChannel {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<StreamedComponent> queue;
+  bool complete = false;   // producer finished (stats or error valid)
+  bool abandoned = false;  // consumer gone; drop further pushes
+  KvccStats stats;
+  std::exception_ptr error;
+};
+
+}  // namespace internal
+
+/// \brief Pull-style handle to one streaming job
+/// (see KvccEngine::SubmitStream).
+///
+/// Next() blocks until the next component commits; after it returns
+/// std::nullopt the job is finished and Stats() is valid. Destroying a
+/// stream mid-flight *abandons* it: the job still runs to completion on
+/// the engine (its per-worker scratch is reclaimed normally), but
+/// undelivered components are discarded instead of buffered. A stream
+/// must not outlive its engine.
+class ResultStream {
+ public:
+  /// \brief Streams are movable but not copyable (one consumer per job).
+  ResultStream(ResultStream&&) noexcept = default;
+  /// \brief Move assignment; the overwritten stream is abandoned.
+  ResultStream& operator=(ResultStream&&) noexcept;
+  /// \brief Streams are not copyable (one consumer per job).
+  ResultStream(const ResultStream&) = delete;
+  /// \brief Streams are not copyable (one consumer per job).
+  ResultStream& operator=(const ResultStream&) = delete;
+
+  /// \brief Abandons the stream if it was not fully drained (see class
+  /// comment); never blocks on the job.
+  ~ResultStream();
+
+  /// \brief Blocks until the next component is available and returns it;
+  /// returns std::nullopt once the job has completed and every component
+  /// has been delivered.
+  /// \return The next component in delivery order, or std::nullopt at
+  ///   end of stream.
+  /// \throws Whatever the job failed with (first recorded exception),
+  ///   after the in-order prefix delivered so far.
+  std::optional<StreamedComponent> Next();
+
+  /// \brief The job's final merged counters.
+  /// \return Reference valid for the stream's lifetime.
+  /// \throws std::logic_error if the stream has not finished yet (call
+  ///   Next() until it returns std::nullopt first); rethrows the job's
+  ///   recorded error if it finished by failing (a failed job has no
+  ///   final stats).
+  const KvccStats& Stats() const;
+
+ private:
+  friend class KvccEngine;
+  explicit ResultStream(std::shared_ptr<internal::StreamChannel> channel);
+
+  void Abandon();
+
+  std::shared_ptr<internal::StreamChannel> channel_;
+};
+
+}  // namespace kvcc
+
+#endif  // KVCC_KVCC_STREAM_H_

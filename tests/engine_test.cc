@@ -10,8 +10,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -20,6 +24,7 @@
 #include "gen/planted_vcc.h"
 #include "kvcc/hierarchy.h"
 #include "kvcc/kvcc_enum.h"
+#include "kvcc/stream.h"
 #include "support/brute_force.h"
 
 namespace kvcc {
@@ -276,6 +281,273 @@ TEST(KvccEngineTest, DestructorDrainsUnwaitedJobs) {
   KvccEngine engine(2);
   for (int i = 0; i < 4; ++i) engine.Submit(fig1.graph, 4);
   // Engine goes out of scope with jobs potentially still running.
+}
+
+// ---------------------------------------------------------------------------
+// Streaming delivery.
+// ---------------------------------------------------------------------------
+
+/// Accumulates every delivery for later inspection. Sink calls are
+/// serialized by the engine and happen-before Wait() returns, so the
+/// post-Wait reads below need no synchronization of their own.
+class CollectingSink : public ComponentSink {
+ public:
+  void OnComponent(StreamedComponent component) override {
+    components.push_back(std::move(component));
+  }
+  void OnComplete(const KvccStats& final_stats) override {
+    stats = final_stats;
+    complete = true;
+  }
+  void OnError(std::exception_ptr e) override { error = e; }
+
+  std::vector<StreamedComponent> components;
+  KvccStats stats;
+  bool complete = false;
+  std::exception_ptr error;
+};
+
+/// The streamed components' vertex lists, sorted canonically — the bytes
+/// that must equal the buffered KvccResult::components.
+std::vector<std::vector<VertexId>> SortedMultiset(
+    const std::vector<StreamedComponent>& streamed) {
+  std::vector<std::vector<VertexId>> multiset;
+  multiset.reserve(streamed.size());
+  for (const StreamedComponent& c : streamed) multiset.push_back(c.vertices);
+  std::sort(multiset.begin(), multiset.end());
+  return multiset;
+}
+
+TEST(KvccEngineStreamingTest, MultisetMatchesWaitForEveryWorkerCount) {
+  const std::vector<TestJob> jobs = MakeJobMix();
+  const std::vector<KvccResult> reference = SerialReference(jobs);
+
+  for (unsigned workers : kWorkerCounts) {
+    KvccEngine engine(workers);
+    std::vector<std::shared_ptr<CollectingSink>> sinks;
+    std::vector<KvccEngine::JobId> ids;
+    for (const TestJob& job : jobs) {
+      sinks.push_back(std::make_shared<CollectingSink>());
+      ids.push_back(
+          engine.SubmitStreaming(job.graph, job.k, sinks.back(), job.options));
+    }
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const KvccResult waited = engine.Wait(ids[i]);
+      const std::string context =
+          "workers=" + std::to_string(workers) + " job=" + std::to_string(i);
+      // Components were streamed, not buffered; stats still flow through
+      // Wait and through OnComplete identically.
+      EXPECT_TRUE(waited.components.empty()) << context;
+      EXPECT_TRUE(sinks[i]->complete) << context;
+      ExpectSameStats(waited.stats, reference[i].stats, context);
+      ExpectSameStats(sinks[i]->stats, reference[i].stats, context);
+      EXPECT_EQ(SortedMultiset(sinks[i]->components),
+                reference[i].components)
+          << context;
+      // Sequence numbers are a gap-free per-job 0..n-1 in delivery order.
+      for (std::size_t s = 0; s < sinks[i]->components.size(); ++s) {
+        EXPECT_EQ(sinks[i]->components[s].sequence, s) << context;
+      }
+    }
+  }
+}
+
+TEST(KvccEngineStreamingTest, StableOrderReproducesSerialEmissionOrder) {
+  // The serial streaming path *defines* the serial emission order; with
+  // stable_order every worker count must reproduce it exactly — order,
+  // bytes, and sequence numbers — via the reorder buffer.
+  std::vector<TestJob> jobs = MakeJobMix();
+  for (const TestJob& job : jobs) {
+    CollectingSink serial;
+    KvccOptions serial_options = job.options;
+    serial_options.num_threads = 1;
+    EnumerateKVccsStreaming(job.graph, job.k, serial, serial_options);
+    ASSERT_TRUE(serial.complete);
+
+    for (unsigned workers : kWorkerCounts) {
+      KvccEngine engine(workers);
+      auto sink = std::make_shared<CollectingSink>();
+      KvccOptions options = job.options;
+      options.stable_order = true;
+      const KvccResult waited =
+          engine.Wait(engine.SubmitStreaming(job.graph, job.k, sink, options));
+      const std::string context = "workers=" + std::to_string(workers);
+      ASSERT_EQ(sink->components.size(), serial.components.size()) << context;
+      for (std::size_t s = 0; s < sink->components.size(); ++s) {
+        EXPECT_EQ(sink->components[s].sequence, serial.components[s].sequence)
+            << context << " position=" << s;
+        EXPECT_EQ(sink->components[s].vertices, serial.components[s].vertices)
+            << context << " position=" << s;
+      }
+      ExpectSameStats(waited.stats, serial.stats, context);
+    }
+  }
+}
+
+TEST(KvccEngineStreamingTest, ResultStreamDeliversEverythingThenStats) {
+  const Figure1Fixture fig1 = MakeFigure1Graph();
+  const KvccResult reference = EnumerateKVccs(fig1.graph, 4);
+
+  KvccEngine engine(2);
+  ResultStream stream = engine.SubmitStream(fig1.graph, 4);
+  std::vector<StreamedComponent> streamed;
+  while (std::optional<StreamedComponent> c = stream.Next()) {
+    streamed.push_back(std::move(*c));
+  }
+  EXPECT_EQ(SortedMultiset(streamed), reference.components);
+  ExpectSameStats(stream.Stats(), reference.stats, "pull stream");
+  // Exhausted stream keeps reporting end-of-stream.
+  EXPECT_FALSE(stream.Next().has_value());
+}
+
+TEST(KvccEngineStreamingTest, ResultStreamStatsBeforeCompletionThrows) {
+  // Deterministic incompleteness: a 1-worker engine whose only worker is
+  // parked inside a gating sink call, so the stream job submitted behind
+  // it provably cannot have completed when Stats() is queried.
+  class GateSink : public ComponentSink {
+   public:
+    void OnComponent(StreamedComponent) override {
+      std::unique_lock<std::mutex> lock(mutex_);
+      reached_ = true;
+      cv_.notify_all();
+      cv_.wait(lock, [&] { return released_; });
+    }
+    void OnComplete(const KvccStats&) override {}
+    void WaitUntilBlocking() {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return reached_; });
+    }
+    void Release() {
+      std::lock_guard<std::mutex> lock(mutex_);
+      released_ = true;
+      cv_.notify_all();
+    }
+
+   private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool reached_ = false;
+    bool released_ = false;
+  };
+
+  const Figure1Fixture fig1 = MakeFigure1Graph();
+  KvccEngine engine(1);
+  auto gate = std::make_shared<GateSink>();
+  const KvccEngine::JobId gated_id =
+      engine.SubmitStreaming(fig1.graph, 4, gate);
+  gate->WaitUntilBlocking();
+
+  ResultStream stream = engine.SubmitStream(fig1.graph, 4);
+  EXPECT_THROW(stream.Stats(), std::logic_error);
+
+  gate->Release();
+  engine.Wait(gated_id);
+  while (stream.Next().has_value()) {
+  }
+  EXPECT_NO_THROW(stream.Stats());
+}
+
+TEST(KvccEngineStreamingTest, SinkThrowPropagatesToWaitAndJobDrains) {
+  class ThrowingSink : public ComponentSink {
+   public:
+    void OnComponent(StreamedComponent) override {
+      throw std::runtime_error("sink rejected component");
+    }
+    void OnComplete(const KvccStats&) override { completed = true; }
+    void OnError(std::exception_ptr e) override { error = e; }
+    bool completed = false;
+    std::exception_ptr error;
+  };
+
+  const Figure1Fixture fig1 = MakeFigure1Graph();
+  for (unsigned workers : kWorkerCounts) {
+    KvccEngine engine(workers);
+    auto sink = std::make_shared<ThrowingSink>();
+    const KvccEngine::JobId id = engine.SubmitStreaming(fig1.graph, 4, sink);
+    EXPECT_THROW(engine.Wait(id), std::runtime_error)
+        << "workers=" << workers;
+    EXPECT_FALSE(sink->completed) << "workers=" << workers;
+    EXPECT_TRUE(sink->error != nullptr) << "workers=" << workers;
+    // A poisoned streaming job must not poison the engine.
+    EXPECT_EQ(engine.Wait(engine.Submit(fig1.graph, 4)).components,
+              fig1.expected_vccs)
+        << "workers=" << workers;
+  }
+}
+
+TEST(KvccEngineStreamingTest, SerialStreamingSinkThrowPropagatesImmediately) {
+  class ThrowOnSecondSink : public ComponentSink {
+   public:
+    void OnComponent(StreamedComponent) override {
+      if (++delivered == 2) throw std::runtime_error("stop after one");
+    }
+    void OnComplete(const KvccStats&) override { completed = true; }
+    void OnError(std::exception_ptr e) override { error = e; }
+    int delivered = 0;
+    bool completed = false;
+    std::exception_ptr error;
+  };
+
+  const Figure1Fixture fig1 = MakeFigure1Graph();
+  ThrowOnSecondSink sink;
+  KvccOptions serial;
+  serial.num_threads = 1;
+  EXPECT_THROW(EnumerateKVccsStreaming(fig1.graph, 4, sink, serial),
+               std::runtime_error);
+  EXPECT_EQ(sink.delivered, 2);
+  EXPECT_FALSE(sink.completed);
+  EXPECT_TRUE(sink.error != nullptr);
+}
+
+TEST(KvccEngineStreamingTest, SerialStreamingMatchesBufferedEnumeration) {
+  const std::vector<TestJob> jobs = MakeJobMix();
+  for (const TestJob& job : jobs) {
+    KvccOptions serial = job.options;
+    serial.num_threads = 1;
+    CollectingSink sink;
+    EnumerateKVccsStreaming(job.graph, job.k, sink, serial);
+    ASSERT_TRUE(sink.complete);
+    const KvccResult reference = EnumerateKVccs(job.graph, job.k, serial);
+    EXPECT_EQ(SortedMultiset(sink.components), reference.components);
+    ExpectSameStats(sink.stats, reference.stats, "serial streaming");
+  }
+}
+
+TEST(KvccEngineStreamingTest, AbandoningStreamMidFlightLeavesEngineHealthy) {
+  // Dropping a ResultStream while its job is still running must neither
+  // block nor corrupt the engine: the job drains on the shared pool and
+  // later jobs reuse the same per-worker scratch with identical results.
+  PlantedVccConfig config;
+  config.num_blocks = 6;
+  config.block_size_min = 20;
+  config.block_size_max = 30;
+  config.connectivity = 8;
+  config.overlap = 2;
+  config.bridge_edges = 1;
+  config.seed = 23;
+  const PlantedVccGraph planted = GeneratePlantedVcc(config);
+  const KvccResult reference = EnumerateKVccs(planted.graph, 8);
+
+  KvccEngine engine(2);
+  {
+    ResultStream abandoned_immediately =
+        engine.SubmitStream(planted.graph, 8);
+  }
+  {
+    ResultStream abandoned_after_one = engine.SubmitStream(planted.graph, 8);
+    abandoned_after_one.Next();
+  }
+  for (int round = 0; round < 2; ++round) {
+    ResultStream stream = engine.SubmitStream(planted.graph, 8);
+    std::vector<StreamedComponent> streamed;
+    while (std::optional<StreamedComponent> c = stream.Next()) {
+      streamed.push_back(std::move(*c));
+    }
+    EXPECT_EQ(SortedMultiset(streamed), reference.components)
+        << "round=" << round;
+  }
+  EXPECT_EQ(engine.Wait(engine.Submit(planted.graph, 8)).components,
+            reference.components);
 }
 
 }  // namespace

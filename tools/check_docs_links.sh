@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Verifies that every repo file pointer in the given markdown docs resolves
+# to an existing file, so docs/ARCHITECTURE.md (and friends) cannot drift
+# silently when sources move. A "file pointer" is any backtick-quoted token
+# that looks like a repo path with a known extension, e.g. `src/kvcc/engine.h`
+# or `tests/engine_test.cc` (an optional :line suffix is stripped). Directory
+# pointers ending in '/' are checked with -d.
+#
+# usage: tools/check_docs_links.sh <doc.md> [more.md ...]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+if [[ $# -eq 0 ]]; then
+  echo "usage: tools/check_docs_links.sh <doc.md> [more.md ...]" >&2
+  exit 2
+fi
+
+fail=0
+checked=0
+for doc in "$@"; do
+  if [[ ! -f "$doc" ]]; then
+    echo "check_docs_links: no such doc: $doc" >&2
+    fail=1
+    continue
+  fi
+  # Backtick-quoted repo paths: a/b style with a code-ish extension, or a
+  # trailing slash (directory pointer).
+  while IFS= read -r ref; do
+    target="${ref%%:*}"  # strip a :line or :symbol suffix
+    checked=$((checked + 1))
+    if [[ "$target" == */ ]]; then
+      if [[ ! -d "$REPO_ROOT/$target" && ! -d "$REPO_ROOT/src/$target" ]]; then
+        echo "check_docs_links: $doc points at missing directory '$target'" >&2
+        fail=1
+      fi
+    # Include-style pointers ("kvcc/engine.h") resolve against src/, the
+    # library's include root, exactly like the compiler does.
+    elif [[ ! -f "$REPO_ROOT/$target" && ! -f "$REPO_ROOT/src/$target" ]]; then
+      echo "check_docs_links: $doc points at missing file '$target'" >&2
+      fail=1
+    fi
+  done < <(grep -oE '`[A-Za-z0-9_./-]+(\.(h|cc|cpp|md|sh|yml|json|txt)(:[A-Za-z0-9_:]+)?|/)`' "$doc" \
+             | tr -d '`' | sort -u)
+done
+
+if [[ $fail -ne 0 ]]; then
+  exit 1
+fi
+echo "check_docs_links: $checked pointer(s) in $# doc(s) resolve"

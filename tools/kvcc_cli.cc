@@ -2,6 +2,8 @@
 //
 // Subcommands:
 //   decompose   enumerate the k-VCCs of an edge-list graph
+//   stream      like decompose, but emit each k-VCC as NDJSON the moment
+//               it commits (KvccEngine streaming delivery)
 //   batch       serve many (graph, k) jobs on one shared KvccEngine
 //   hierarchy   print the full k-VCC hierarchy (cohesive blocking)
 //   connectivity  report kappa(G) / test k-vertex-connectivity
@@ -15,6 +17,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -27,6 +30,7 @@
 #include "kvcc/engine.h"
 #include "kvcc/hierarchy.h"
 #include "kvcc/kvcc_enum.h"
+#include "kvcc/stream.h"
 #include "kvcc/validation.h"
 #include "metrics/cohesion_report.h"
 #include "util/timer.h"
@@ -45,6 +49,13 @@ int Usage() {
       "             --probe-batch: probes per intra-cut wavefront, 0 =\n"
       "             adaptive; --no-intra-cut: disable intra-GLOBAL-CUT\n"
       "             probe parallelism)\n"
+      "  stream <graph> <k> [--variant=VCCE*|VCCE|VCCE-N|VCCE-G]\n"
+      "         [--threads=N] [--stable-order] [--probe-batch=B]\n"
+      "         [--no-intra-cut] [--stats]\n"
+      "         (NDJSON: one {\"type\": \"component\", ...} line per k-VCC\n"
+      "          as soon as it commits, then one \"complete\" line;\n"
+      "          --stable-order reproduces the serial emission order;\n"
+      "          --threads defaults to 0 = all hardware threads)\n"
       "  batch <jobs-file> [--threads=N] [--probe-batch=B] [--no-intra-cut]\n"
       "        [--stats] [--quiet]\n"
       "        (jobs-file lines: \"<graph> <k> [variant]\"; '#' comments.\n"
@@ -93,6 +104,56 @@ bool ParseProbeBatch(const std::string& value, std::uint32_t& batch) {
   return true;
 }
 
+/// Flags shared by the decompose and stream subcommands: --variant=,
+/// --threads=, --probe-batch=, --no-intra-cut, --stats. Parsed into state
+/// that Options() applies *after* the whole command line is consumed, so a
+/// later --variant= cannot clobber the effect of an earlier flag (each
+/// subcommand likewise applies its own extra flags post-loop).
+struct CommonEnumFlags {
+  explicit CommonEnumFlags(std::uint32_t default_threads)
+      : threads(default_threads) {}
+
+  enum class Parse { kHandled, kNotMine, kError };
+
+  Parse TryParse(const std::string& arg) {
+    if (arg.rfind("--variant=", 0) == 0) {
+      variant = KvccOptions::FromVariantName(arg.substr(10));
+      return Parse::kHandled;
+    }
+    if (arg.rfind("--threads=", 0) == 0) {
+      return ParseThreads(arg.substr(10), threads) ? Parse::kHandled
+                                                   : Parse::kError;
+    }
+    if (arg.rfind("--probe-batch=", 0) == 0) {
+      return ParseProbeBatch(arg.substr(14), probe_batch) ? Parse::kHandled
+                                                          : Parse::kError;
+    }
+    if (arg == "--no-intra-cut") {
+      intra_cut = false;
+      return Parse::kHandled;
+    }
+    if (arg == "--stats") {
+      stats = true;
+      return Parse::kHandled;
+    }
+    return Parse::kNotMine;
+  }
+
+  /// The selected variant with the shared execution knobs applied.
+  KvccOptions Options() const {
+    KvccOptions options = variant;
+    options.probe_batch_size = probe_batch;
+    options.intra_cut_parallelism = intra_cut;
+    return options;
+  }
+
+  KvccOptions variant = KvccOptions::VcceStar();
+  std::uint32_t threads;
+  std::uint32_t probe_batch = 0;
+  bool intra_cut = true;
+  bool stats = false;
+};
+
 void PrintComponents(const Graph& g,
                      const std::vector<std::vector<VertexId>>& components) {
   for (std::size_t i = 0; i < components.size(); ++i) {
@@ -104,35 +165,25 @@ void PrintComponents(const Graph& g,
 
 int CmdDecompose(const std::vector<std::string>& args) {
   if (args.size() < 2) return Usage();
-  KvccOptions options = KvccOptions::VcceStar();
-  bool validate = false, stats = false, quiet = false;
-  std::uint32_t threads = 1;
-  std::uint32_t probe_batch = 0;
-  bool intra_cut = true;
+  CommonEnumFlags flags(/*default_threads=*/1);
+  bool validate = false, quiet = false;
   for (std::size_t i = 2; i < args.size(); ++i) {
-    if (args[i].rfind("--variant=", 0) == 0) {
-      options = KvccOptions::FromVariantName(args[i].substr(10));
-    } else if (args[i].rfind("--threads=", 0) == 0) {
-      if (!ParseThreads(args[i].substr(10), threads)) return 2;
-    } else if (args[i].rfind("--probe-batch=", 0) == 0) {
-      if (!ParseProbeBatch(args[i].substr(14), probe_batch)) return 2;
-    } else if (args[i] == "--no-intra-cut") {
-      intra_cut = false;
-    } else if (args[i] == "--validate") {
+    const CommonEnumFlags::Parse parsed = flags.TryParse(args[i]);
+    if (parsed == CommonEnumFlags::Parse::kError) return 2;
+    if (parsed == CommonEnumFlags::Parse::kHandled) continue;
+    if (args[i] == "--validate") {
       validate = true;
-    } else if (args[i] == "--stats") {
-      stats = true;
     } else if (args[i] == "--quiet") {
       quiet = true;
     } else {
       return Usage();
     }
   }
+  const bool stats = flags.stats;
   const Graph g = ReadEdgeListFile(args[0]);
   const auto k = static_cast<std::uint32_t>(std::stoul(args[1]));
-  options.num_threads = threads;
-  options.probe_batch_size = probe_batch;
-  options.intra_cut_parallelism = intra_cut;
+  KvccOptions options = flags.Options();
+  options.num_threads = flags.threads;
   Timer timer;
   const KvccResult result = EnumerateKVccs(g, k, options);
   std::cerr << "|V|=" << g.NumVertices() << " |E|=" << g.NumEdges() << " k="
@@ -153,6 +204,62 @@ int CmdDecompose(const std::vector<std::string>& args) {
       return 1;
     }
   }
+  return 0;
+}
+
+int CmdStream(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  // Streaming defaults to all hardware threads (the serving shape).
+  CommonEnumFlags flags(/*default_threads=*/0);
+  bool stable_order = false;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    const CommonEnumFlags::Parse parsed = flags.TryParse(args[i]);
+    if (parsed == CommonEnumFlags::Parse::kError) return 2;
+    if (parsed == CommonEnumFlags::Parse::kHandled) continue;
+    if (args[i] == "--stable-order") {
+      stable_order = true;
+    } else {
+      return Usage();
+    }
+  }
+  const bool stats = flags.stats;
+  const Graph g = ReadEdgeListFile(args[0]);
+  std::uint32_t k = 0;
+  if (!ParseUint(args[1], 0xffffffffUL, k) || k == 0) {
+    std::cerr << "error: stream expects an integer k >= 1\n";
+    return 2;
+  }
+  KvccOptions options = flags.Options();
+  options.stable_order = stable_order;
+
+  KvccEngine engine(flags.threads);
+  Timer timer;
+  ResultStream result_stream = engine.SubmitStream(g, k, options);
+  double first_ms = -1.0;
+  std::size_t count = 0;
+  while (std::optional<StreamedComponent> c = result_stream.Next()) {
+    if (count == 0) first_ms = timer.ElapsedMillis();
+    std::cout << "{\"type\": \"component\", \"sequence\": " << c->sequence
+              << ", \"size\": " << c->vertices.size() << ", \"vertices\": [";
+    for (std::size_t i = 0; i < c->vertices.size(); ++i) {
+      if (i != 0) std::cout << ", ";
+      std::cout << g.LabelOf(c->vertices[i]);
+    }
+    std::cout << "]}\n";
+    ++count;
+  }
+  const double total_ms = timer.ElapsedMillis();
+  std::cout << "{\"type\": \"complete\", \"components\": " << count
+            << ", \"first_component_ms\": " << (count ? first_ms : total_ms)
+            << ", \"elapsed_ms\": " << total_ms;
+  if (stats) std::cout << ", \"stats\": " << result_stream.Stats().ToJson();
+  std::cout << "}\n";
+  std::cerr << "|V|=" << g.NumVertices() << " |E|=" << g.NumEdges()
+            << " k=" << k << ": streamed " << count << " k-VCCs in "
+            << total_ms << "ms (first after "
+            << (count ? first_ms : total_ms) << "ms, "
+            << engine.num_workers() << " workers"
+            << (options.stable_order ? ", stable order" : "") << ")\n";
   return 0;
 }
 
@@ -342,6 +449,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 2, argv + argc);
   try {
     if (command == "decompose") return CmdDecompose(args);
+    if (command == "stream") return CmdStream(args);
     if (command == "batch") return CmdBatch(args);
     if (command == "hierarchy") return CmdHierarchy(args);
     if (command == "connectivity") return CmdConnectivity(args);

@@ -32,7 +32,7 @@ fi
 
 cmake --build "$BUILD_DIR" -j \
   --target bench_scalability_threads bench_batch_throughput \
-           bench_micro_kvcc 2>/dev/null ||
+           bench_stream_latency bench_micro_kvcc 2>/dev/null ||
   cmake --build "$BUILD_DIR" -j
 
 BUILD_TYPE="$(build_type)"
@@ -54,6 +54,11 @@ rm -f "$OUT_FILE"
 
 # Batch serving throughput on the shared engine.
 "$BUILD_DIR/bench_batch_throughput" --threads=1,2,4 --json="$OUT_FILE" \
+  --build-type="$BUILD_TYPE" --commit="$GIT_COMMIT"
+
+# Streaming delivery latency (time-to-first/median/last component vs the
+# buffered Wait; also re-checks streamed-multiset identity).
+"$BUILD_DIR/bench_stream_latency" --threads=1,2,4 --json="$OUT_FILE" \
   --build-type="$BUILD_TYPE" --commit="$GIT_COMMIT"
 
 # google-benchmark micro suite, if it was built. The report is wrapped in
@@ -79,6 +84,11 @@ fi
 if ! grep -q '"bench": "scalability_threads_shallow"' "$OUT_FILE" ||
    ! grep -q '"probes_launched"' "$OUT_FILE"; then
   echo "run_bench.sh: snapshot is missing the shallow-recursion wavefront entry" >&2
+  exit 1
+fi
+if ! grep -q '"bench": "stream_latency"' "$OUT_FILE" ||
+   ! grep -q '"first_component_ms"' "$OUT_FILE"; then
+  echo "run_bench.sh: snapshot is missing the streaming-latency entry" >&2
   exit 1
 fi
 echo "perf snapshot written to $OUT_FILE (Release @ $GIT_COMMIT)"
