@@ -35,7 +35,7 @@ TaskScheduler::TaskScheduler(unsigned num_workers) {
 
 TaskScheduler::~TaskScheduler() { Stop(); }
 
-void TaskScheduler::Enqueue(Task task, bool shared) {
+void TaskScheduler::Enqueue(Task task, TaskPriority priority, bool shared) {
   unsigned target;
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
@@ -50,7 +50,8 @@ void TaskScheduler::Enqueue(Task task, bool shared) {
   }
   {
     std::lock_guard<std::mutex> lock(queues_[target]->mutex);
-    queues_[target]->tasks.push_back(std::move(task));
+    queues_[target]->tasks[static_cast<unsigned>(priority)].push_back(
+        std::move(task));
   }
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
@@ -59,9 +60,13 @@ void TaskScheduler::Enqueue(Task task, bool shared) {
   wake_cv_.notify_one();
 }
 
-void TaskScheduler::Submit(Task task) { Enqueue(std::move(task), false); }
+void TaskScheduler::Submit(Task task, TaskPriority priority) {
+  Enqueue(std::move(task), priority, false);
+}
 
-void TaskScheduler::SubmitShared(Task task) { Enqueue(std::move(task), true); }
+void TaskScheduler::SubmitShared(Task task, TaskPriority priority) {
+  Enqueue(std::move(task), priority, true);
+}
 
 std::uint64_t TaskScheduler::ApproxOutstanding() {
   std::lock_guard<std::mutex> lock(state_mutex_);
@@ -70,7 +75,8 @@ std::uint64_t TaskScheduler::ApproxOutstanding() {
 
 void TaskScheduler::ParallelFor(
     std::size_t count,
-    const std::function<void(std::size_t index, unsigned slot)>& body) {
+    const std::function<void(std::size_t index, unsigned slot)>& body,
+    TaskPriority priority) {
   const unsigned caller_slot =
       (tls_scheduler == this && tls_worker_id >= 0)
           ? static_cast<unsigned>(tls_worker_id)
@@ -127,7 +133,8 @@ void TaskScheduler::ParallelFor(
     helpers = std::min<std::size_t>(num_workers() - 1, count - 1);
   }
   for (std::size_t h = 0; h < helpers; ++h) {
-    SubmitShared([state, drain](unsigned worker) { drain(state, worker); });
+    SubmitShared([state, drain](unsigned worker) { drain(state, worker); },
+                 priority);
   }
 
   drain(state, caller_slot);
@@ -148,21 +155,57 @@ void TaskScheduler::ParallelFor(
 bool TaskScheduler::TryPopOwn(unsigned worker, Task& task) {
   WorkerQueue& q = *queues_[worker];
   std::lock_guard<std::mutex> lock(q.mutex);
-  if (q.tasks.empty()) return false;
-  task = std::move(q.tasks.back());  // LIFO: newest subtree, cache-hot.
-  q.tasks.pop_back();
-  return true;
+  // Weighted pop: usually take the highest class waiting (interactive
+  // overtakes bulk), but every kFairnessStride-th pop serves a *lower*
+  // class first — alternating which one, so both bulk and normal keep a
+  // guaranteed share even when a saturating interactive stream would
+  // otherwise monopolize the regular pops (and a bulk backlog would
+  // monopolize the fairness turns, starving the middle class).
+  const std::uint64_t pop = q.pops++;
+  const bool fairness_turn = (pop % kFairnessStride) == 0;
+  const bool serve_bulk_first =
+      fairness_turn && (pop / kFairnessStride) % 2 == 0;
+  // Scan orders: regular {0,1,2}; fairness turns alternate {2,1,0} and
+  // {1,2,0} (favored lower class first, the other lower class next, the
+  // top class only as a fallback).
+  static_assert(kNumTaskPriorities == 3,
+                "fairness rotation below spells out the three classes");
+  unsigned order[kNumTaskPriorities];
+  if (!fairness_turn) {
+    for (unsigned c = 0; c < kNumTaskPriorities; ++c) order[c] = c;
+  } else if (serve_bulk_first) {
+    order[0] = 2, order[1] = 1, order[2] = 0;
+  } else {
+    order[0] = 1, order[1] = 2, order[2] = 0;
+  }
+  for (unsigned step = 0; step < kNumTaskPriorities; ++step) {
+    std::deque<Task>& tasks = q.tasks[order[step]];
+    if (tasks.empty()) continue;
+    task = std::move(tasks.back());  // LIFO: newest subtree, cache-hot.
+    tasks.pop_back();
+    return true;
+  }
+  return false;
 }
 
 bool TaskScheduler::TrySteal(unsigned thief, Task& task) {
   const unsigned n = num_workers();
+  // One lock per victim: within each victim, steal the highest class
+  // waiting there — a thief is idle capacity, and idle capacity should
+  // serve the latency-sensitive class first. (No global class-before-
+  // victim order: that would cost up to kNumTaskPriorities locked passes
+  // over every queue per failed scan, and the weighted owner pops make
+  // cross-queue class order best-effort anyway.)
   for (unsigned offset = 1; offset < n; ++offset) {
     WorkerQueue& q = *queues_[(thief + offset) % n];
     std::lock_guard<std::mutex> lock(q.mutex);
-    if (q.tasks.empty()) continue;
-    task = std::move(q.tasks.front());  // FIFO: oldest = largest subtree.
-    q.tasks.pop_front();
-    return true;
+    for (unsigned cls = 0; cls < kNumTaskPriorities; ++cls) {
+      std::deque<Task>& tasks = q.tasks[cls];
+      if (tasks.empty()) continue;
+      task = std::move(tasks.front());  // FIFO: oldest = largest subtree.
+      tasks.pop_front();
+      return true;
+    }
   }
   return false;
 }

@@ -35,14 +35,27 @@
 // inside tasks (and inside other ParallelFor bodies) without deadlock even
 // on a single worker.
 //
+// Latency classes: every task carries a TaskPriority. Each worker deque is
+// really one deque per class, and the pop policy is *weighted*, not strict:
+// most pops take the highest-priority waiting task (so an interactive job
+// overtakes a saturating bulk backlog), but a fixed fraction of each
+// worker's pops serves a lower class first — alternating between bulk and
+// normal — so *every* class keeps a guaranteed share of the pool and none
+// can starve outright, even under combined saturation of the others.
+// Steals lock each victim once and take the highest class waiting there
+// (a thief is by definition idle capacity; giving it the latency-
+// sensitive work first is the point of having classes).
+//
 // Determinism note: the scheduler makes no ordering guarantees between
 // tasks. Callers that need deterministic output must make each task a pure
 // function of its input and canonicalize (e.g. sort) the merged results —
 // exactly what the k-VCC engine does. ParallelFor makes no assignment
 // guarantees either: bodies must write only to their own index's slot.
+// Priorities shape wall-clock order only; they must never change results.
 #ifndef KVCC_EXEC_TASK_SCHEDULER_H_
 #define KVCC_EXEC_TASK_SCHEDULER_H_
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -68,6 +81,21 @@ namespace kvcc::exec {
 /// \param requested The user-facing thread-count knob.
 /// \return The resolved worker count (>= 1).
 unsigned ResolveThreadCount(unsigned requested);
+
+/// \brief Latency class of a submitted task (see the file comment's
+/// weighted-pop policy). Lower numeric value = served sooner.
+enum class TaskPriority : std::uint8_t {
+  /// \brief Latency-sensitive work; preferred by almost every pop.
+  kInteractive = 0,
+  /// \brief The default class.
+  kNormal = 1,
+  /// \brief Throughput backlog; yields to the other classes but keeps a
+  /// guaranteed share of pops (anti-starvation).
+  kBulk = 2,
+};
+
+/// \brief Number of TaskPriority classes (deques per worker).
+inline constexpr unsigned kNumTaskPriorities = 3;
 
 /// \brief Work-stealing task scheduler for dynamic trees of independent
 /// tasks (see file comment for the deque discipline and the two driving
@@ -101,7 +129,9 @@ class TaskScheduler {
   /// deque), and — in persistent mode — from any external thread while
   /// the workers are parked.
   /// \param task The body to run; receives the executing worker's id.
-  void Submit(Task task);
+  /// \param priority Latency class; children of a prioritized job should
+  ///   carry their job's class so the whole recursion inherits it.
+  void Submit(Task task, TaskPriority priority = TaskPriority::kNormal);
 
   /// \brief Like Submit, but always seeds round-robin across the worker
   /// deques, even when called from within a running task.
@@ -111,7 +141,9 @@ class TaskScheduler {
   /// worker's whole subtree) and for helper stubs that should be picked
   /// up by *other* workers.
   /// \param task The body to run; receives the executing worker's id.
-  void SubmitShared(Task task);
+  /// \param priority Latency class of the seeded task.
+  void SubmitShared(Task task,
+                    TaskPriority priority = TaskPriority::kNormal);
 
   /// \brief Tasks submitted but not yet finished (queued + running),
   /// sampled now.
@@ -142,11 +174,15 @@ class TaskScheduler {
   /// external slot).
   /// \param count Number of indices to process.
   /// \param body Called once per index with (index, slot).
+  /// \param priority Latency class of the helper stubs; pass the owning
+  ///   job's class so a wavefront competes for idle workers at its job's
+  ///   priority (the caller drains its own indices regardless).
   /// \throws Rethrows the first exception thrown by a body after all
   ///   claimed bodies have finished.
   void ParallelFor(std::size_t count,
                    const std::function<void(std::size_t index, unsigned slot)>&
-                       body);
+                       body,
+                   TaskPriority priority = TaskPriority::kNormal);
 
   /// \brief One-shot mode: runs until every submitted task (including
   /// tasks submitted while running) has completed, then joins the
@@ -172,13 +208,20 @@ class TaskScheduler {
  private:
   struct WorkerQueue {
     std::mutex mutex;
-    std::deque<Task> tasks;
+    // One deque per TaskPriority class, indexed by the enum value.
+    std::array<std::deque<Task>, kNumTaskPriorities> tasks;
+    // Owner-pop counter driving the weighted policy: every
+    // kFairnessStride-th pop serves a lower class first, alternating
+    // bulk-first / normal-first, so each lower class keeps a guaranteed
+    // 1/(2*kFairnessStride) share of this worker's pops.
+    std::uint64_t pops = 0;
   };
+  static constexpr std::uint64_t kFairnessStride = 8;
 
   bool TryPopOwn(unsigned worker, Task& task);
   bool TrySteal(unsigned thief, Task& task);
   void WorkerLoop(unsigned worker);
-  void Enqueue(Task task, bool shared);
+  void Enqueue(Task task, TaskPriority priority, bool shared);
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
 

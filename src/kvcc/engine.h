@@ -20,6 +20,16 @@
 // KvccOptions::stable_order the delivery *order* additionally reproduces
 // the exact serial emission order via a reorder buffer (see stream.h and
 // docs/ARCHITECTURE.md).
+//
+// Job control (docs/JOB_CONTROL.md): every job carries a CancelToken —
+// fired by Cancel(ticket), by abandoning the job's ResultStream, or by an
+// elapsed KvccOptions::deadline_ms — that its tasks poll at recursion and
+// probe/wavefront boundaries, so a cancelled job returns its workers
+// within one probe batch instead of draining the remaining recursion;
+// Wait() then throws JobCancelled with the partial stats.
+// KvccOptions::stream_buffer_limit bounds a SubmitStream channel with
+// blocking producer backpressure, and KvccOptions::priority places every
+// task of a job in a latency class on the shared pool.
 #ifndef KVCC_KVCC_ENGINE_H_
 #define KVCC_KVCC_ENGINE_H_
 
@@ -35,6 +45,7 @@
 
 #include "exec/task_scheduler.h"
 #include "kvcc/enum_internal.h"
+#include "kvcc/job_control.h"
 #include "kvcc/kvcc_enum.h"
 #include "kvcc/options.h"
 #include "kvcc/stream.h"
@@ -130,17 +141,43 @@ class KvccEngine {
   /// detached from the Wait table: completion, stats, and errors are all
   /// observed through the stream (Next() rethrows job errors), and
   /// destroying the stream mid-flight abandons the remaining components
-  /// without blocking — the job still drains on the engine, reclaiming
-  /// its bookkeeping. The stream must not outlive the engine.
+  /// without blocking — and fires the job's cancel token, so the
+  /// remaining recursion short-circuits at the next task / probe
+  /// boundary instead of draining (bookkeeping is still reclaimed
+  /// normally). With options.stream_buffer_limit > 0 the channel is
+  /// bounded: a producer that runs `limit` components ahead of Next()
+  /// blocks until the consumer catches up, the stream is abandoned, or
+  /// the job is cancelled. The stream must not outlive the engine.
   /// \param g The graph to decompose; borrowed, must stay alive until the
   ///   stream reports completion or the engine is destroyed.
   /// \param k Connectivity parameter (>= 1).
-  /// \param options Algorithm options (num_threads ignored;
-  ///   stable_order selects ordered delivery).
+  /// \param options Algorithm options (num_threads ignored; stable_order
+  ///   selects ordered delivery; stream_buffer_limit bounds the channel;
+  ///   deadline_ms arms a wall-clock budget; priority picks the latency
+  ///   class).
   /// \return Stream handle delivering the job's components.
   /// \throws std::invalid_argument if k == 0.
   ResultStream SubmitStream(const Graph& g, std::uint32_t k,
                             const KvccOptions& options = {});
+
+  /// \brief Requests cooperative cancellation of job `id`.
+  ///
+  /// Returns immediately; the job's tasks observe the token at their next
+  /// recursion-task or probe/wavefront boundary, short-circuit the
+  /// remaining work, and the job completes with the JobCancelled outcome
+  /// — Wait(id) (still required, and still the ticket's one consumer)
+  /// throws JobCancelled carrying the partial stats of the work that ran.
+  /// Components already delivered by a streaming job stay delivered;
+  /// OnError receives the same JobCancelled instead of OnComplete. A job
+  /// that completes before observing the token returns its full result
+  /// normally — cancellation is best-effort by design.
+  /// \param id Ticket from Submit or SubmitStreaming (detached
+  ///   SubmitStream jobs are cancelled by abandoning their stream).
+  /// \return True if the ticket was live — job in flight, unclaimed, or
+  ///   currently blocked in another thread's Wait(id) (the watchdog
+  ///   pattern: Cancel unsticks the waiter); false once that Wait has
+  ///   returned, or for unknown ids.
+  bool Cancel(JobId id);
 
   /// \brief Blocks until job `id` completes and returns its result
   /// (components canonically sorted, stats totals equal to the serial
@@ -154,14 +191,26 @@ class KvccEngine {
   /// \param id Ticket from Submit or SubmitStreaming.
   /// \return The job's result.
   /// \throws std::out_of_range on an unknown or already-consumed id.
+  /// \throws JobCancelled if the job was cancelled (Cancel, deadline_ms)
+  ///   and no other failure was recorded first; carries the partial
+  ///   stats of the work that ran.
   KvccResult Wait(JobId id);
 
   /// \brief Convenience: submits every spec, waits for all, and returns
   /// results in spec order. Equivalent to per-call EnumerateKVccs
   /// output-wise.
+  ///
+  /// Every job is waited out (and its bookkeeping reclaimed) even when
+  /// one fails: the first failure — including a JobCancelled from a
+  /// per-spec deadline_ms — is rethrown only after the whole batch has
+  /// drained. Callers that need per-job outcomes (e.g. "skip cancelled
+  /// jobs, keep the rest") should Submit and Wait individually, as the
+  /// CLI's batch mode does.
   /// \param jobs The specs to run (graphs borrowed for the call).
   /// \return One result per spec, in spec order.
   /// \throws std::invalid_argument if any spec's graph is null.
+  /// \throws JobCancelled (or the job's own first error) for the first
+  ///   failed job, after all jobs finished.
   std::vector<KvccResult> RunBatch(const std::vector<EngineJobSpec>& jobs);
 
  private:
@@ -185,6 +234,16 @@ class KvccEngine {
     std::uint32_t k = 0;
     KvccOptions options;
     bool maintain = false;
+    // Ticket already claimed by a Wait() (guarded by jobs_mutex_). The
+    // table entry outlives the claim so Cancel() can still reach a job
+    // someone is blocked waiting on; it is erased when that Wait returns.
+    bool claimed = false;
+    // Cooperative cancel flag shared with Cancel(), the job's stream
+    // channel (abandonment), and the deadline armed at submission; every
+    // task and GLOBAL-CUT of this job polls it.
+    CancelToken cancel;
+    // Latency class every task of this job carries on the shared pool.
+    exec::TaskPriority priority = exec::TaskPriority::kNormal;
 
     // Unfinished tasks of this job's recursion tree; incremented before a
     // child is submitted, decremented when its task finishes, so reaching
@@ -215,7 +274,7 @@ class KvccEngine {
   };
 
   JobId SubmitJob(const Graph& g, std::uint32_t k, const KvccOptions& options,
-                  std::shared_ptr<ComponentSink> sink);
+                  std::shared_ptr<ComponentSink> sink, CancelToken cancel);
   void RunTask(const std::shared_ptr<JobState>& job,
                internal::WorkItem&& item, bool is_root, EmitKey path,
                unsigned worker_id);
@@ -226,9 +285,11 @@ class KvccEngine {
 
   std::vector<internal::EnumScratch> scratch_;  // one per worker, unshared
   std::mutex jobs_mutex_;
-  // Live tickets only: Wait() extracts and frees its entry (and detached
+  // Live tickets only: a returning Wait() frees its entry (and detached
   // stream jobs never hold one past submission), so the table holds
-  // in-flight / unclaimed jobs, not the full submission history. Tasks
+  // in-flight / unclaimed / being-waited-on jobs, not the full submission
+  // history — keeping an entry until its Wait *returns* is what lets
+  // Cancel() reach a job another thread is blocked waiting on. Tasks
   // share ownership of their JobState, so erasing an entry while the job
   // runs is safe — the state dies with its last task.
   std::unordered_map<JobId, std::shared_ptr<JobState>> jobs_;

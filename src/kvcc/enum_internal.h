@@ -93,13 +93,18 @@ inline const std::vector<bool>& NeighborsOfSet(
 /// null: fully serial) is handed down into GLOBAL-CUT so a single hard
 /// subproblem can fan its flow probes out to idle workers as deterministic
 /// wavefronts — the missing parallelism level when the recursion tree is
-/// too shallow to feed the pool on its own.
+/// too shallow to feed the pool on its own. `cancel` (may be null:
+/// uncancellable) is handed down too; GLOBAL-CUT polls it at its probe and
+/// wavefront boundaries and unwinds this step by throwing JobCancelled —
+/// the driver is responsible for the whole-item boundary check *before*
+/// calling in, and for catching JobCancelled and reporting the outcome
+/// with the job's partial stats attached.
 template <typename Emit, typename Spawn>
 void ProcessItem(WorkItem&& item, const Graph* root, std::uint32_t k,
                  const KvccOptions& options, bool maintain,
                  EnumScratch& scratch, KvccStats& stats,
-                 exec::TaskScheduler* scheduler, Emit&& emit,
-                 Spawn&& spawn) {
+                 exec::TaskScheduler* scheduler, const CancelToken* cancel,
+                 Emit&& emit, Spawn&& spawn) {
   const bool as_root = root != nullptr;
   const Graph& cur = as_root ? *root : item.graph;
 
@@ -186,7 +191,8 @@ void ProcessItem(WorkItem&& item, const Graph* root, std::uint32_t k,
 
     // --- cut search (Alg. 1 line 5) ---
     GlobalCutResult found = GlobalCut(*sub, k, sub_hints, options, &stats,
-                                      &scratch.cut_scratch, scheduler);
+                                      &scratch.cut_scratch, scheduler,
+                                      cancel);
 
     if (found.cut.empty()) {
       // sub is k-vertex-connected and maximal within this branch: k-VCC.

@@ -171,13 +171,30 @@ GlobalCutResult GlobalCut(const Graph& g, std::uint32_t k,
                           const std::vector<SideVertexHint>& hints,
                           const KvccOptions& options, KvccStats* stats,
                           GlobalCutScratch* scratch,
-                          exec::TaskScheduler* scheduler) {
+                          exec::TaskScheduler* scheduler,
+                          const CancelToken* cancel) {
   GlobalCutScratch transient;
   if (scratch == nullptr) scratch = &transient;
   const VertexId n = g.NumVertices();
   assert(n > k);
   assert(hints.empty() || hints.size() == n);
+
+  // Cooperative cancellation: polled at entry, before every serial flow
+  // probe, and at every wavefront-batch formation — the boundaries that
+  // bound time-to-unwind by one probe / one batch. The thrown JobCancelled
+  // carries no stats; the enumeration driver attaches the job's partial
+  // counters when it surfaces the outcome.
+  auto check_cancelled = [cancel, stats]() {
+    if (cancel != nullptr && cancel->Cancelled()) {
+      ++stats->cuts_cancelled;
+      throw JobCancelled("GLOBAL-CUT cancelled mid-search");
+    }
+  };
+  // Count the invocation before the entry check: a cancelled-at-entry
+  // search is still a (cancelled) call, keeping cuts_cancelled <=
+  // global_cut_calls coherent in partial stats.
   ++stats->global_cut_calls;
+  check_cancelled();
   ++scratch->probe_epoch;  // Pool oracles from older invocations are stale.
 
   GlobalCutResult result;
@@ -259,7 +276,8 @@ GlobalCutResult GlobalCut(const Graph& g, std::uint32_t k,
       ++stats->certificate_cut_fallbacks;
       KvccOptions fallback = options;
       fallback.sparse_certificate = false;
-      return GlobalCut(g, k, hints, fallback, stats, scratch, scheduler);
+      return GlobalCut(g, k, hints, fallback, stats, scratch, scheduler,
+                       cancel);
     }
     std::sort(cut.begin(), cut.end());
     result.cut = std::move(cut);
@@ -321,9 +339,13 @@ GlobalCutResult GlobalCut(const Graph& g, std::uint32_t k,
     auto& cuts = scratch->wave_cuts;
     const std::uint64_t epoch = scratch->probe_epoch;
     const Graph& probe_graph = test_graph;
+    // Helper stubs carry the owning job's latency class, so an
+    // interactive job's wavefront competes for idle workers at its own
+    // priority instead of degrading to kNormal on its hardest subproblem.
     scheduler->ParallelFor(
-        launched, [&pool, &cuts, &args, &probe_graph, epoch,
-                   k](std::size_t i, unsigned slot) {
+        launched,
+        [&pool, &cuts, &args, &probe_graph, epoch,
+         k](std::size_t i, unsigned slot) {
           if (!pool[slot]) pool[slot] = std::make_unique<ProbeOracle>();
           ProbeOracle& po = *pool[slot];
           if (po.bound_epoch != epoch) {
@@ -331,7 +353,8 @@ GlobalCutResult GlobalCut(const Graph& g, std::uint32_t k,
             po.bound_epoch = epoch;
           }
           cuts[i] = po.oracle.LocCut(args[i].first, args[i].second, k);
-        });
+        },
+        ToTaskPriority(options.priority));
   };
 
   // --- phase 1 (Alg. 3 lines 8-15): covers every cut avoiding the source ---
@@ -347,6 +370,7 @@ GlobalCutResult GlobalCut(const Graph& g, std::uint32_t k,
         sweep.Sweep(v, SweepCause::kTested);
         continue;
       }
+      check_cancelled();
       ++stats->phase1_tested_flow;
       ++stats->loc_cut_flow_calls;
       std::vector<VertexId> cut = oracle.LocCut(source, v, k);
@@ -357,6 +381,7 @@ GlobalCutResult GlobalCut(const Graph& g, std::uint32_t k,
     const std::vector<VertexId>& order = scratch->order;
     std::size_t pos = 0;
     while (pos < order.size()) {
+      check_cancelled();
       // Formation (serial): classify vertices from the current position
       // until `batch` probes are collected. The sweep snapshot is the live
       // state — no commit of this wavefront has happened yet, so anything
@@ -453,6 +478,7 @@ GlobalCutResult GlobalCut(const Graph& g, std::uint32_t k,
             ++stats->phase2_pairs_skipped_common;  // Lemma 13.
             continue;
           }
+          check_cancelled();
           ++stats->phase2_pairs_tested;
           ++stats->loc_cut_flow_calls;
           std::vector<VertexId> cut = oracle.LocCut(va, vb, k);
@@ -467,6 +493,7 @@ GlobalCutResult GlobalCut(const Graph& g, std::uint32_t k,
       std::size_t pi = 0;
       std::size_t pj = 1;
       while (pi + 1 < deg) {
+        check_cancelled();
         std::vector<ProbeCandidate>& wave = scratch->wave;
         auto& args = scratch->wave_probe_args;
         wave.clear();

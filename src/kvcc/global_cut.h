@@ -28,6 +28,7 @@
 #include "exec/task_scheduler.h"
 #include "graph/graph.h"
 #include "kvcc/flow_graph.h"
+#include "kvcc/job_control.h"
 #include "kvcc/options.h"
 #include "kvcc/side_vertex.h"
 #include "kvcc/sparse_certificate.h"
@@ -142,11 +143,19 @@ struct GlobalCutResult {
 /// repeated calls. `scheduler` may be nullptr (fully serial search); with a
 /// multi-worker scheduler and options.intra_cut_parallelism, flow probes
 /// run as parallel wavefronts (see file comment) with identical output.
+/// `cancel` may be nullptr (uncancellable); with a token, the search polls
+/// it at entry, before every serial flow probe, and at every
+/// wavefront-batch formation, and unwinds by throwing JobCancelled (with
+/// empty stats — the driver attaches the job's partials) the first time it
+/// observes cancellation, after bumping KvccStats::cuts_cancelled. Time to
+/// unwind is therefore bounded by one probe (serial) or one batch
+/// (wavefronts), never by the remaining search space.
 GlobalCutResult GlobalCut(const Graph& g, std::uint32_t k,
                           const std::vector<SideVertexHint>& hints,
                           const KvccOptions& options, KvccStats* stats,
                           GlobalCutScratch* scratch = nullptr,
-                          exec::TaskScheduler* scheduler = nullptr);
+                          exec::TaskScheduler* scheduler = nullptr,
+                          const CancelToken* cancel = nullptr);
 
 namespace detail {
 

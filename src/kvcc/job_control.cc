@@ -1,0 +1,34 @@
+#include "kvcc/job_control.h"
+
+#include <utility>
+
+namespace kvcc {
+
+CancelToken::CancelToken() : state_(std::make_shared<State>()) {}
+
+void CancelToken::SetDeadline(
+    std::chrono::steady_clock::time_point deadline) {
+  state_->has_deadline = true;
+  state_->deadline = deadline;
+}
+
+void CancelToken::RequestCancel() noexcept {
+  state_->cancelled.store(true, std::memory_order_relaxed);
+}
+
+bool CancelToken::Cancelled() const noexcept {
+  if (state_->cancelled.load(std::memory_order_relaxed)) return true;
+  if (state_->has_deadline &&
+      std::chrono::steady_clock::now() >= state_->deadline) {
+    // Latch: once a deadline has fired, every future poll is O(flag) and
+    // every copy of the token agrees.
+    state_->cancelled.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+JobCancelled::JobCancelled(const std::string& what, KvccStats partial)
+    : std::runtime_error(what), partial_(std::move(partial)) {}
+
+}  // namespace kvcc

@@ -1,6 +1,7 @@
 #include "kvcc/kvcc_enum.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -8,8 +9,24 @@
 #include "exec/task_scheduler.h"
 #include "kvcc/engine.h"
 #include "kvcc/enum_internal.h"
+#include "kvcc/job_control.h"
 
 namespace kvcc {
+
+namespace {
+
+/// Arms `token` from options.deadline_ms and returns it as the cancel
+/// pointer the serial drivers poll (null when no deadline is set — the
+/// serial paths have no other cancellation trigger).
+const CancelToken* ArmDeadline(const KvccOptions& options,
+                               CancelToken& token) {
+  if (options.deadline_ms == 0) return nullptr;
+  token.SetDeadline(std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(options.deadline_ms));
+  return &token;
+}
+
+}  // namespace
 
 std::vector<PartitionPiece> OverlapPartition(
     const Graph& g, const std::vector<VertexId>& cut, bool as_root) {
@@ -80,6 +97,8 @@ KvccResult EnumerateKVccs(const Graph& g, std::uint32_t k,
   const bool maintain =
       options.maintain_side_vertices && options.neighbor_sweep;
   internal::EnumScratch scratch;
+  CancelToken deadline_token;
+  const CancelToken* cancel = ArmDeadline(options, deadline_token);
   KvccResult result;
   std::vector<internal::WorkItem> stack;
   auto emit = [&result](std::vector<VertexId> ids) {
@@ -88,15 +107,28 @@ KvccResult EnumerateKVccs(const Graph& g, std::uint32_t k,
   auto spawn = [&stack](internal::WorkItem&& child) {
     stack.push_back(std::move(child));
   };
-  internal::ProcessItem(internal::WorkItem{}, &g, k, options, maintain,
-                        scratch, result.stats, /*scheduler=*/nullptr, emit,
-                        spawn);
-  while (!stack.empty()) {
-    internal::WorkItem item = std::move(stack.back());
-    stack.pop_back();
-    internal::ProcessItem(std::move(item), nullptr, k, options, maintain,
-                          scratch, result.stats, /*scheduler=*/nullptr, emit,
-                          spawn);
+  try {
+    internal::ProcessItem(internal::WorkItem{}, &g, k, options, maintain,
+                          scratch, result.stats, /*scheduler=*/nullptr,
+                          cancel, emit, spawn);
+    while (!stack.empty()) {
+      if (cancel != nullptr && cancel->Cancelled()) {
+        // Task-boundary check: the remaining stack is never processed.
+        result.stats.tasks_cancelled += stack.size();
+        stack.clear();
+        throw JobCancelled("EnumerateKVccs: deadline elapsed");
+      }
+      internal::WorkItem item = std::move(stack.back());
+      stack.pop_back();
+      internal::ProcessItem(std::move(item), nullptr, k, options, maintain,
+                            scratch, result.stats, /*scheduler=*/nullptr,
+                            cancel, emit, spawn);
+    }
+  } catch (const JobCancelled& cancelled) {
+    // Attach the partial counters (a mid-GLOBAL-CUT unwind carries none)
+    // and account the stack items the unwind left unprocessed.
+    result.stats.tasks_cancelled += stack.size();
+    throw JobCancelled(cancelled.what(), result.stats);
   }
   std::sort(result.components.begin(), result.components.end());
   return result;
@@ -127,6 +159,8 @@ void EnumerateKVccsStreaming(const Graph& g, std::uint32_t k,
   const bool maintain =
       options.maintain_side_vertices && options.neighbor_sweep;
   internal::EnumScratch scratch;
+  CancelToken deadline_token;
+  const CancelToken* cancel = ArmDeadline(options, deadline_token);
   KvccStats stats;
   std::uint64_t sequence = 0;
   std::vector<internal::WorkItem> stack;
@@ -141,14 +175,31 @@ void EnumerateKVccsStreaming(const Graph& g, std::uint32_t k,
   };
   try {
     internal::ProcessItem(internal::WorkItem{}, &g, k, options, maintain,
-                          scratch, stats, /*scheduler=*/nullptr, emit, spawn);
+                          scratch, stats, /*scheduler=*/nullptr, cancel,
+                          emit, spawn);
     while (!stack.empty()) {
+      if (cancel != nullptr && cancel->Cancelled()) {
+        stats.tasks_cancelled += stack.size();
+        stack.clear();
+        throw JobCancelled("EnumerateKVccsStreaming: deadline elapsed");
+      }
       internal::WorkItem item = std::move(stack.back());
       stack.pop_back();
       internal::ProcessItem(std::move(item), nullptr, k, options, maintain,
-                            scratch, stats, /*scheduler=*/nullptr, emit,
-                            spawn);
+                            scratch, stats, /*scheduler=*/nullptr, cancel,
+                            emit, spawn);
     }
+  } catch (const JobCancelled& cancelled) {
+    // Same OnError-then-throw shape as the generic failure path below,
+    // but the surfaced outcome carries the partial stats of the work
+    // that ran (components delivered so far stay delivered).
+    stats.tasks_cancelled += stack.size();
+    const JobCancelled outcome(cancelled.what(), stats);
+    try {
+      sink.OnError(std::make_exception_ptr(outcome));
+    } catch (...) {
+    }
+    throw outcome;
   } catch (...) {
     const std::exception_ptr error = std::current_exception();
     try {

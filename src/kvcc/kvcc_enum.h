@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "kvcc/job_control.h"
 #include "kvcc/options.h"
 #include "kvcc/stats.h"
 #include "kvcc/stream.h"
@@ -49,9 +50,13 @@ struct KvccResult {
 /// them instead.
 /// \param g The input graph.
 /// \param k Connectivity parameter (>= 1).
-/// \param options Algorithm variant and execution knobs.
+/// \param options Algorithm variant and execution knobs; deadline_ms > 0
+///   arms a wall-clock budget for the call.
 /// \return Every k-VCC plus the run's execution counters.
 /// \throws std::invalid_argument if k == 0.
+/// \throws JobCancelled if options.deadline_ms elapsed before the run
+///   finished; the exception carries the partial stats of the work that
+///   ran (see kvcc/job_control.h).
 KvccResult EnumerateKVccs(const Graph& g, std::uint32_t k,
                           const KvccOptions& options = {});
 
@@ -72,9 +77,13 @@ KvccResult EnumerateKVccs(const Graph& g, std::uint32_t k,
 /// \param k Connectivity parameter (>= 1).
 /// \param sink Receives every component, then OnComplete (or OnError).
 /// \param options Algorithm variant and execution knobs; stable_order
-///   makes multi-threaded runs reproduce the serial delivery order.
+///   makes multi-threaded runs reproduce the serial delivery order;
+///   deadline_ms > 0 arms a wall-clock budget.
 /// \throws std::invalid_argument if k == 0; rethrows the first algorithm
 ///   or sink error otherwise.
+/// \throws JobCancelled if options.deadline_ms elapsed mid-run: delivery
+///   stops, OnError receives the same JobCancelled (with partial stats),
+///   and OnComplete never fires for that call.
 void EnumerateKVccsStreaming(const Graph& g, std::uint32_t k,
                              ComponentSink& sink,
                              const KvccOptions& options = {});

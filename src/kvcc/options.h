@@ -17,6 +17,23 @@
 
 namespace kvcc {
 
+/// \brief Latency class of one engine job (KvccOptions::priority).
+///
+/// Priorities shape *scheduling*, never results: the enumerated
+/// components and all replay-identical stats are byte-identical across
+/// classes. The engine's worker deques pop higher classes preferentially
+/// (weighted, not strict — a bounded share of pops rotates through the
+/// lower classes, so neither bulk nor normal work can starve; see
+/// exec::TaskScheduler and docs/JOB_CONTROL.md).
+enum class JobPriority : std::uint8_t {
+  /// \brief Latency-sensitive: pops ahead of everything else.
+  kInteractive = 0,
+  /// \brief Default class.
+  kNormal = 1,
+  /// \brief Throughput work that should yield to the other classes.
+  kBulk = 2,
+};
+
 /// \brief Algorithm-variant and execution knobs for the k-VCC
 /// enumeration family (EnumerateKVccs, KvccEngine, BuildKvccHierarchy).
 struct KvccOptions {
@@ -110,6 +127,38 @@ struct KvccOptions {
   /// reproducible sequence. Ignored by the buffered APIs (their output is
   /// canonically sorted regardless).
   bool stable_order = false;
+
+  // ---- job control (see docs/JOB_CONTROL.md) ----
+
+  /// \brief Wall-clock budget for the job in milliseconds; 0 (default) =
+  /// none. The deadline arms the job's CancelToken at submission: once it
+  /// elapses, tasks short-circuit at the next recursion-task or
+  /// probe/wavefront boundary and the job reports JobCancelled with the
+  /// partial stats of the work that ran. Honored by KvccEngine jobs and
+  /// by the serial EnumerateKVccs / EnumerateKVccsStreaming paths.
+  std::uint32_t deadline_ms = 0;
+
+  /// \brief Latency class for engine scheduling (KvccEngine only; the
+  /// serial path has nothing to schedule against). Every task of the job
+  /// — root, subproblems — carries this class on the shared worker pool,
+  /// so an interactive job overtakes a saturating bulk batch instead of
+  /// merely round-robining with it. Results are identical across classes.
+  JobPriority priority = JobPriority::kNormal;
+
+  /// \brief Bound on undelivered components buffered in a
+  /// KvccEngine::SubmitStream channel; 0 (default) = unbounded. When the
+  /// consumer lags `stream_buffer_limit` components behind, the producing
+  /// worker blocks (backpressure) until the consumer drains, the stream
+  /// is abandoned, or the job is cancelled — capping the memory a slow
+  /// consumer can pin, where an unbounded channel grows with the
+  /// component count (worst-case exponential in dense graphs). Composes
+  /// with stable_order: the reorder buffer releases in serial order and
+  /// the channel bounds what is released but unread. Ignored by
+  /// SubmitStreaming (a push sink owns its own buffering) and by the
+  /// buffered APIs. Backpressure parks the producing worker inside the
+  /// job's delivery section — pair bounded streams with deadline_ms if
+  /// the consumer may stall forever (see docs/JOB_CONTROL.md).
+  std::uint32_t stream_buffer_limit = 0;
 
   // ---- presets matching the paper's evaluated variants ----
 

@@ -1,5 +1,6 @@
 #include "kvcc/stats.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace kvcc {
@@ -54,6 +55,12 @@ void KvccStats::Add(const KvccStats& other) {
   probes_launched += other.probes_launched;
   probes_wasted_swept += other.probes_wasted_swept;
   probes_wasted_after_cut += other.probes_wasted_after_cut;
+  tasks_cancelled += other.tasks_cancelled;
+  cuts_cancelled += other.cuts_cancelled;
+  stream_backpressure_blocks += other.stream_backpressure_blocks;
+  // A watermark, not a flow: the merged peak is the largest observed.
+  stream_peak_buffered = std::max(stream_peak_buffered,
+                                  other.stream_peak_buffered);
 }
 
 std::string KvccStats::ToJson() const {
@@ -84,7 +91,11 @@ std::string KvccStats::ToJson() const {
       << ", \"probe_wavefronts\": " << probe_wavefronts
       << ", \"probes_launched\": " << probes_launched
       << ", \"probes_wasted_swept\": " << probes_wasted_swept
-      << ", \"probes_wasted_after_cut\": " << probes_wasted_after_cut << "}";
+      << ", \"probes_wasted_after_cut\": " << probes_wasted_after_cut
+      << ", \"tasks_cancelled\": " << tasks_cancelled
+      << ", \"cuts_cancelled\": " << cuts_cancelled
+      << ", \"stream_backpressure_blocks\": " << stream_backpressure_blocks
+      << ", \"stream_peak_buffered\": " << stream_peak_buffered << "}";
   return out.str();
 }
 
@@ -110,7 +121,11 @@ std::string KvccStats::ToString() const {
       << "wavefronts: " << probe_wavefronts
       << " probes_launched=" << probes_launched
       << " wasted_swept=" << probes_wasted_swept
-      << " wasted_after_cut=" << probes_wasted_after_cut << "\n";
+      << " wasted_after_cut=" << probes_wasted_after_cut << "\n"
+      << "job control: tasks_cancelled=" << tasks_cancelled
+      << " cuts_cancelled=" << cuts_cancelled
+      << " backpressure_blocks=" << stream_backpressure_blocks
+      << " peak_buffered=" << stream_peak_buffered << "\n";
   return out.str();
 }
 

@@ -110,6 +110,26 @@ struct KvccStats {
   /// search.
   std::uint64_t probes_wasted_after_cut = 0;
 
+  // --- job-control diagnostics (PR 5) ---
+  // Like the wavefront counters these are *not* replay-identical: they
+  // depend on when a cancel trigger or a slow consumer was observed, which
+  // is timing. They stay 0 on jobs that were never cancelled and never
+  // backpressured.
+
+  /// \brief Recursion work items short-circuited whole at the
+  /// task-boundary cancellation check (their subgraphs were never
+  /// processed).
+  std::uint64_t tasks_cancelled = 0;
+  /// \brief GLOBAL-CUT searches abandoned mid-flight at a flow-probe or
+  /// wavefront-batch boundary by cancellation.
+  std::uint64_t cuts_cancelled = 0;
+  /// \brief Components whose delivery blocked on a full bounded stream
+  /// channel (KvccOptions::stream_buffer_limit) before being accepted.
+  std::uint64_t stream_backpressure_blocks = 0;
+  /// \brief High-water mark of undelivered components held in the stream
+  /// channel; with stream_buffer_limit > 0 this never exceeds the limit.
+  std::uint64_t stream_peak_buffered = 0;
+
   /// \brief Total phase-1 vertices considered (all categories above).
   /// \return Sum of the five phase-1 outcome counters.
   std::uint64_t Phase1Total() const {

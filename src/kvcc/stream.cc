@@ -24,9 +24,16 @@ ResultStream::~ResultStream() { Abandon(); }
 
 void ResultStream::Abandon() {
   if (!channel_) return;
-  std::lock_guard<std::mutex> lock(channel_->mutex);
-  channel_->abandoned = true;
-  channel_->queue.clear();
+  {
+    std::lock_guard<std::mutex> lock(channel_->mutex);
+    channel_->abandoned = true;
+    channel_->queue.clear();
+  }
+  // Cancel the job itself, not just the delivery: the remaining recursion
+  // short-circuits at its next task / probe boundary instead of draining,
+  // and a producer blocked on a bounded channel wakes and drops.
+  channel_->cancel.RequestCancel();
+  channel_->cv.notify_all();
 }
 
 std::optional<StreamedComponent> ResultStream::Next() {
@@ -39,10 +46,32 @@ std::optional<StreamedComponent> ResultStream::Next() {
   if (!channel_->queue.empty()) {
     StreamedComponent component = std::move(channel_->queue.front());
     channel_->queue.pop_front();
+    if (channel_->limit != 0) {
+      // Freed a bounded slot: wake a producer blocked on the full queue.
+      channel_->cv.notify_all();
+    }
     return component;
   }
   if (channel_->error) std::rethrow_exception(channel_->error);
   return std::nullopt;
+}
+
+std::size_t ResultStream::BufferedComponents() const {
+  if (!channel_) {
+    throw std::logic_error(
+        "ResultStream::BufferedComponents: stream was moved from");
+  }
+  std::lock_guard<std::mutex> lock(channel_->mutex);
+  return channel_->queue.size();
+}
+
+std::uint64_t ResultStream::BackpressureBlocks() const {
+  if (!channel_) {
+    throw std::logic_error(
+        "ResultStream::BackpressureBlocks: stream was moved from");
+  }
+  std::lock_guard<std::mutex> lock(channel_->mutex);
+  return channel_->backpressure_blocks;
 }
 
 const KvccStats& ResultStream::Stats() const {

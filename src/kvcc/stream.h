@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "kvcc/job_control.h"
 #include "kvcc/stats.h"
 
 /// \file
@@ -92,8 +93,13 @@ class ComponentSink {
 namespace internal {
 
 /// Shared state between a streaming job's producer side (the engine's
-/// channel sink) and a ResultStream consumer. Unbounded queue: undelivered
-/// components occupy the same memory a buffered Wait() would have held.
+/// channel sink) and a ResultStream consumer. Unbounded by default:
+/// undelivered components occupy the same memory a buffered Wait() would
+/// have held. With `limit` > 0 (KvccOptions::stream_buffer_limit) the
+/// queue is bounded: the producer blocks while it is full, until the
+/// consumer pops, the stream is abandoned, or the job's cancel token
+/// fires — so a slow consumer pins at most `limit` undelivered
+/// components instead of the whole result set.
 struct StreamChannel {
   std::mutex mutex;
   std::condition_variable cv;
@@ -102,6 +108,13 @@ struct StreamChannel {
   bool abandoned = false;  // consumer gone; drop further pushes
   KvccStats stats;
   std::exception_ptr error;
+
+  // --- job control (set by the engine before the job's root task runs) ---
+  std::size_t limit = 0;  // 0 = unbounded
+  CancelToken cancel;     // shares the job's flag; Abandon() requests it
+  // Delivery diagnostics, patched into `stats` at completion.
+  std::uint64_t backpressure_blocks = 0;
+  std::uint64_t peak_queued = 0;
 };
 
 }  // namespace internal
@@ -111,10 +124,12 @@ struct StreamChannel {
 ///
 /// Next() blocks until the next component commits; after it returns
 /// std::nullopt the job is finished and Stats() is valid. Destroying a
-/// stream mid-flight *abandons* it: the job still runs to completion on
-/// the engine (its per-worker scratch is reclaimed normally), but
-/// undelivered components are discarded instead of buffered. A stream
-/// must not outlive its engine.
+/// stream mid-flight *abandons* it: undelivered components are discarded
+/// and the job's cancel token is requested, so its remaining recursion
+/// short-circuits at the next task / probe boundary and the workers
+/// return promptly instead of draining the whole tree (the partial
+/// bookkeeping is still reclaimed normally). A stream must not outlive
+/// its engine.
 class ResultStream {
  public:
   /// \brief Streams are movable but not copyable (one consumer per job).
@@ -136,8 +151,24 @@ class ResultStream {
   /// \return The next component in delivery order, or std::nullopt at
   ///   end of stream.
   /// \throws Whatever the job failed with (first recorded exception),
-  ///   after the in-order prefix delivered so far.
+  ///   after the in-order prefix delivered so far. A job cancelled by
+  ///   KvccOptions::deadline_ms surfaces here as JobCancelled (with the
+  ///   partial stats of the work that ran).
   std::optional<StreamedComponent> Next();
+
+  /// \brief Components currently buffered in the channel (delivered by
+  /// the job but not yet returned by Next()). With
+  /// KvccOptions::stream_buffer_limit > 0 this never exceeds the limit —
+  /// the producer blocks instead.
+  /// \return The instantaneous undelivered-component count.
+  std::size_t BufferedComponents() const;
+
+  /// \brief Deliveries that have blocked on the full bounded channel so
+  /// far (live view of what KvccStats::stream_backpressure_blocks will
+  /// report at completion). Monitoring hook: a consumer watching this
+  /// grow knows it is the bottleneck while the job still runs.
+  /// \return The running backpressure-block count.
+  std::uint64_t BackpressureBlocks() const;
 
   /// \brief The job's final merged counters.
   /// \return Reference valid for the stream's lifetime.

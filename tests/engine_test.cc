@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -23,9 +24,11 @@
 #include "gen/fixtures.h"
 #include "gen/planted_vcc.h"
 #include "kvcc/hierarchy.h"
+#include "kvcc/job_control.h"
 #include "kvcc/kvcc_enum.h"
 #include "kvcc/stream.h"
 #include "support/brute_force.h"
+#include "util/timer.h"
 
 namespace kvcc {
 namespace {
@@ -511,6 +514,376 @@ TEST(KvccEngineStreamingTest, SerialStreamingMatchesBufferedEnumeration) {
     EXPECT_EQ(SortedMultiset(sink.components), reference.components);
     ExpectSameStats(sink.stats, reference.stats, "serial streaming");
   }
+}
+
+// ---------------------------------------------------------------------------
+// Job control: cooperative cancellation, bounded backpressure streams, and
+// latency classes (docs/JOB_CONTROL.md).
+// ---------------------------------------------------------------------------
+
+/// A saturating multi-block workload: big enough that its recursion spans
+/// many tasks and many components, so there is always work left to cancel.
+PlantedVccGraph MakeCancellationWorkload(std::uint64_t seed = 23) {
+  PlantedVccConfig config;
+  config.num_blocks = 8;
+  config.block_size_min = 22;
+  config.block_size_max = 34;
+  config.connectivity = 9;
+  config.overlap = 2;
+  config.bridge_edges = 1;
+  config.seed = seed;
+  return GeneratePlantedVcc(config);
+}
+
+/// Collects like CollectingSink but parks the delivering worker inside the
+/// first OnComponent call until released — a deterministic window in which
+/// the job is provably mid-flight.
+class GatedCollectingSink : public ComponentSink {
+ public:
+  void OnComponent(StreamedComponent component) override {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      components.push_back(std::move(component));
+      if (components.size() == 1) {
+        reached_ = true;
+        cv_.notify_all();
+        cv_.wait(lock, [&] { return released_; });
+      }
+    }
+  }
+  void OnComplete(const KvccStats& final_stats) override {
+    stats = final_stats;
+    complete = true;
+  }
+  void OnError(std::exception_ptr e) override { error = e; }
+
+  void WaitUntilBlocking() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return reached_; });
+  }
+  void Release() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    released_ = true;
+    cv_.notify_all();
+  }
+
+  std::vector<StreamedComponent> components;
+  KvccStats stats;
+  bool complete = false;
+  std::exception_ptr error;
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool reached_ = false;
+  bool released_ = false;
+};
+
+TEST(KvccEngineJobControlTest, CancelReportsJobCancelledWithPartialStats) {
+  // Deterministic mid-flight cancel: the only worker is parked inside the
+  // gated sink when Cancel fires, so the remaining recursion provably
+  // exists and must be short-circuited, not drained.
+  const PlantedVccGraph planted = MakeCancellationWorkload();
+  const KvccResult reference = EnumerateKVccs(planted.graph, 9);
+  ASSERT_GT(reference.components.size(), 1u);
+
+  KvccEngine engine(1);
+  auto sink = std::make_shared<GatedCollectingSink>();
+  const KvccEngine::JobId id =
+      engine.SubmitStreaming(planted.graph, 9, sink);
+  sink->WaitUntilBlocking();
+  EXPECT_TRUE(engine.Cancel(id));
+  sink->Release();
+
+  try {
+    engine.Wait(id);
+    FAIL() << "Wait on a cancelled job must throw JobCancelled";
+  } catch (const JobCancelled& cancelled) {
+    const KvccStats& partial = cancelled.partial_stats();
+    // Work that ran is reported; work that did not run is not.
+    EXPECT_GE(partial.kvccs_found, 1u);
+    EXPECT_LT(partial.kcore_rounds, reference.stats.kcore_rounds);
+    // Something was actually short-circuited, at a task or cut boundary.
+    EXPECT_GT(partial.tasks_cancelled + partial.cuts_cancelled, 0u);
+  }
+  // OnError received the same distinct outcome; OnComplete never fired.
+  EXPECT_FALSE(sink->complete);
+  ASSERT_TRUE(sink->error != nullptr);
+  EXPECT_THROW(std::rethrow_exception(sink->error), JobCancelled);
+  // Components delivered before the cancel stay delivered.
+  EXPECT_GE(sink->components.size(), 1u);
+
+  // A cancelled job must not poison the engine.
+  EXPECT_EQ(engine.Wait(engine.Submit(planted.graph, 9)).components,
+            reference.components);
+}
+
+TEST(KvccEngineJobControlTest, CancelUnsticksABlockedWait) {
+  // The watchdog pattern: thread A blocks in Wait(id), thread B calls
+  // Cancel(id) to unstick it. The ticket stays reachable until that Wait
+  // *returns*, so the Cancel lands and the waiter comes back with
+  // JobCancelled instead of sleeping out the whole job.
+  const PlantedVccGraph planted = MakeCancellationWorkload(59);
+  KvccEngine engine(1);
+  auto sink = std::make_shared<GatedCollectingSink>();
+  const KvccEngine::JobId id =
+      engine.SubmitStreaming(planted.graph, 9, sink);
+  sink->WaitUntilBlocking();  // Job provably mid-flight.
+
+  std::exception_ptr wait_error;
+  std::thread waiter([&] {
+    try {
+      engine.Wait(id);
+    } catch (...) {
+      wait_error = std::current_exception();
+    }
+  });
+  // Let the waiter claim the ticket and block (correctness does not
+  // depend on winning this race — the entry is reachable either way).
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_TRUE(engine.Cancel(id));
+  sink->Release();
+  waiter.join();
+  ASSERT_TRUE(wait_error != nullptr);
+  EXPECT_THROW(std::rethrow_exception(wait_error), JobCancelled);
+  // The returned Wait consumed the ticket.
+  EXPECT_FALSE(engine.Cancel(id));
+}
+
+TEST(KvccEngineJobControlTest, CancelUnknownOrConsumedTicketReturnsFalse) {
+  const Figure1Fixture fig1 = MakeFigure1Graph();
+  KvccEngine engine(1);
+  EXPECT_FALSE(engine.Cancel(321));
+  const KvccEngine::JobId id = engine.Submit(fig1.graph, 4);
+  EXPECT_EQ(engine.Wait(id).components, fig1.expected_vccs);
+  EXPECT_FALSE(engine.Cancel(id));  // Ticket consumed by Wait.
+}
+
+TEST(KvccEngineJobControlTest, DeadlineCancelsEngineJob) {
+  const PlantedVccGraph planted = MakeCancellationWorkload(29);
+  KvccEngine engine(2);
+  KvccOptions options;
+  options.deadline_ms = 1;  // Elapses long before the decomposition can.
+  const KvccEngine::JobId id = engine.Submit(planted.graph, 9, options);
+  EXPECT_THROW(engine.Wait(id), JobCancelled);
+
+  // A generous deadline changes nothing.
+  KvccOptions relaxed;
+  relaxed.deadline_ms = 5 * 60 * 1000;
+  const KvccResult full =
+      engine.Wait(engine.Submit(planted.graph, 9, relaxed));
+  EXPECT_EQ(full.components, EnumerateKVccs(planted.graph, 9).components);
+}
+
+TEST(KvccEngineJobControlTest, DeadlineCancelsSerialEnumeration) {
+  const PlantedVccGraph planted = MakeCancellationWorkload(31);
+  KvccOptions options;
+  options.num_threads = 1;
+  options.deadline_ms = 1;
+  try {
+    EnumerateKVccs(planted.graph, 9, options);
+    FAIL() << "serial run must observe the elapsed deadline";
+  } catch (const JobCancelled& cancelled) {
+    EXPECT_GT(cancelled.partial_stats().tasks_cancelled +
+                  cancelled.partial_stats().cuts_cancelled,
+              0u);
+  }
+
+  // Serial streaming: OnError gets the JobCancelled, OnComplete never
+  // fires, and the call rethrows it.
+  CollectingSink sink;
+  EXPECT_THROW(EnumerateKVccsStreaming(planted.graph, 9, sink, options),
+               JobCancelled);
+  EXPECT_FALSE(sink.complete);
+  ASSERT_TRUE(sink.error != nullptr);
+  EXPECT_THROW(std::rethrow_exception(sink.error), JobCancelled);
+}
+
+TEST(KvccEngineJobControlTest, AbandonedStreamReclaimsWorkersPromptly) {
+  // ROADMAP gap closed by this PR: abandoning a ResultStream used to let
+  // the job run to completion. Now abandonment fires the job's cancel
+  // token, so tearing the engine down right after an early abandon must
+  // take a small fraction of the job's full runtime — the workers return
+  // at the next task / probe boundary instead of draining the recursion.
+  const PlantedVccGraph planted = MakeCancellationWorkload(37);
+
+  double full_ms = 0;
+  {
+    KvccEngine engine(2);
+    Timer timer;
+    ResultStream stream = engine.SubmitStream(planted.graph, 9);
+    std::size_t count = 0;
+    while (stream.Next().has_value()) ++count;
+    full_ms = timer.ElapsedMillis();
+    ASSERT_GT(count, 1u);
+  }
+
+  Timer timer;
+  {
+    KvccEngine engine(2);
+    std::optional<ResultStream> stream =
+        engine.SubmitStream(planted.graph, 9);
+    ASSERT_TRUE(stream->Next().has_value());  // Provably mid-flight.
+    timer.Restart();  // Measure abandon -> engine fully drained.
+    stream.reset();   // Abandon: fires the job's cancel token.
+    // Engine destructor joins the workers here; with cancellation that
+    // is bounded by one in-flight probe batch, not the remaining
+    // recursion.
+  }
+  const double abandoned_ms = timer.ElapsedMillis();
+  // After one component of an 8-block workload, nearly the whole tree is
+  // still outstanding; a full drain would cost close to full_ms. The
+  // bounded-wall-clock assertion: reclamation costs at most half of it
+  // (in practice a few milliseconds; the slack absorbs sanitizer and CI
+  // noise, which scales both sides alike).
+  EXPECT_LT(abandoned_ms, full_ms * 0.5)
+      << "abandonment drained the recursion instead of cancelling it "
+      << "(full run " << full_ms << "ms)";
+}
+
+TEST(KvccEngineJobControlTest, BoundedStreamHoldsAtMostLimit) {
+  const PlantedVccGraph planted = MakeCancellationWorkload(41);
+  const KvccResult reference = EnumerateKVccs(planted.graph, 9);
+  ASSERT_GT(reference.components.size(), 3u);
+  constexpr std::uint32_t kLimit = 2;
+
+  for (unsigned workers : kWorkerCounts) {
+    for (const bool stable : {false, true}) {
+      KvccEngine engine(workers);
+      KvccOptions options;
+      options.stream_buffer_limit = kLimit;
+      options.stable_order = stable;
+      ResultStream stream = engine.SubmitStream(planted.graph, 9, options);
+      const std::string context = "workers=" + std::to_string(workers) +
+                                  (stable ? " stable" : " immediate");
+
+      // Let the producer run as far ahead as the bound allows: it must
+      // fill the channel to the limit (the job has more components than
+      // kLimit) and then block instead of overfilling. Synchronize on
+      // the block actually happening via the live counter — the producer
+      // is guaranteed to attempt the limit+1-th delivery eventually
+      // (more components exist), and nothing is popped until it did, so
+      // this poll terminates deterministically with no wall-clock guess.
+      while (stream.BackpressureBlocks() == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      EXPECT_EQ(stream.BufferedComponents(), kLimit) << context;
+      std::vector<std::vector<VertexId>> streamed;
+      while (true) {
+        EXPECT_LE(stream.BufferedComponents(), kLimit) << context;
+        std::optional<StreamedComponent> c = stream.Next();
+        if (!c.has_value()) break;
+        streamed.push_back(std::move(c->vertices));
+      }
+      std::sort(streamed.begin(), streamed.end());
+      EXPECT_EQ(streamed, reference.components) << context;
+      const KvccStats& stats = stream.Stats();
+      EXPECT_LE(stats.stream_peak_buffered, kLimit) << context;
+      EXPECT_GT(stats.stream_backpressure_blocks, 0u) << context;
+      ExpectSameStats(stats, reference.stats, context);
+    }
+  }
+}
+
+TEST(KvccEngineJobControlTest, DeadlineDuringBackpressureReportsCancelled) {
+  // Cancellation observed while the producer is parked on a full bounded
+  // channel must surface as JobCancelled through the stream — never as a
+  // clean completion silently missing the undeliverable component. The
+  // delivered prefix stays valid.
+  const PlantedVccGraph planted = MakeCancellationWorkload(61);
+  KvccEngine engine(2);
+  KvccOptions options;
+  options.stream_buffer_limit = 1;
+  options.deadline_ms = 300;
+  ResultStream stream = engine.SubmitStream(planted.graph, 9, options);
+  // Hold off consuming until the producer has (almost certainly) filled
+  // the channel and parked; if the deadline instead fires at an earlier
+  // task/probe boundary, the outcome below is the same JobCancelled.
+  Timer timer;
+  while (stream.BackpressureBlocks() == 0 && timer.ElapsedSeconds() < 10) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  // Keep the channel full until the deadline has provably fired (plus
+  // the producer's 10ms cancellation poll): the parked producer must
+  // observe the cancel, not get rescued by an early drain.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  std::size_t delivered = 0;
+  try {
+    while (stream.Next().has_value()) ++delivered;
+    FAIL() << "bounded job outlived a 300ms deadline without reporting "
+              "JobCancelled (delivered " << delivered << ")";
+  } catch (const JobCancelled&) {
+    // Expected: the prefix (possibly empty) was delivered, then the
+    // cancelled outcome.
+  }
+  // The engine stays healthy for the next job.
+  const Figure1Fixture fig1 = MakeFigure1Graph();
+  EXPECT_EQ(engine.Wait(engine.Submit(fig1.graph, 4)).components,
+            fig1.expected_vccs);
+}
+
+TEST(KvccEngineJobControlTest, AbandoningBlockedBoundedStreamUnblocks) {
+  // A producer parked on a full bounded channel must wake and retire when
+  // the consumer walks away — abandonment both drops the queue and
+  // cancels the job, so the engine drains promptly.
+  const PlantedVccGraph planted = MakeCancellationWorkload(43);
+  KvccEngine engine(2);
+  {
+    KvccOptions options;
+    options.stream_buffer_limit = 1;
+    ResultStream stream = engine.SubmitStream(planted.graph, 9, options);
+    while (stream.BufferedComponents() < 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    // Producer is now (or soon will be) blocked; abandon without draining.
+  }
+  // The engine stays healthy and the workers come back.
+  const Figure1Fixture fig1 = MakeFigure1Graph();
+  EXPECT_EQ(engine.Wait(engine.Submit(fig1.graph, 4)).components,
+            fig1.expected_vccs);
+}
+
+TEST(KvccEngineJobControlTest, InteractiveJobOvertakesSaturatingBulkBatch) {
+  // Latency classes: with the pool saturated by bulk jobs, an interactive
+  // job submitted *after* them must still complete while bulk work is in
+  // flight, because every pop prefers the higher class (weighted).
+  const Graph small = TwoCliquesSharing(5, 1);
+  const KvccResult small_ref = EnumerateKVccs(small, 3);
+
+  std::vector<PlantedVccGraph> bulk_graphs;
+  for (std::uint64_t seed = 51; seed < 55; ++seed) {
+    bulk_graphs.push_back(MakeCancellationWorkload(seed));
+  }
+
+  KvccEngine engine(2);
+  KvccOptions bulk;
+  bulk.priority = JobPriority::kBulk;
+  std::vector<KvccEngine::JobId> bulk_ids;
+  for (const PlantedVccGraph& g : bulk_graphs) {
+    bulk_ids.push_back(engine.Submit(g.graph, 9, bulk));
+  }
+  KvccOptions interactive;
+  interactive.priority = JobPriority::kInteractive;
+  const KvccEngine::JobId fast_id = engine.Submit(small, 3, interactive);
+
+  std::atomic<bool> bulk_all_done{false};
+  std::thread bulk_waiter([&] {
+    for (KvccEngine::JobId id : bulk_ids) engine.Wait(id);
+    bulk_all_done.store(true);
+  });
+  const KvccResult fast = engine.Wait(fast_id);
+  const bool overtook = !bulk_all_done.load();
+  bulk_waiter.join();
+  EXPECT_EQ(fast.components, small_ref.components);
+  EXPECT_TRUE(overtook)
+      << "interactive job waited out the whole bulk batch";
+
+  // Priorities shape scheduling only: the bulk results are still
+  // byte-identical to serial runs (checked via one representative).
+  const KvccResult bulk_ref = EnumerateKVccs(bulk_graphs[0].graph, 9);
+  EXPECT_EQ(engine.Wait(engine.Submit(bulk_graphs[0].graph, 9, bulk))
+                .components,
+            bulk_ref.components);
 }
 
 TEST(KvccEngineStreamingTest, AbandoningStreamMidFlightLeavesEngineHealthy) {

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <mutex>
 #include <set>
+#include <string>
 #include <vector>
 
 namespace kvcc::exec {
@@ -271,6 +272,104 @@ TEST(ParallelForTest, BodyExceptionIsRethrownAfterDraining) {
   // Every non-throwing index still ran before the rethrow.
   EXPECT_EQ(executed.load(), 49u);
   scheduler.Stop();
+}
+
+TEST(TaskPriorityTest, WeightedPopPrefersInteractiveWithoutStarvingBulk) {
+  // One worker, tasks seeded before Run: execution order is exactly the
+  // owner's pop order, so the weighted policy is directly observable.
+  // Interactive tasks must be served (almost) first, but the fairness
+  // stride guarantees bulk a share even while interactive work waits.
+  TaskScheduler scheduler(1);
+  std::vector<char> order;  // 'i' / 'b' in execution order
+  std::mutex mutex;
+  constexpr int kEach = 8;
+  for (int t = 0; t < kEach; ++t) {
+    scheduler.Submit(
+        [&](unsigned) {
+          std::lock_guard<std::mutex> lock(mutex);
+          order.push_back('b');
+        },
+        TaskPriority::kBulk);
+  }
+  for (int t = 0; t < kEach; ++t) {
+    scheduler.Submit(
+        [&](unsigned) {
+          std::lock_guard<std::mutex> lock(mutex);
+          order.push_back('i');
+        },
+        TaskPriority::kInteractive);
+  }
+  scheduler.Run();
+  ASSERT_EQ(order.size(), 2u * kEach);
+
+  // All interactive tasks land within the first kEach + 2 executions:
+  // they overtake the entire already-queued bulk backlog, except for the
+  // bounded fairness share interleaved with them.
+  int last_interactive = -1;
+  int bulk_before_last_interactive = 0;
+  for (int pos = 0; pos < static_cast<int>(order.size()); ++pos) {
+    if (order[pos] == 'i') last_interactive = pos;
+  }
+  for (int pos = 0; pos < last_interactive; ++pos) {
+    if (order[pos] == 'b') ++bulk_before_last_interactive;
+  }
+  EXPECT_LE(last_interactive, kEach + 1)
+      << "interactive tasks did not overtake the bulk backlog";
+  // Anti-starvation: at least one bulk pop happened while interactive
+  // work was still waiting (the fairness stride's guaranteed share).
+  EXPECT_GE(bulk_before_last_interactive, 1);
+}
+
+TEST(TaskPriorityTest, FairnessRotationServesBothLowerClasses) {
+  // Combined saturation: interactive work monopolizes regular pops and
+  // bulk work would monopolize lowest-first fairness turns, so the turns
+  // must alternate which lower class they serve — otherwise kNormal
+  // starves while both neighbors make progress.
+  TaskScheduler scheduler(1);
+  std::vector<char> order;
+  std::mutex mutex;
+  constexpr int kEach = 8;
+  const TaskPriority classes[] = {TaskPriority::kBulk, TaskPriority::kNormal,
+                                  TaskPriority::kInteractive};
+  const char tags[] = {'b', 'n', 'i'};
+  for (int c = 0; c < 3; ++c) {
+    for (int t = 0; t < kEach; ++t) {
+      scheduler.Submit(
+          [&, c](unsigned) {
+            std::lock_guard<std::mutex> lock(mutex);
+            order.push_back(tags[c]);
+          },
+          classes[c]);
+    }
+  }
+  scheduler.Run();
+  ASSERT_EQ(order.size(), 3u * kEach);
+  int last_interactive = 0;
+  for (int pos = 0; pos < static_cast<int>(order.size()); ++pos) {
+    if (order[pos] == 'i') last_interactive = pos;
+  }
+  // While interactive work was still waiting, the fairness turns served
+  // bulk *and* normal at least once each — neither lower class starves.
+  const std::string prefix(order.begin(), order.begin() + last_interactive);
+  EXPECT_NE(prefix.find('b'), std::string::npos) << prefix;
+  EXPECT_NE(prefix.find('n'), std::string::npos) << prefix;
+}
+
+TEST(TaskPriorityTest, AllClassesDrainToCompletion) {
+  // Saturating mixed-class load on several workers: every task of every
+  // class runs exactly once (no class is lost or starved to deadlock).
+  for (unsigned workers : {1u, 2u, 4u}) {
+    TaskScheduler scheduler(workers);
+    std::atomic<std::uint64_t> ran{0};
+    const TaskPriority classes[] = {TaskPriority::kInteractive,
+                                    TaskPriority::kNormal,
+                                    TaskPriority::kBulk};
+    for (int t = 0; t < 300; ++t) {
+      scheduler.Submit([&](unsigned) { ++ran; }, classes[t % 3]);
+    }
+    scheduler.Run();
+    EXPECT_EQ(ran.load(), 300u) << "workers=" << workers;
+  }
 }
 
 TEST(TaskSchedulerTest, ParallelSumMatchesSerial) {

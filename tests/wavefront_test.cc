@@ -274,6 +274,74 @@ TEST(WavefrontTest, MinVertexFloorKeepsSmallGraphsSerial) {
   EXPECT_EQ(run.components.size(), 1u);
 }
 
+TEST(WavefrontTest, CancelledTokenAbortsGlobalCutAtBatchBoundary) {
+  // A pre-cancelled token must unwind the search before any probe work:
+  // serially (entry / per-probe checks) and under wavefronts (per-batch
+  // formation checks). The throw carries empty stats by contract — the
+  // drivers attach partials — but the cuts_cancelled diagnostic lands in
+  // the caller's counters.
+  const Graph g = HararyGraph(5, 24);
+  CancelToken cancelled;
+  cancelled.RequestCancel();
+
+  KvccStats serial_stats;
+  EXPECT_THROW(GlobalCut(g, 5, {}, KvccOptions::VcceStar(), &serial_stats,
+                         nullptr, nullptr, &cancelled),
+               JobCancelled);
+  EXPECT_EQ(serial_stats.cuts_cancelled, 1u);
+  EXPECT_EQ(serial_stats.loc_cut_flow_calls, 0u);
+
+  // Wavefront configuration: run inside a live multi-worker scheduler.
+  exec::TaskScheduler scheduler(4);
+  scheduler.Start();
+  GlobalCutScratch scratch;
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+  bool threw_cancelled = false;
+  KvccStats wave_stats;
+  scheduler.Submit([&](unsigned) {
+    KvccOptions options = KvccOptions::VcceStar();
+    options.intra_cut_min_vertices = 0;
+    try {
+      GlobalCut(g, 5, {}, options, &wave_stats, &scratch, &scheduler,
+                &cancelled);
+    } catch (const JobCancelled&) {
+      threw_cancelled = true;
+    }
+    std::lock_guard<std::mutex> lock(mutex);
+    done = true;
+    done_cv.notify_all();
+  });
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    done_cv.wait(lock, [&] { return done; });
+  }
+  scheduler.Stop();
+  EXPECT_TRUE(threw_cancelled);
+  EXPECT_EQ(wave_stats.cuts_cancelled, 1u);
+  EXPECT_EQ(wave_stats.probes_launched, 0u);
+}
+
+TEST(WavefrontTest, LiveTokenLeavesGlobalCutByteIdentical) {
+  // Passing a token that never fires must not perturb anything: cut and
+  // replay-identical stats equal the no-token run's, for serial and
+  // wavefront configurations alike.
+  const Graph g = TwoCliquesSharing(6, 2);
+  KvccStats reference_stats;
+  const GlobalCutResult reference =
+      GlobalCut(g, 4, {}, KvccOptions::VcceStar(), &reference_stats);
+
+  CancelToken live;
+  KvccStats token_stats;
+  const GlobalCutResult with_token =
+      GlobalCut(g, 4, {}, KvccOptions::VcceStar(), &token_stats, nullptr,
+                nullptr, &live);
+  EXPECT_EQ(with_token.cut, reference.cut);
+  ExpectReplayIdenticalStats(token_stats, reference_stats, "live token");
+  EXPECT_EQ(token_stats.cuts_cancelled, 0u);
+}
+
 TEST(WavefrontTest, BruteForceAgreementUnderWavefronts) {
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
     const Graph g = kvcc::testing::RandomConnectedGraph(13, 30, seed);

@@ -1,10 +1,17 @@
 #!/usr/bin/env bash
 # Verifies that every repo file pointer in the given markdown docs resolves
 # to an existing file, so docs/ARCHITECTURE.md (and friends) cannot drift
-# silently when sources move. A "file pointer" is any backtick-quoted token
-# that looks like a repo path with a known extension, e.g. `src/kvcc/engine.h`
-# or `tests/engine_test.cc` (an optional :line suffix is stripped). Directory
-# pointers ending in '/' are checked with -d.
+# silently when sources move. Two pointer shapes are checked:
+#
+#   * backtick-quoted tokens that look like a repo path with a known
+#     extension, e.g. `src/kvcc/engine.h` or `tests/engine_test.cc` (an
+#     optional :line suffix is stripped; directory pointers ending in '/'
+#     are checked with -d);
+#   * markdown-style cross-references to other repo docs, e.g.
+#     [job control](JOB_CONTROL.md) or [arch](docs/ARCHITECTURE.md),
+#     resolved relative to the referencing doc first, then the repo root —
+#     so a dangling doc-to-doc link fails the same way a dead source
+#     pointer does (web URLs are ignored).
 #
 # usage: tools/check_docs_links.sh <doc.md> [more.md ...]
 set -euo pipefail
@@ -42,6 +49,20 @@ for doc in "$@"; do
     fi
   done < <(grep -oE '`[A-Za-z0-9_./-]+(\.(h|cc|cpp|md|sh|yml|json|txt)(:[A-Za-z0-9_:]+)?|/)`' "$doc" \
              | tr -d '`' | sort -u)
+
+  # Markdown cross-references to other docs ([text](FOO.md), optional
+  # #anchor). The path charset excludes ':', so web URLs never match.
+  doc_dir="$(cd "$(dirname "$doc")" && pwd)"
+  while IFS= read -r ref; do
+    target="${ref%%#*}"  # strip an anchor
+    [[ -z "$target" ]] && continue
+    checked=$((checked + 1))
+    if [[ ! -f "$doc_dir/$target" && ! -f "$REPO_ROOT/$target" ]]; then
+      echo "check_docs_links: $doc has a dangling doc link '$target'" >&2
+      fail=1
+    fi
+  done < <(grep -oE '\]\([A-Za-z0-9_./-]+\.md(#[A-Za-z0-9_-]+)?\)' "$doc" \
+             | sed -E 's/^\]\(//; s/\)$//' | sort -u)
 done
 
 if [[ $fail -ne 0 ]]; then

@@ -44,23 +44,32 @@ int Usage() {
       "usage: kvcc <command> [args]\n"
       "  decompose <graph> <k> [--variant=VCCE*|VCCE|VCCE-N|VCCE-G]\n"
       "            [--threads=N] [--probe-batch=B] [--no-intra-cut]\n"
-      "            [--validate] [--stats] [--quiet]\n"
+      "            [--deadline-ms=D] [--validate] [--stats] [--quiet]\n"
       "            (--threads: 1 = serial, 0 = all hardware threads;\n"
       "             --probe-batch: probes per intra-cut wavefront, 0 =\n"
       "             adaptive; --no-intra-cut: disable intra-GLOBAL-CUT\n"
-      "             probe parallelism)\n"
+      "             probe parallelism; --deadline-ms: wall-clock budget,\n"
+      "             exit 3 with partial stats once it elapses)\n"
       "  stream <graph> <k> [--variant=VCCE*|VCCE|VCCE-N|VCCE-G]\n"
       "         [--threads=N] [--stable-order] [--probe-batch=B]\n"
-      "         [--no-intra-cut] [--stats]\n"
+      "         [--no-intra-cut] [--deadline-ms=D] [--stream-buffer=L]\n"
+      "         [--priority=interactive|normal|bulk] [--stats]\n"
       "         (NDJSON: one {\"type\": \"component\", ...} line per k-VCC\n"
       "          as soon as it commits, then one \"complete\" line;\n"
       "          --stable-order reproduces the serial emission order;\n"
+      "          --stream-buffer bounds undelivered components (0 =\n"
+      "          unbounded, producer blocks when full); --deadline-ms\n"
+      "          cancels mid-stream, closing with a \"cancelled\" line;\n"
       "          --threads defaults to 0 = all hardware threads)\n"
-      "  batch <jobs-file> [--threads=N] [--probe-batch=B] [--no-intra-cut]\n"
-      "        [--stats] [--quiet]\n"
+      "  batch <jobs-file> [--variant=...] [--threads=N] [--probe-batch=B]\n"
+      "        [--no-intra-cut] [--deadline-ms=D]\n"
+      "        [--priority=interactive|normal|bulk] [--stats] [--quiet]\n"
       "        (jobs-file lines: \"<graph> <k> [variant]\"; '#' comments.\n"
       "         All jobs run concurrently on one shared engine; output\n"
-      "         order and content match per-job serial decompose runs.)\n"
+      "         order and content match per-job serial decompose runs.\n"
+      "         --variant is the default preset for lines naming none;\n"
+      "         --deadline-ms/--priority apply to every job in the file;\n"
+      "         deadline-cancelled jobs are reported and skipped.)\n"
       "  hierarchy <graph> [max_k] [--threads=N]\n"
       "  connectivity <graph> [k]\n"
       "  models <graph> <k>\n"
@@ -104,6 +113,33 @@ bool ParseProbeBatch(const std::string& value, std::uint32_t& batch) {
   return true;
 }
 
+/// Parses a --deadline-ms=D value; prints an error and returns false on
+/// junk.
+bool ParseDeadlineMs(const std::string& value, std::uint32_t& deadline_ms) {
+  if (!ParseUint(value, 0xffffffffUL, deadline_ms)) {
+    std::cerr << "error: --deadline-ms expects a non-negative integer "
+                 "(0 = no deadline)\n";
+    return false;
+  }
+  return true;
+}
+
+/// Parses a --priority= class name; prints an error and returns false on
+/// junk.
+bool ParsePriority(const std::string& value, JobPriority& priority) {
+  if (value == "interactive") {
+    priority = JobPriority::kInteractive;
+  } else if (value == "normal") {
+    priority = JobPriority::kNormal;
+  } else if (value == "bulk") {
+    priority = JobPriority::kBulk;
+  } else {
+    std::cerr << "error: --priority expects interactive, normal, or bulk\n";
+    return false;
+  }
+  return true;
+}
+
 /// Flags shared by the decompose and stream subcommands: --variant=,
 /// --threads=, --probe-batch=, --no-intra-cut, --stats. Parsed into state
 /// that Options() applies *after* the whole command line is consumed, so a
@@ -128,6 +164,14 @@ struct CommonEnumFlags {
       return ParseProbeBatch(arg.substr(14), probe_batch) ? Parse::kHandled
                                                           : Parse::kError;
     }
+    if (arg.rfind("--deadline-ms=", 0) == 0) {
+      return ParseDeadlineMs(arg.substr(14), deadline_ms) ? Parse::kHandled
+                                                          : Parse::kError;
+    }
+    if (arg.rfind("--priority=", 0) == 0) {
+      return ParsePriority(arg.substr(11), priority) ? Parse::kHandled
+                                                     : Parse::kError;
+    }
     if (arg == "--no-intra-cut") {
       intra_cut = false;
       return Parse::kHandled;
@@ -139,17 +183,28 @@ struct CommonEnumFlags {
     return Parse::kNotMine;
   }
 
+  /// Applies the shared execution knobs, leaving the variant alone —
+  /// batch mode resolves its variant per jobs-file line and layers these
+  /// on top.
+  void ApplyExecutionKnobs(KvccOptions& options) const {
+    options.probe_batch_size = probe_batch;
+    options.intra_cut_parallelism = intra_cut;
+    options.deadline_ms = deadline_ms;
+    options.priority = priority;
+  }
+
   /// The selected variant with the shared execution knobs applied.
   KvccOptions Options() const {
     KvccOptions options = variant;
-    options.probe_batch_size = probe_batch;
-    options.intra_cut_parallelism = intra_cut;
+    ApplyExecutionKnobs(options);
     return options;
   }
 
   KvccOptions variant = KvccOptions::VcceStar();
   std::uint32_t threads;
   std::uint32_t probe_batch = 0;
+  std::uint32_t deadline_ms = 0;
+  JobPriority priority = JobPriority::kNormal;
   bool intra_cut = true;
   bool stats = false;
 };
@@ -185,7 +240,17 @@ int CmdDecompose(const std::vector<std::string>& args) {
   KvccOptions options = flags.Options();
   options.num_threads = flags.threads;
   Timer timer;
-  const KvccResult result = EnumerateKVccs(g, k, options);
+  KvccResult result;
+  try {
+    result = EnumerateKVccs(g, k, options);
+  } catch (const JobCancelled& cancelled) {
+    std::cerr << "cancelled: " << cancelled.what() << " after "
+              << timer.ElapsedMillis() << "ms ("
+              << cancelled.partial_stats().kvccs_found
+              << " k-VCCs found before the deadline)\n";
+    if (stats) std::cerr << cancelled.partial_stats().ToString();
+    return 3;
+  }
   std::cerr << "|V|=" << g.NumVertices() << " |E|=" << g.NumEdges() << " k="
             << k << ": " << result.components.size() << " k-VCCs in "
             << timer.ElapsedMillis() << "ms\n";
@@ -212,12 +277,19 @@ int CmdStream(const std::vector<std::string>& args) {
   // Streaming defaults to all hardware threads (the serving shape).
   CommonEnumFlags flags(/*default_threads=*/0);
   bool stable_order = false;
+  std::uint32_t stream_buffer = 0;
   for (std::size_t i = 2; i < args.size(); ++i) {
     const CommonEnumFlags::Parse parsed = flags.TryParse(args[i]);
     if (parsed == CommonEnumFlags::Parse::kError) return 2;
     if (parsed == CommonEnumFlags::Parse::kHandled) continue;
     if (args[i] == "--stable-order") {
       stable_order = true;
+    } else if (args[i].rfind("--stream-buffer=", 0) == 0) {
+      if (!ParseUint(args[i].substr(16), 1u << 20, stream_buffer)) {
+        std::cerr << "error: --stream-buffer expects an integer in "
+                     "[0, 2^20] (0 = unbounded)\n";
+        return 2;
+      }
     } else {
       return Usage();
     }
@@ -231,22 +303,39 @@ int CmdStream(const std::vector<std::string>& args) {
   }
   KvccOptions options = flags.Options();
   options.stable_order = stable_order;
+  options.stream_buffer_limit = stream_buffer;
 
   KvccEngine engine(flags.threads);
   Timer timer;
   ResultStream result_stream = engine.SubmitStream(g, k, options);
   double first_ms = -1.0;
   std::size_t count = 0;
-  while (std::optional<StreamedComponent> c = result_stream.Next()) {
-    if (count == 0) first_ms = timer.ElapsedMillis();
-    std::cout << "{\"type\": \"component\", \"sequence\": " << c->sequence
-              << ", \"size\": " << c->vertices.size() << ", \"vertices\": [";
-    for (std::size_t i = 0; i < c->vertices.size(); ++i) {
-      if (i != 0) std::cout << ", ";
-      std::cout << g.LabelOf(c->vertices[i]);
+  try {
+    while (std::optional<StreamedComponent> c = result_stream.Next()) {
+      if (count == 0) first_ms = timer.ElapsedMillis();
+      std::cout << "{\"type\": \"component\", \"sequence\": " << c->sequence
+                << ", \"size\": " << c->vertices.size()
+                << ", \"vertices\": [";
+      for (std::size_t i = 0; i < c->vertices.size(); ++i) {
+        if (i != 0) std::cout << ", ";
+        std::cout << g.LabelOf(c->vertices[i]);
+      }
+      std::cout << "]}\n";
+      ++count;
     }
-    std::cout << "]}\n";
-    ++count;
+  } catch (const JobCancelled& cancelled) {
+    // Deadline fired mid-stream: the components above were delivered and
+    // stay valid; close the NDJSON stream with a distinct outcome line.
+    std::cout << "{\"type\": \"cancelled\", \"components\": " << count
+              << ", \"elapsed_ms\": " << timer.ElapsedMillis();
+    if (stats) {
+      std::cout << ", \"partial_stats\": "
+                << cancelled.partial_stats().ToJson();
+    }
+    std::cout << "}\n";
+    std::cerr << "cancelled: " << cancelled.what() << " (" << count
+              << " k-VCCs streamed before the deadline)\n";
+    return 3;
   }
   const double total_ms = timer.ElapsedMillis();
   std::cout << "{\"type\": \"complete\", \"components\": " << count
@@ -272,25 +361,24 @@ struct BatchJobLine {
 
 int CmdBatch(const std::vector<std::string>& args) {
   if (args.empty()) return Usage();
-  bool stats = false, quiet = false;
-  std::uint32_t threads = 0;  // Batch mode defaults to all hardware threads.
-  std::uint32_t probe_batch = 0;
-  bool intra_cut = true;
+  // Batch mode defaults to all hardware threads; the shared enumeration
+  // flags (--threads/--probe-batch/--no-intra-cut/--deadline-ms/
+  // --priority/--variant/--stats) parse exactly as in decompose/stream,
+  // with --variant acting as the default preset for jobs-file lines that
+  // name none.
+  CommonEnumFlags flags(/*default_threads=*/0);
+  bool quiet = false;
   for (std::size_t i = 1; i < args.size(); ++i) {
-    if (args[i].rfind("--threads=", 0) == 0) {
-      if (!ParseThreads(args[i].substr(10), threads)) return 2;
-    } else if (args[i].rfind("--probe-batch=", 0) == 0) {
-      if (!ParseProbeBatch(args[i].substr(14), probe_batch)) return 2;
-    } else if (args[i] == "--no-intra-cut") {
-      intra_cut = false;
-    } else if (args[i] == "--stats") {
-      stats = true;
-    } else if (args[i] == "--quiet") {
+    const CommonEnumFlags::Parse parsed = flags.TryParse(args[i]);
+    if (parsed == CommonEnumFlags::Parse::kError) return 2;
+    if (parsed == CommonEnumFlags::Parse::kHandled) continue;
+    if (args[i] == "--quiet") {
       quiet = true;
     } else {
       return Usage();
     }
   }
+  const bool stats = flags.stats;
 
   std::ifstream in(args[0]);
   if (!in) {
@@ -316,9 +404,8 @@ int CmdBatch(const std::vector<std::string>& args) {
       return 2;
     }
     job.options = fields >> variant ? KvccOptions::FromVariantName(variant)
-                                    : KvccOptions::VcceStar();
-    job.options.probe_batch_size = probe_batch;
-    job.options.intra_cut_parallelism = intra_cut;
+                                    : flags.variant;
+    flags.ApplyExecutionKnobs(job.options);
     jobs.push_back(std::move(job));
   }
   if (jobs.empty()) {
@@ -335,7 +422,7 @@ int CmdBatch(const std::vector<std::string>& args) {
     }
   }
 
-  KvccEngine engine(threads);
+  KvccEngine engine(flags.threads);
   Timer timer;
   std::vector<KvccEngine::JobId> ids;
   ids.reserve(jobs.size());
@@ -345,9 +432,21 @@ int CmdBatch(const std::vector<std::string>& args) {
   }
   KvccStats totals;
   std::size_t total_components = 0;
+  std::size_t cancelled_jobs = 0;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     const Graph& g = graphs.at(jobs[i].graph_path);
-    const KvccResult result = engine.Wait(ids[i]);
+    KvccResult result;
+    try {
+      result = engine.Wait(ids[i]);
+    } catch (const JobCancelled& cancelled) {
+      // A deadline only fails its own job; the rest of the batch stands.
+      std::cerr << "job " << i << ": " << jobs[i].graph_path
+                << " k=" << jobs[i].k << ": CANCELLED ("
+                << cancelled.what() << ")\n";
+      totals.Add(cancelled.partial_stats());
+      ++cancelled_jobs;
+      continue;
+    }
     std::cerr << "job " << i << ": " << jobs[i].graph_path
               << " |V|=" << g.NumVertices() << " |E|=" << g.NumEdges()
               << " k=" << jobs[i].k << ": " << result.components.size()
@@ -357,10 +456,11 @@ int CmdBatch(const std::vector<std::string>& args) {
     total_components += result.components.size();
   }
   std::cerr << jobs.size() << " jobs (" << total_components
-            << " k-VCCs) on " << engine.num_workers() << " workers in "
+            << " k-VCCs, " << cancelled_jobs << " cancelled) on "
+            << engine.num_workers() << " workers in "
             << timer.ElapsedMillis() << "ms\n";
   if (stats) std::cerr << totals.ToString();
-  return 0;
+  return cancelled_jobs == 0 ? 0 : 3;
 }
 
 int CmdHierarchy(const std::vector<std::string>& args) {

@@ -32,7 +32,8 @@ fi
 
 cmake --build "$BUILD_DIR" -j \
   --target bench_scalability_threads bench_batch_throughput \
-           bench_stream_latency bench_micro_kvcc 2>/dev/null ||
+           bench_stream_latency bench_cancellation bench_micro_kvcc \
+           2>/dev/null ||
   cmake --build "$BUILD_DIR" -j
 
 BUILD_TYPE="$(build_type)"
@@ -59,6 +60,12 @@ rm -f "$OUT_FILE"
 # Streaming delivery latency (time-to-first/median/last component vs the
 # buffered Wait; also re-checks streamed-multiset identity).
 "$BUILD_DIR/bench_stream_latency" --threads=1,2,4 --json="$OUT_FILE" \
+  --build-type="$BUILD_TYPE" --commit="$GIT_COMMIT"
+
+# Job control: abandonment reclaim latency (must land far under the full
+# drain) and bounded-stream backpressure (peak buffer capped at the limit;
+# fails hard if the bound is exceeded or a multiset diverges).
+"$BUILD_DIR/bench_cancellation" --threads=1,2,4 --json="$OUT_FILE" \
   --build-type="$BUILD_TYPE" --commit="$GIT_COMMIT"
 
 # google-benchmark micro suite, if it was built. The report is wrapped in
@@ -89,6 +96,12 @@ fi
 if ! grep -q '"bench": "stream_latency"' "$OUT_FILE" ||
    ! grep -q '"first_component_ms"' "$OUT_FILE"; then
   echo "run_bench.sh: snapshot is missing the streaming-latency entry" >&2
+  exit 1
+fi
+if ! grep -q '"bench": "cancellation"' "$OUT_FILE" ||
+   ! grep -q '"abandon_reclaim_ms"' "$OUT_FILE" ||
+   ! grep -q '"bounded_peak_buffered"' "$OUT_FILE"; then
+  echo "run_bench.sh: snapshot is missing the job-control entry" >&2
   exit 1
 fi
 echo "perf snapshot written to $OUT_FILE (Release @ $GIT_COMMIT)"
