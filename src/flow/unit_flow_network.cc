@@ -1,6 +1,7 @@
 #include "flow/unit_flow_network.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace kvcc {
 
@@ -9,9 +10,11 @@ UnitFlowNetwork::UnitFlowNetwork(std::uint32_t num_nodes) {
 }
 
 void UnitFlowNetwork::Reinit(std::uint32_t num_nodes) {
-  first_.assign(num_nodes, kNone);
-  next_.clear();
-  arc_to_.clear();
+  topo_ = &own_topo_;
+  own_topo_.first.assign(num_nodes, kNone);
+  own_topo_.next.clear();
+  own_topo_.arc_to.clear();
+  own_topo_.init_cap.clear();
   arc_cap_.clear();
   arc_init_cap_.clear();
   dirty_pairs_.clear();
@@ -25,53 +28,102 @@ void UnitFlowNetwork::Reinit(std::uint32_t num_nodes) {
 
 std::uint32_t UnitFlowNetwork::AddArc(std::uint32_t from, std::uint32_t to,
                                       std::int32_t capacity) {
-  const auto forward = static_cast<std::uint32_t>(arc_to_.size());
-  arc_to_.push_back(to);
+  assert(topo_ == &own_topo_ && "AddArc on an adopted topology");
+  const auto forward = static_cast<std::uint32_t>(own_topo_.arc_to.size());
+  own_topo_.arc_to.push_back(to);
   arc_cap_.push_back(capacity);
-  next_.push_back(first_[from]);
-  first_[from] = forward;
+  own_topo_.next.push_back(own_topo_.first[from]);
+  own_topo_.first[from] = forward;
 
   const auto backward = forward + 1;
-  arc_to_.push_back(from);
+  own_topo_.arc_to.push_back(from);
   arc_cap_.push_back(0);
-  next_.push_back(first_[to]);
-  first_[to] = backward;
+  own_topo_.next.push_back(own_topo_.first[to]);
+  own_topo_.first[to] = backward;
 
+  own_topo_.init_cap.push_back(capacity);
+  own_topo_.init_cap.push_back(0);
   arc_init_cap_.push_back(capacity);
   arc_init_cap_.push_back(0);
   dirty_epoch_.push_back(0);  // one stamp per (forward, reverse) pair
   return forward;
 }
 
-bool UnitFlowNetwork::BuildLevels(std::uint32_t s, std::uint32_t t) {
-  if (++phase_epoch_ == 0) {  // Epoch wrapped: invalidate all stamps.
-    std::fill(node_epoch_.begin(), node_epoch_.end(), 0);
-    phase_epoch_ = 1;
+void UnitFlowNetwork::AdoptTopology(const UnitFlowNetwork& owner) {
+  // Restore any dirt left under the *previous* topology first: the dirty
+  // pairs index into arc_init_cap_, our private grow-only copy, which is
+  // valid regardless of what topo_ points at afterwards.
+  ResetFlow();
+  topo_ = owner.topo_;
+  const std::size_t arcs = topo_->arc_to.size();
+  // Grow-only sync: arcs below the watermark (arc_init_cap_.size()) already
+  // hold their initial capacities — by the equal-initial-capacity contract
+  // these are the same values the new topology assigns — so only the new
+  // tail is written. In the steady state (same-or-smaller topology) this
+  // whole block is a no-op.
+  const std::size_t synced = arc_init_cap_.size();
+  if (synced < arcs) {
+    arc_cap_.resize(arcs);
+    arc_init_cap_.resize(arcs);
+    for (std::size_t i = synced; i < arcs; ++i) {
+      arc_cap_[i] = topo_->init_cap[i];
+      arc_init_cap_[i] = topo_->init_cap[i];
+    }
+    dirty_epoch_.resize(arcs / 2, 0);
   }
+#ifndef NDEBUG
+  for (std::size_t i = 0; i < arcs; ++i) {
+    assert(arc_init_cap_[i] == topo_->init_cap[i] &&
+           "AdoptTopology: initial-capacity pattern mismatch");
+    assert(arc_cap_[i] == topo_->init_cap[i]);
+  }
+#endif
+  const std::size_t n = topo_->first.size();
+  if (node_epoch_.size() < n) {
+    // New nodes carry stamp 0, which never equals a live (monotone) epoch.
+    node_epoch_.resize(n, 0);
+    level_.resize(n);
+    iter_.resize(n);
+  }
+}
+
+bool UnitFlowNetwork::BuildLevels(std::uint32_t s, std::uint32_t t) {
+  NextPhase();
+  const Topology& topo = *topo_;
   bfs_queue_.clear();
   Visit(s, 0);
   bfs_queue_.push_back(s);
+  std::uint64_t work = 0;
   for (std::size_t head = 0; head < bfs_queue_.size(); ++head) {
     const std::uint32_t u = bfs_queue_[head];
-    for (std::uint32_t arc = first_[u]; arc != kNone; arc = next_[arc]) {
-      const std::uint32_t w = arc_to_[arc];
+    for (std::uint32_t arc = topo.first[u]; arc != kNone;
+         arc = topo.next[arc]) {
+      ++work;
+      const std::uint32_t w = topo.arc_to[arc];
       if (arc_cap_[arc] > 0 && LevelOf(w) == kNone) {
         Visit(w, level_[u] + 1);
-        if (w == t) return true;  // Shortest t level found; enough to phase.
+        if (w == t) {  // Shortest t level found; enough to phase.
+          work_arcs_ += work;
+          return true;
+        }
         bfs_queue_.push_back(w);
       }
     }
   }
+  work_arcs_ += work;
   return LevelOf(t) != kNone;
 }
 
 std::int32_t UnitFlowNetwork::FindAugmentingPath(std::uint32_t s,
                                                  std::uint32_t t,
                                                  std::int32_t limit) {
+  const Topology& topo = *topo_;
   path_.clear();
   std::uint32_t u = s;
+  std::uint64_t work = 0;
   while (true) {
     if (u == t) {
+      work_arcs_ += work;
       std::int32_t bottleneck = limit;
       for (std::uint32_t arc : path_) {
         bottleneck = std::min(bottleneck, arc_cap_[arc]);
@@ -86,17 +138,22 @@ std::int32_t UnitFlowNetwork::FindAugmentingPath(std::uint32_t s,
     // u is on a path from s, so the level BFS visited it and seeded iter_[u].
     std::uint32_t& arc = iter_[u];
     while (arc != kNone &&
-           !(arc_cap_[arc] > 0 && LevelOf(arc_to_[arc]) == level_[u] + 1)) {
-      arc = next_[arc];
+           !(arc_cap_[arc] > 0 && LevelOf(topo.arc_to[arc]) == level_[u] + 1)) {
+      ++work;
+      arc = topo.next[arc];
     }
     if (arc == kNone) {
       level_[u] = kNone;  // Dead end within this phase.
-      if (path_.empty()) return 0;
-      u = arc_to_[path_.back() ^ 1];  // Retreat to the arc's tail node.
+      if (path_.empty()) {
+        work_arcs_ += work;
+        return 0;
+      }
+      u = topo.arc_to[path_.back() ^ 1];  // Retreat to the arc's tail node.
       path_.pop_back();
     } else {
+      ++work;
       path_.push_back(arc);
-      u = arc_to_[arc];
+      u = topo.arc_to[arc];
     }
   }
 }
@@ -114,6 +171,84 @@ std::int32_t UnitFlowNetwork::MaxFlow(std::uint32_t s, std::uint32_t t,
   return flow;
 }
 
+UnitFlowNetwork::LocalFlowResult UnitFlowNetwork::MaxFlowLocal(
+    std::uint32_t s, std::uint32_t t, std::int32_t limit,
+    std::uint64_t arc_budget) {
+  const Topology& topo = *topo_;
+  LocalFlowResult result;
+  while (result.flow < limit) {
+    // One greedy DFS pass over the residual graph. Visit stamps and the
+    // per-node arc cursors persist across every augmentation found within
+    // the pass, so growing several short disjoint paths costs one
+    // exploration instead of one restart per path (the restart-per-path
+    // variant lost to Dinic on exactly the certify-heavy probes this mode
+    // targets). The price: a stamp left by an earlier augmentation of the
+    // same pass can hide a residual path that only opened up behind it —
+    // so a pass that found flow proves nothing, and only a pass that
+    // augments NOTHING is a complete residual reachability search from s
+    // (all stamps fresh, search exhausted) proving the flow maximum,
+    // having inspected only arcs incident to the residual-reachable set.
+    NextPhase();
+    path_.clear();
+    Visit(s, 0);
+    std::uint32_t u = s;
+    std::int32_t pass_flow = 0;
+    while (true) {
+      if (u == t) {
+        std::int32_t bottleneck = limit - result.flow;
+        for (std::uint32_t arc : path_) {
+          bottleneck = std::min(bottleneck, arc_cap_[arc]);
+        }
+        for (std::uint32_t arc : path_) {
+          MarkDirty(arc);
+          arc_cap_[arc] -= bottleneck;
+          arc_cap_[arc ^ 1] += bottleneck;
+        }
+        result.flow += bottleneck;
+        pass_flow += bottleneck;
+        if (result.flow >= limit) {
+          result.exact = true;  // Hit the limit: kappa certified.
+          return result;
+        }
+        // Same pass, next path: restart from s keeping stamps and
+        // cursors. The just-saturated arcs fail the capacity check, and
+        // the used intermediate nodes stay stamped — in a unit
+        // vertex-capacity network the remaining disjoint paths avoid them
+        // anyway (rerouting *through* them is the next pass's job).
+        path_.clear();
+        u = s;
+        continue;
+      }
+      std::uint32_t& arc = iter_[u];
+      while (arc != kNone) {
+        if (arc_budget == 0) return result;  // Budget spent: inexact.
+        --arc_budget;
+        ++work_arcs_;
+        const std::uint32_t w = topo.arc_to[arc];
+        if (arc_cap_[arc] > 0 && node_epoch_[w] != phase_epoch_) break;
+        arc = topo.next[arc];
+      }
+      if (arc == kNone) {
+        if (path_.empty()) break;  // s exhausted: pass over.
+        u = topo.arc_to[path_.back() ^ 1];  // Retreat.
+        path_.pop_back();
+      } else {
+        path_.push_back(arc);
+        u = topo.arc_to[arc];
+        // Seed the cursor; never stamp t, so later paths of this pass may
+        // reach it again.
+        if (u != t) Visit(u, 0);  // Level is unused in this mode.
+      }
+    }
+    if (pass_flow == 0) {
+      result.exact = true;  // t unreachable: flow is a true max flow.
+      return result;
+    }
+  }
+  result.exact = true;  // Hit the limit.
+  return result;
+}
+
 void UnitFlowNetwork::ResetFlow() {
   for (const std::uint32_t pair : dirty_pairs_) {
     arc_cap_[2 * pair] = arc_init_cap_[2 * pair];
@@ -127,14 +262,16 @@ void UnitFlowNetwork::ResetFlow() {
 }
 
 std::vector<bool> UnitFlowNetwork::ResidualReachable(std::uint32_t s) const {
-  std::vector<bool> reachable(first_.size(), false);
+  const Topology& topo = *topo_;
+  std::vector<bool> reachable(topo.first.size(), false);
   std::vector<std::uint32_t> queue;
   reachable[s] = true;
   queue.push_back(s);
   for (std::size_t head = 0; head < queue.size(); ++head) {
     const std::uint32_t u = queue[head];
-    for (std::uint32_t arc = first_[u]; arc != kNone; arc = next_[arc]) {
-      const std::uint32_t w = arc_to_[arc];
+    for (std::uint32_t arc = topo.first[u]; arc != kNone;
+         arc = topo.next[arc]) {
+      const std::uint32_t w = topo.arc_to[arc];
       if (arc_cap_[arc] > 0 && !reachable[w]) {
         reachable[w] = true;
         queue.push_back(w);

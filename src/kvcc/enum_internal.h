@@ -50,8 +50,9 @@ struct WorkItem {
 
 /// Per-worker mutable scratch. Workers never share an EnumScratch, so the
 /// hot path runs without atomics or locks, and a long-lived engine keeps
-/// the flow network, certificate, and sweep buffers warm across every job
-/// it serves. A default-constructed scratch is always valid.
+/// the probe oracle (CutOracle, including its flow-network topology),
+/// certificate, and sweep buffers warm across every job it serves. A
+/// default-constructed scratch is always valid.
 struct EnumScratch {
   GlobalCutScratch cut_scratch;
   // NeighborsOfSet working set.

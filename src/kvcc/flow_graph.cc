@@ -24,6 +24,13 @@ void DirectedFlowGraph::Rebuild(const Graph& g) {
   }
 }
 
+void DirectedFlowGraph::RebindShared(const DirectedFlowGraph& owner) {
+  assert(owner.graph_ != nullptr && "RebindShared from an unbound owner");
+  graph_ = owner.graph_;
+  flow_calls_ = 0;  // flow_calls() counts queries against the *current* graph.
+  network_.AdoptTopology(owner.network_);
+}
+
 std::int32_t DirectedFlowGraph::LocalConnectivity(VertexId u, VertexId v,
                                                   std::int32_t limit) {
   assert(graph_ != nullptr);
@@ -40,6 +47,34 @@ std::vector<VertexId> DirectedFlowGraph::LocCut(VertexId u, VertexId v,
       LocalConnectivity(u, v, static_cast<std::int32_t>(k));
   if (flow >= static_cast<std::int32_t>(k)) return {};
   return ExtractVertexCut(u, v);
+}
+
+DirectedFlowGraph::LocalProbeResult DirectedFlowGraph::LocCutLocal(
+    VertexId u, VertexId v, std::uint32_t k, std::uint64_t arc_budget,
+    int doublings) {
+  LocalProbeResult result;
+  if (u == v || graph_->HasEdge(u, v)) return result;  // Lemma 5.
+  network_.ResetFlow();
+  ++flow_calls_;
+  const auto limit = static_cast<std::int32_t>(k);
+  const std::uint32_t s = OutNode(u);
+  const std::uint32_t t = InNode(v);
+  std::int32_t flow = 0;
+  for (int round = 0; round <= doublings; ++round, arc_budget *= 2) {
+    const UnitFlowNetwork::LocalFlowResult local =
+        network_.MaxFlowLocal(s, t, limit - flow, arc_budget);
+    flow += local.flow;
+    if (!local.exact) continue;  // Budget spent; retry doubled.
+    if (flow < limit) result.cut = ExtractVertexCut(u, v);
+    return result;
+  }
+  // Every local budget ran out: let Dinic finish from the partial flow —
+  // max flow (and the minimal source-side cut) is independent of how the
+  // flow so far was grown, so nothing local is wasted or re-derived.
+  result.fell_back = true;
+  flow += network_.MaxFlow(s, t, limit - flow);
+  if (flow < limit) result.cut = ExtractVertexCut(u, v);
+  return result;
 }
 
 std::vector<VertexId> DirectedFlowGraph::ExtractVertexCut(VertexId u,

@@ -6,6 +6,19 @@
 // The max flow from u_out to v_in equals the local vertex connectivity
 // kappa(u, v) for non-adjacent u, v (Menger), and every node of the network
 // has in-degree 1 or out-degree 1, so Dinic runs in O(sqrt(n) m).
+//
+// Two probe styles are offered over the same network:
+//   * LocCut — Dinic from scratch: the baseline, O(min(sqrt(n), k) * m).
+//   * LocCutLocal — budget-capped DFS flow growth (local search in the
+//     style of Nanongkai–Saranurak–Yingchareonthawornchai 2019): when a
+//     < k cut sits near u, the probe touches only the volume on u's side
+//     of it. Budgets double a fixed number of times; if they run out the
+//     probe falls back to Dinic *on the accumulated partial flow*, so no
+//     augmentation work is ever discarded.
+// Both styles are exact and return the identical cut: whenever
+// kappa(u, v) < k, the extracted cut is derived from the residual-reachable
+// set of a true max flow, which (for the minimal source-side min cut) is
+// independent of which max flow was computed.
 #ifndef KVCC_KVCC_FLOW_GRAPH_H_
 #define KVCC_KVCC_FLOW_GRAPH_H_
 
@@ -22,15 +35,30 @@ namespace kvcc {
 /// LOC-CUT calls of one GLOBAL-CUT invocation. Rebind the oracle to another
 /// graph with Rebuild(): the flow network's buffers are recycled, so one
 /// long-lived instance (e.g. per enumeration worker) runs the whole
-/// recursion without reallocating per subgraph.
+/// recursion without reallocating per subgraph. RebindShared() goes one
+/// step further and adopts another instance's already-built arc topology in
+/// O(1) steady state — the "incremental rebind" used by the wavefront probe
+/// pool, where one owner pays the O(m) build per GLOBAL-CUT invocation and
+/// every pool slot borrows it.
 ///
 /// Instances are not thread-safe, but they are affine: GLOBAL-CUT's probe
 /// wavefronts keep a pool of these, one per executor slot, each lazily
-/// Rebuild-bound ("epoch rebind", see GlobalCutScratch::probe_pool) to the
-/// invocation's shared test graph — concurrent probes then query disjoint
-/// oracles over one immutable Graph, which is safe.
+/// RebindShared-bound ("epoch rebind", see GlobalCutScratch::probe_pool) to
+/// the invocation's topology owner — concurrent probes then query disjoint
+/// mutable state over one immutable topology and Graph, which is safe.
 class DirectedFlowGraph {
  public:
+  /// Result of a budget-capped local LOC-CUT probe (LocCutLocal).
+  struct LocalProbeResult {
+    /// Same contract as LocCut's return value: empty when u == v, the
+    /// endpoints are adjacent, or kappa(u, v) >= k; otherwise a u-v vertex
+    /// cut with fewer than k vertices — byte-identical to LocCut's.
+    std::vector<VertexId> cut;
+    /// True when every local budget ran out and Dinic completed the probe
+    /// from the partial flow.
+    bool fell_back = false;
+  };
+
   /// Unbound oracle; call Rebuild() before querying.
   DirectedFlowGraph() = default;
   explicit DirectedFlowGraph(const Graph& g);
@@ -39,8 +67,18 @@ class DirectedFlowGraph {
   DirectedFlowGraph& operator=(const DirectedFlowGraph&) = delete;
 
   /// Rebinds the oracle to `g`, which must outlive all subsequent queries.
-  /// Reuses the internal network storage.
+  /// Reuses the internal network storage. This instance becomes a topology
+  /// owner (see RebindShared).
   void Rebuild(const Graph& g);
+
+  /// Rebinds the oracle to `owner`'s graph by adopting its already-built
+  /// arc topology instead of re-running the O(m) Rebuild: O(1) when this
+  /// instance has seen a topology at least this large before (the pool
+  /// steady state), O(m) tail-fill the first time. `owner` must stay bound
+  /// and un-rebuilt for as long as this instance queries it; re-call after
+  /// the owner's next Rebuild. Distinct borrowers of one owner may rebind
+  /// and query concurrently (they only read the owner's immutable state).
+  void RebindShared(const DirectedFlowGraph& owner);
 
   /// min(kappa(u, v), limit) for non-adjacent u != v. The caller must not
   /// pass adjacent vertices (kappa is infinite there; Lemma 5).
@@ -51,8 +89,23 @@ class DirectedFlowGraph {
   /// fewer than k vertices (excluding u and v themselves).
   std::vector<VertexId> LocCut(VertexId u, VertexId v, std::uint32_t k);
 
+  /// LOC-CUT by local search: grows the flow with DFS augmentation capped
+  /// at `arc_budget` inspected arcs, doubling the budget `doublings` times
+  /// before falling back to Dinic on the partial flow. The cut (or its
+  /// absence) is byte-identical to LocCut's; only the work profile differs.
+  /// Track the work via work_arcs() deltas.
+  LocalProbeResult LocCutLocal(VertexId u, VertexId v, std::uint32_t k,
+                               std::uint64_t arc_budget, int doublings);
+
   /// Number of flow computations run so far (for KvccStats).
   std::uint64_t flow_calls() const { return flow_calls_; }
+
+  /// Monotone count of arcs inspected by all flow work on this oracle
+  /// (KvccStats::probe_edges_touched is accumulated from deltas of this).
+  std::uint64_t work_arcs() const { return network_.work_arcs(); }
+
+  /// The bound graph (nullptr before the first Rebuild/RebindShared).
+  const Graph* graph() const { return graph_; }
 
   static std::uint32_t InNode(VertexId v) { return 2 * v; }
   static std::uint32_t OutNode(VertexId v) { return 2 * v + 1; }

@@ -6,12 +6,19 @@
 #include <string>
 #include <utility>
 
-#include "kvcc/flow_graph.h"
+#include "kvcc/cut_oracle.h"
 #include "kvcc/sparse_certificate.h"
 #include "kvcc/sweep_context.h"
 
 namespace kvcc {
 namespace {
+
+/// Rolls one probe's work trace into the run-wide stats counters.
+void AccumulateProbe(const ProbeCounters& trace, KvccStats* stats) {
+  stats->probes_localvc += trace.probes_localvc;
+  stats->probes_localvc_fallback += trace.probes_localvc_fallback;
+  stats->probe_edges_touched += trace.probe_edges_touched;
+}
 
 /// Grow-only sizing of the epoch-stamped visit marks. New entries carry
 /// stamp 0, which never equals a live epoch.
@@ -249,17 +256,24 @@ GlobalCutResult GlobalCut(const Graph& g, std::uint32_t k,
   const bool source_is_strong = options.neighbor_sweep && strong[source];
 
   // Wavefront engagement, decided up front (see the machinery comment
-  // below): in wavefront mode every probe runs on the per-slot pool, so the
-  // scratch's serial oracle is not rebuilt at all. The vertex floor keeps
-  // small subproblems — which the subproblem level already parallelizes —
-  // on the exact serial loop, where speculation cannot pay for itself.
+  // below). The vertex floor keeps small subproblems — which the
+  // subproblem level already parallelizes — on the exact serial loop,
+  // where speculation cannot pay for itself.
   const bool wavefronts = scheduler != nullptr &&
                           scheduler->num_workers() > 1 &&
                           options.intra_cut_parallelism &&
                           (options.intra_cut_min_vertices == 0 ||
                            n >= options.intra_cut_min_vertices);
-  DirectedFlowGraph& oracle = scratch->oracle;
-  if (!wavefronts) oracle.Rebuild(test_graph);
+  // Probe engine (KvccOptions::cut_oracle): created lazily, replaced only
+  // when the option changes between jobs sharing this scratch. Bound in
+  // both modes — serial probes run on it directly, and in wavefront mode
+  // it is the topology owner every pool slot incrementally rebinds to
+  // (one O(m) build per invocation instead of one per slot).
+  if (!scratch->oracle || scratch->oracle->kind() != options.cut_oracle) {
+    scratch->oracle = MakeCutOracle(options.cut_oracle);
+  }
+  CutOracle& oracle = *scratch->oracle;
+  oracle.BindGraph(test_graph);
   // Epoch rebind: O(1) reset of the sweep arrays, no reallocation.
   SweepContext& sweep = scratch->sweep;
   sweep.Bind(g, k, strong, groups, group_of, options.neighbor_sweep,
@@ -317,44 +331,84 @@ GlobalCutResult GlobalCut(const Graph& g, std::uint32_t k,
     }
   };
 
-  // Runs the current wavefront's probe list concurrently. Each executor
-  // slot owns one pool oracle, lazily rebound to this invocation's
-  // test_graph (epoch rebind) the first time the slot participates; a probe
-  // writes only its own wave_cuts entry, and the commit loop below reads
-  // the results only after ParallelFor returned, so probes race with
-  // nothing. The sweep state is snapshot-immutable during the wavefront:
-  // formation read it serially, and commits mutate it serially afterwards.
-  auto run_probes = [&]() {
+  // Runs the current wavefront's probe list concurrently and returns how
+  // many *flow* probes actually ran (deferred-common entries settled by
+  // the Lemma-13 test never touch an oracle). Each executor slot owns one
+  // pool oracle, incrementally rebound (CutOracle::BindShared — adopt the
+  // owner's arc arrays, restamp capacities by epoch) to this invocation's
+  // topology owner the first time the slot participates; a probe writes
+  // only its own wave_cuts / wave_common_skip / wave_traces entries, and
+  // the commit loop below reads the results only after ParallelFor
+  // returned, so probes race with nothing. The sweep state is
+  // snapshot-immutable during the wavefront: formation read it serially,
+  // and commits mutate it serially afterwards.
+  auto run_probes = [&]() -> std::uint32_t {
     const auto& args = scratch->wave_probe_args;
     const std::uint32_t launched = static_cast<std::uint32_t>(args.size());
-    if (launched == 0) return;
+    if (launched == 0) return 0;
     const unsigned slots = scheduler->num_workers() + 1;
     if (scratch->probe_pool.size() < slots) scratch->probe_pool.resize(slots);
-    if (scratch->wave_cuts.size() < launched) {
-      scratch->wave_cuts.resize(launched);
+    if (scratch->wave_cuts.size() < launched) scratch->wave_cuts.resize(launched);
+    if (scratch->wave_common_skip.size() < launched) {
+      scratch->wave_common_skip.resize(launched);
+    }
+    if (scratch->wave_traces.size() < launched) {
+      scratch->wave_traces.resize(launched);
     }
     ++stats->probe_wavefronts;
-    stats->probes_launched += launched;
     auto& pool = scratch->probe_pool;
     auto& cuts = scratch->wave_cuts;
+    auto& common_skip = scratch->wave_common_skip;
+    auto& traces = scratch->wave_traces;
+    const auto& deferred = scratch->wave_probe_common;
     const std::uint64_t epoch = scratch->probe_epoch;
-    const Graph& probe_graph = test_graph;
+    const CutOracle& owner = oracle;
+    const CutOracleKind oracle_kind = options.cut_oracle;
+    const Graph& host = g;
     // Helper stubs carry the owning job's latency class, so an
     // interactive job's wavefront competes for idle workers at its own
     // priority instead of degrading to kNormal on its hardest subproblem.
     scheduler->ParallelFor(
         launched,
-        [&pool, &cuts, &args, &probe_graph, epoch,
-         k](std::size_t i, unsigned slot) {
+        [&pool, &cuts, &common_skip, &traces, &args, &deferred, &owner,
+         &host, epoch, oracle_kind, k](std::size_t i, unsigned slot) {
           if (!pool[slot]) pool[slot] = std::make_unique<ProbeOracle>();
           ProbeOracle& po = *pool[slot];
+          if (!po.oracle || po.oracle->kind() != oracle_kind) {
+            po.oracle = MakeCutOracle(oracle_kind);
+            po.bound_epoch = 0;
+          }
           if (po.bound_epoch != epoch) {
-            po.oracle.Rebuild(probe_graph);
+            po.oracle->BindShared(owner);
             po.bound_epoch = epoch;
           }
-          cuts[i] = po.oracle.LocCut(args[i].first, args[i].second, k);
+          traces[i] = ProbeCounters{};
+          // Lemma-13 pre-test, hoisted out of the serial formation loop: a
+          // pure function of the working graph, so evaluating it here is
+          // replay-equivalent while parallelizing the Theta(d) merges that
+          // dominate pair formation on hub-heavy sources.
+          if (deferred[i] != 0 &&
+              CommonNeighborsAtLeast(host, args[i].first, args[i].second,
+                                     k)) {
+            common_skip[i] = 1;
+            cuts[i].clear();
+          } else {
+            common_skip[i] = 0;
+            cuts[i] =
+                po.oracle->Probe(args[i].first, args[i].second, k, traces[i]);
+          }
         },
         ToTaskPriority(options.priority));
+    // Serial roll-up over every launched probe — speculative ones
+    // included, their flow work is real — keeps the oracle counters
+    // deterministic for a fixed (input, options, thread count).
+    std::uint32_t flow_probes = 0;
+    for (std::uint32_t i = 0; i < launched; ++i) {
+      if (common_skip[i] == 0) ++flow_probes;
+      AccumulateProbe(traces[i], stats);
+    }
+    stats->probes_launched += flow_probes;
+    return flow_probes;
   };
 
   // --- phase 1 (Alg. 3 lines 8-15): covers every cut avoiding the source ---
@@ -373,7 +427,9 @@ GlobalCutResult GlobalCut(const Graph& g, std::uint32_t k,
       check_cancelled();
       ++stats->phase1_tested_flow;
       ++stats->loc_cut_flow_calls;
-      std::vector<VertexId> cut = oracle.LocCut(source, v, k);
+      ProbeCounters trace;
+      std::vector<VertexId> cut = oracle.Probe(source, v, k, trace);
+      AccumulateProbe(trace, stats);
       if (!cut.empty()) return finish_with_cut(std::move(cut));
       sweep.Sweep(v, SweepCause::kTested);
     }
@@ -390,6 +446,7 @@ GlobalCutResult GlobalCut(const Graph& g, std::uint32_t k,
       auto& args = scratch->wave_probe_args;
       wave.clear();
       args.clear();
+      scratch->wave_probe_common.clear();
       std::size_t end = pos;
       while (end < order.size() && args.size() < batch) {
         const VertexId v = order[end];
@@ -403,6 +460,7 @@ GlobalCutResult GlobalCut(const Graph& g, std::uint32_t k,
           cand.kind = ProbeCandidate::Kind::kProbe;
           cand.probe_index = static_cast<std::uint32_t>(args.size());
           args.emplace_back(source, v);
+          scratch->wave_probe_common.push_back(0);
         }
         wave.push_back(cand);
         ++end;
@@ -481,15 +539,22 @@ GlobalCutResult GlobalCut(const Graph& g, std::uint32_t k,
           check_cancelled();
           ++stats->phase2_pairs_tested;
           ++stats->loc_cut_flow_calls;
-          std::vector<VertexId> cut = oracle.LocCut(va, vb, k);
+          ProbeCounters trace;
+          std::vector<VertexId> cut = oracle.Probe(va, vb, k, trace);
+          AccumulateProbe(trace, stats);
           if (!cut.empty()) return finish_with_cut(std::move(cut));
         }
       }
     } else {
-      // Pair wavefronts. Every skip predicate here is a pure function of
-      // the graphs (no sweep state), so formation classifies exactly as
-      // the serial loop would; the commit replay exists to keep the skip
-      // counters honest — pairs past a committed cut are never counted.
+      // Pair wavefronts. The group and adjacency skip predicates are pure
+      // functions of the graphs (no sweep state), so formation classifies
+      // exactly as the serial loop would. The common-neighbor test (Lemma
+      // 13) — also pure, but Theta(d) per pair and the dominant formation
+      // cost on hub-heavy sources — is *deferred into the wavefront*: the
+      // pair is launched as kProbeDeferred and the parallel body either
+      // settles it via the common test (wave_common_skip) or runs the
+      // flow probe. The commit replay keeps the skip counters honest —
+      // pairs past a committed cut are never counted.
       std::size_t pi = 0;
       std::size_t pj = 1;
       while (pi + 1 < deg) {
@@ -498,6 +563,7 @@ GlobalCutResult GlobalCut(const Graph& g, std::uint32_t k,
         auto& args = scratch->wave_probe_args;
         wave.clear();
         args.clear();
+        scratch->wave_probe_common.clear();
         while (pi + 1 < deg && args.size() < batch) {
           const VertexId va = nbrs[pi];
           const VertexId vb = nbrs[pj];
@@ -509,13 +575,14 @@ GlobalCutResult GlobalCut(const Graph& g, std::uint32_t k,
             cand.kind = ProbeCandidate::Kind::kPairGroupSkip;
           } else if (g.HasEdge(va, vb)) {
             cand.kind = ProbeCandidate::Kind::kPairAdjacent;
-          } else if (options.phase2_common_neighbor_skip &&
-                     CommonNeighborsAtLeast(g, va, vb, k)) {
-            cand.kind = ProbeCandidate::Kind::kPairCommonSkip;
           } else {
-            cand.kind = ProbeCandidate::Kind::kProbe;
+            cand.kind = options.phase2_common_neighbor_skip
+                            ? ProbeCandidate::Kind::kProbeDeferred
+                            : ProbeCandidate::Kind::kProbe;
             cand.probe_index = static_cast<std::uint32_t>(args.size());
             args.emplace_back(va, vb);
+            scratch->wave_probe_common.push_back(
+                options.phase2_common_neighbor_skip ? 1 : 0);
           }
           wave.push_back(cand);
           ++pj;
@@ -525,7 +592,7 @@ GlobalCutResult GlobalCut(const Graph& g, std::uint32_t k,
           }
         }
         const std::uint32_t launched = static_cast<std::uint32_t>(args.size());
-        run_probes();
+        const std::uint32_t flow_launched = run_probes();
 
         std::uint32_t used = 0;
         for (const ProbeCandidate& cand : wave) {
@@ -536,9 +603,14 @@ GlobalCutResult GlobalCut(const Graph& g, std::uint32_t k,
             case ProbeCandidate::Kind::kPairAdjacent:
               ++stats->phase2_pairs_skipped_adjacent;
               break;
-            case ProbeCandidate::Kind::kPairCommonSkip:
-              ++stats->phase2_pairs_skipped_common;
-              break;
+            case ProbeCandidate::Kind::kProbeDeferred:
+              if (scratch->wave_common_skip[cand.probe_index] != 0) {
+                // The wavefront's Lemma-13 test settled the pair — same
+                // verdict, same counter as the serial loop's inline test.
+                ++stats->phase2_pairs_skipped_common;
+                break;
+              }
+              [[fallthrough]];
             case ProbeCandidate::Kind::kProbe: {
               ++stats->phase2_pairs_tested;
               ++stats->loc_cut_flow_calls;
@@ -546,7 +618,7 @@ GlobalCutResult GlobalCut(const Graph& g, std::uint32_t k,
               std::vector<VertexId>& cut =
                   scratch->wave_cuts[cand.probe_index];
               if (!cut.empty()) {
-                stats->probes_wasted_after_cut += launched - used;
+                stats->probes_wasted_after_cut += flow_launched - used;
                 return finish_with_cut(std::move(cut));
               }
               break;

@@ -8,15 +8,23 @@
 // pairs of u's neighbors (covers cuts containing u, Lemma 4). All flow
 // tests run on a sparse certificate; sweeps (KvccOptions) skip most tests.
 //
+// Probes run on a pluggable CutOracle (KvccOptions::cut_oracle): Dinic
+// baseline, NSY-style local search, or a degree-routed hybrid. Every
+// engine is exact, so the cut (and all replay-identical stats) are
+// byte-identical across engines; see cut_oracle.h.
+//
 // Intra-cut parallelism: when a multi-worker TaskScheduler is passed in,
 // both phases run as *deterministic probe wavefronts* — the next batch of
 // flow probes executes concurrently on the pool (each participant on its
-// own oracle bound to the shared test graph), then the batch is committed
-// serially in the exact order the serial loop would have used. Sweeps, all
-// pre-existing stats, and the returned cut are byte-identical to the
-// serial loop for every thread count and batch size; speculative probes a
-// serial run would have skipped are bounded by an adaptive batch size and
-// surfaced in KvccStats::probes_wasted_*.
+// own oracle, incrementally rebound to the invocation's shared topology
+// owner), then the batch is committed serially in the exact order the
+// serial loop would have used. The phase-2 common-neighbor test (Lemma 13,
+// a pure function) also runs inside the wavefront instead of the serial
+// formation loop, so hub-heavy pair formation no longer serializes on it.
+// Sweeps, all pre-existing stats, and the returned cut are byte-identical
+// to the serial loop for every thread count and batch size; speculative
+// probes a serial run would have skipped are bounded by an adaptive batch
+// size and surfaced in KvccStats::probes_wasted_*.
 #ifndef KVCC_KVCC_GLOBAL_CUT_H_
 #define KVCC_KVCC_GLOBAL_CUT_H_
 
@@ -27,6 +35,7 @@
 
 #include "exec/task_scheduler.h"
 #include "graph/graph.h"
+#include "kvcc/cut_oracle.h"
 #include "kvcc/flow_graph.h"
 #include "kvcc/job_control.h"
 #include "kvcc/options.h"
@@ -37,11 +46,18 @@
 
 namespace kvcc {
 
-/// One wavefront probe oracle: a flow network owned by one executor slot,
-/// lazily rebound ("epoch rebind") to the GLOBAL-CUT invocation's shared
-/// test graph the first time that slot participates in the invocation.
+/// One wavefront probe oracle: a CutOracle owned by one executor slot,
+/// lazily rebound ("epoch rebind") to the GLOBAL-CUT invocation's topology
+/// owner the first time that slot participates in the invocation. The
+/// rebind is incremental (CutOracle::BindShared): the slot adopts the
+/// owner's already-built arc arrays and restamps its private capacity
+/// state by epoch, so steady-state entry into a wavefront costs O(1) and
+/// allocates nothing instead of an O(m) per-slot rebuild.
 struct ProbeOracle {
-  DirectedFlowGraph oracle;
+  /// The slot's probe engine; created on first use, recreated only when
+  /// KvccOptions::cut_oracle changes between jobs sharing the scratch.
+  std::unique_ptr<CutOracle> oracle;
+  /// GlobalCutScratch::probe_epoch value this slot last bound to.
   std::uint64_t bound_epoch = 0;
 };
 
@@ -53,8 +69,10 @@ struct ProbeCandidate {
     kAdjacent,        // phase 1: adjacent to the source (Lemma 5)
     kPairGroupSkip,   // phase 2: same side-group (group sweep rule 3)
     kPairAdjacent,    // phase 2: adjacent pair (Lemma 5)
-    kPairCommonSkip,  // phase 2: >= k common neighbors (Lemma 13)
     kProbe,           // flow probe launched; result in wave_cuts[probe_index]
+    kProbeDeferred,   // phase 2: launched with the common-neighbor test
+                      // (Lemma 13) evaluated inside the wavefront; commit
+                      // consults wave_common_skip[probe_index] first
   };
   VertexId a = 0;  // phase 1: the vertex; phase 2: first endpoint
   VertexId b = 0;  // phase 2: second endpoint
@@ -74,9 +92,12 @@ struct ProbeCandidate {
 /// documented exception: `side.strong` holds the last call's strong
 /// side-vertex verdicts until the next call (see GlobalCutResult).
 struct GlobalCutScratch {
-  /// Vertex-connectivity oracle; rebuilt (buffers recycled) per invocation.
-  /// Serial probes run here; wavefront probes run on the pool below.
-  DirectedFlowGraph oracle;
+  /// Probe engine (KvccOptions::cut_oracle); created lazily, recreated
+  /// only when the option changes, rebound (buffers recycled) per
+  /// invocation. Serial probes run here; in wavefront mode this instance
+  /// is the *topology owner* the pool below incrementally rebinds to, and
+  /// is never probed while a wavefront is in flight.
+  std::unique_ptr<CutOracle> oracle;
 
   /// Sparse-certificate output storage plus build buffers (mate/offset/
   /// used/builder); rebuilt in place per invocation when the certificate
@@ -114,11 +135,15 @@ struct GlobalCutScratch {
   /// Grown once per scratch lifetime; entries are created on first use.
   std::vector<std::unique_ptr<ProbeOracle>> probe_pool;
   /// Current wavefront: candidates in serial order, probe argument list
-  /// (indexed by ProbeCandidate::probe_index), and one result slot per
-  /// launched probe.
+  /// (indexed by ProbeCandidate::probe_index), and per launched probe one
+  /// deferred-common flag (input), one cut slot, one common-skip verdict,
+  /// and one work trace (outputs; disjoint writes across the wavefront).
   std::vector<ProbeCandidate> wave;
   std::vector<std::pair<VertexId, VertexId>> wave_probe_args;
+  std::vector<std::uint8_t> wave_probe_common;
   std::vector<std::vector<VertexId>> wave_cuts;
+  std::vector<std::uint8_t> wave_common_skip;
+  std::vector<ProbeCounters> wave_traces;
 };
 
 struct GlobalCutResult {

@@ -55,6 +55,9 @@ void KvccStats::Add(const KvccStats& other) {
   probes_launched += other.probes_launched;
   probes_wasted_swept += other.probes_wasted_swept;
   probes_wasted_after_cut += other.probes_wasted_after_cut;
+  probes_localvc += other.probes_localvc;
+  probes_localvc_fallback += other.probes_localvc_fallback;
+  probe_edges_touched += other.probe_edges_touched;
   tasks_cancelled += other.tasks_cancelled;
   cuts_cancelled += other.cuts_cancelled;
   stream_backpressure_blocks += other.stream_backpressure_blocks;
@@ -92,6 +95,9 @@ std::string KvccStats::ToJson() const {
       << ", \"probes_launched\": " << probes_launched
       << ", \"probes_wasted_swept\": " << probes_wasted_swept
       << ", \"probes_wasted_after_cut\": " << probes_wasted_after_cut
+      << ", \"probes_localvc\": " << probes_localvc
+      << ", \"probes_localvc_fallback\": " << probes_localvc_fallback
+      << ", \"probe_edges_touched\": " << probe_edges_touched
       << ", \"tasks_cancelled\": " << tasks_cancelled
       << ", \"cuts_cancelled\": " << cuts_cancelled
       << ", \"stream_backpressure_blocks\": " << stream_backpressure_blocks
@@ -122,6 +128,9 @@ std::string KvccStats::ToString() const {
       << " probes_launched=" << probes_launched
       << " wasted_swept=" << probes_wasted_swept
       << " wasted_after_cut=" << probes_wasted_after_cut << "\n"
+      << "cut oracle: localvc=" << probes_localvc
+      << " fallbacks=" << probes_localvc_fallback
+      << " edges_touched=" << probe_edges_touched << "\n"
       << "job control: tasks_cancelled=" << tasks_cancelled
       << " cuts_cancelled=" << cuts_cancelled
       << " backpressure_blocks=" << stream_backpressure_blocks

@@ -46,6 +46,16 @@ TEST_P(KvccPropertyTest, AllInvariantsHold) {
     EXPECT_EQ(EnumerateKVccs(g, c.k, options).components, result.components);
   }
 
+  // --- oracle agreement: every probe engine is exact, so the
+  //     decomposition is byte-identical across CutOracleKind ---
+  for (CutOracleKind kind : {CutOracleKind::kDinic, CutOracleKind::kLocalVC,
+                             CutOracleKind::kHybrid}) {
+    KvccOptions options;
+    options.cut_oracle = kind;
+    EXPECT_EQ(EnumerateKVccs(g, c.k, options).components, result.components)
+        << "oracle=" << CutOracleKindName(kind);
+  }
+
   // --- Theorem 6: at most n/2 k-VCCs ---
   EXPECT_LT(2 * result.components.size(), g.NumVertices() + 1);
 

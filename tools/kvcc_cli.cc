@@ -44,15 +44,19 @@ int Usage() {
       "usage: kvcc <command> [args]\n"
       "  decompose <graph> <k> [--variant=VCCE*|VCCE|VCCE-N|VCCE-G]\n"
       "            [--threads=N] [--probe-batch=B] [--no-intra-cut]\n"
+      "            [--cut-oracle=dinic|localvc|hybrid]\n"
       "            [--deadline-ms=D] [--validate] [--stats] [--quiet]\n"
       "            (--threads: 1 = serial, 0 = all hardware threads;\n"
       "             --probe-batch: probes per intra-cut wavefront, 0 =\n"
       "             adaptive; --no-intra-cut: disable intra-GLOBAL-CUT\n"
-      "             probe parallelism; --deadline-ms: wall-clock budget,\n"
+      "             probe parallelism; --cut-oracle: per-probe flow engine\n"
+      "             (default hybrid), output is identical for all three;\n"
+      "             --deadline-ms: wall-clock budget,\n"
       "             exit 3 with partial stats once it elapses)\n"
       "  stream <graph> <k> [--variant=VCCE*|VCCE|VCCE-N|VCCE-G]\n"
       "         [--threads=N] [--stable-order] [--probe-batch=B]\n"
-      "         [--no-intra-cut] [--deadline-ms=D] [--stream-buffer=L]\n"
+      "         [--no-intra-cut] [--cut-oracle=dinic|localvc|hybrid]\n"
+      "         [--deadline-ms=D] [--stream-buffer=L]\n"
       "         [--priority=interactive|normal|bulk] [--stats]\n"
       "         (NDJSON: one {\"type\": \"component\", ...} line per k-VCC\n"
       "          as soon as it commits, then one \"complete\" line;\n"
@@ -62,7 +66,8 @@ int Usage() {
       "          cancels mid-stream, closing with a \"cancelled\" line;\n"
       "          --threads defaults to 0 = all hardware threads)\n"
       "  batch <jobs-file> [--variant=...] [--threads=N] [--probe-batch=B]\n"
-      "        [--no-intra-cut] [--deadline-ms=D]\n"
+      "        [--no-intra-cut] [--cut-oracle=dinic|localvc|hybrid]\n"
+      "        [--deadline-ms=D]\n"
       "        [--priority=interactive|normal|bulk] [--stats] [--quiet]\n"
       "        (jobs-file lines: \"<graph> <k> [variant]\"; '#' comments.\n"
       "         All jobs run concurrently on one shared engine; output\n"
@@ -164,6 +169,11 @@ struct CommonEnumFlags {
       return ParseProbeBatch(arg.substr(14), probe_batch) ? Parse::kHandled
                                                           : Parse::kError;
     }
+    if (arg.rfind("--cut-oracle=", 0) == 0) {
+      // Throws like FromVariantName; the top-level handler reports it.
+      cut_oracle = CutOracleKindFromName(arg.substr(13));
+      return Parse::kHandled;
+    }
     if (arg.rfind("--deadline-ms=", 0) == 0) {
       return ParseDeadlineMs(arg.substr(14), deadline_ms) ? Parse::kHandled
                                                           : Parse::kError;
@@ -189,6 +199,7 @@ struct CommonEnumFlags {
   void ApplyExecutionKnobs(KvccOptions& options) const {
     options.probe_batch_size = probe_batch;
     options.intra_cut_parallelism = intra_cut;
+    options.cut_oracle = cut_oracle;
     options.deadline_ms = deadline_ms;
     options.priority = priority;
   }
@@ -203,6 +214,7 @@ struct CommonEnumFlags {
   KvccOptions variant = KvccOptions::VcceStar();
   std::uint32_t threads;
   std::uint32_t probe_batch = 0;
+  CutOracleKind cut_oracle = CutOracleKind::kHybrid;
   std::uint32_t deadline_ms = 0;
   JobPriority priority = JobPriority::kNormal;
   bool intra_cut = true;
