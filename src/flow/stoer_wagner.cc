@@ -30,6 +30,9 @@ struct Contraction {
     alive[t] = false;
     weight[s].erase(t);
     weight[t].erase(s);
+    // Pure commutative accumulation: every neighbor's weight is folded into
+    // s exactly once, so any visit order yields the same merged map.
+    // kvcc-lint: ordered-independent
     for (const auto& [w, value] : weight[t]) {
       weight[w].erase(t);
       weight[s][w] += value;
@@ -103,6 +106,12 @@ GlobalMinCut StoerWagnerMinCut(const Graph& g,
       second_last = last;
       last = u;
       last_weight = wu;
+      // Accumulates attachment weights and pushes (weight, node) heap
+      // entries. Order-independent: attachments are commutative sums, and
+      // the lazy-deletion pop above accepts an entry only when its weight
+      // matches the node's final attachment, with ties broken by the node
+      // id in the pair comparison — never by insertion order.
+      // kvcc-lint: ordered-independent
       for (const auto& [w, value] : state.weight[u]) {
         if (!in_order[w]) {
           attachment[w] += value;

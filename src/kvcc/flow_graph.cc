@@ -24,6 +24,8 @@ void DirectedFlowGraph::Rebuild(const Graph& g) {
   }
 }
 
+// Warm-path: O(1) steady-state rebind (see AdoptTopology).
+// kvcc-lint: no-alloc
 void DirectedFlowGraph::RebindShared(const DirectedFlowGraph& owner) {
   assert(owner.graph_ != nullptr && "RebindShared from an unbound owner");
   graph_ = owner.graph_;
@@ -31,6 +33,8 @@ void DirectedFlowGraph::RebindShared(const DirectedFlowGraph& owner) {
   network_.AdoptTopology(owner.network_);
 }
 
+// Warm-path: one exact Dinic probe on the pooled network.
+// kvcc-lint: no-alloc
 std::int32_t DirectedFlowGraph::LocalConnectivity(VertexId u, VertexId v,
                                                   std::int32_t limit) {
   assert(graph_ != nullptr);

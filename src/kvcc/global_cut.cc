@@ -21,11 +21,13 @@ void AccumulateProbe(const ProbeCounters& trace, KvccStats* stats) {
 }
 
 /// Grow-only sizing of the epoch-stamped visit marks. New entries carry
-/// stamp 0, which never equals a live epoch.
+/// stamp 0, which never equals a live epoch. Warm calls (marks already at
+/// high-water) touch no allocator.
+// kvcc-lint: no-alloc
 void EnsureMarks(GlobalCutScratch& scratch, VertexId n) {
   if (scratch.removed_mark.size() < n) {
-    scratch.removed_mark.resize(n, 0);
-    scratch.seen_mark.resize(n, 0);
+    scratch.removed_mark.resize(n, 0);  // kvcc-lint: reserved
+    scratch.seen_mark.resize(n, 0);     // kvcc-lint: reserved
   }
 }
 
@@ -36,17 +38,20 @@ void EnsureMarks(GlobalCutScratch& scratch, VertexId n) {
 /// of Release builds and let kUnreachable either index out of bounds
 /// (distance ordering) or silently misread a 0-flow as local
 /// k-connectivity (phase 1 on a disconnected input).
+// kvcc-lint: no-alloc — warm path; the unreachable-vertex throw below is
+// the (allocating) error exit of a dead input, never the steady state.
 std::uint32_t CheckConnectedFromSource(const Graph& g, VertexId source,
                                        GlobalCutScratch& scratch) {
   const VertexId n = g.NumVertices();
   EnsureMarks(scratch, n);
-  if (scratch.order_dist.size() < n) scratch.order_dist.resize(n);
+  // Grow-only scratch buffers: warm calls stay at high-water capacity.
+  if (scratch.order_dist.size() < n) scratch.order_dist.resize(n);  // kvcc-lint: reserved
   const std::uint64_t epoch = ++scratch.mark_epoch;
   std::vector<std::uint32_t>& dist = scratch.order_dist;
   std::vector<std::uint64_t>& seen = scratch.seen_mark;
   std::vector<VertexId>& queue = scratch.mark_queue;
   queue.clear();
-  queue.push_back(source);
+  queue.push_back(source);  // kvcc-lint: reserved
   seen[source] = epoch;
   dist[source] = 0;
   VertexId reached = 1;
@@ -58,7 +63,7 @@ std::uint32_t CheckConnectedFromSource(const Graph& g, VertexId source,
         seen[w] = epoch;
         dist[w] = next_dist;
         ++reached;
-        queue.push_back(w);
+        queue.push_back(w);  // kvcc-lint: reserved
       }
     }
   }
@@ -142,7 +147,9 @@ constexpr std::uint32_t kBatchMax = 256;
 namespace detail {
 
 // Precondition: `cut` entries are distinct vertices of g (LocCut extracts
-// them from a deduplicated residual scan).
+// them from a deduplicated residual scan). Warm zero-allocation asserted by
+// memory_tracker_test.WarmCutDisconnectsAllocatesNothing.
+// kvcc-lint: no-alloc
 bool CutDisconnects(const Graph& g, const std::vector<VertexId>& cut,
                     GlobalCutScratch& scratch) {
   const VertexId n = g.NumVertices();
@@ -157,7 +164,7 @@ bool CutDisconnects(const Graph& g, const std::vector<VertexId>& cut,
   VertexId start = 0;
   while (removed[start] == epoch) ++start;
   queue.clear();
-  queue.push_back(start);
+  queue.push_back(start);  // kvcc-lint: reserved
   seen[start] = epoch;
   VertexId reached = 1;
   for (std::size_t head = 0; head < queue.size(); ++head) {
@@ -165,7 +172,7 @@ bool CutDisconnects(const Graph& g, const std::vector<VertexId>& cut,
       if (removed[w] != epoch && seen[w] != epoch) {
         seen[w] = epoch;
         ++reached;
-        queue.push_back(w);
+        queue.push_back(w);  // kvcc-lint: reserved
       }
     }
   }

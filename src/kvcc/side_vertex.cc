@@ -111,12 +111,15 @@ bool IsStrongSideVertex(const Graph& g, VertexId u, std::uint32_t k) {
   return true;
 }
 
+// kvcc-lint: no-alloc — warm path under tests/memory_tracker_test.cc's
+// WarmGlobalCutAllocatesNothing: the strong mask and the pair table are
+// grow-only scratch; the memoized pair checks recycle slots by epoch.
 SideVertexCounts ComputeStrongSideVerticesInto(
     const Graph& g, std::uint32_t k, const std::vector<SideVertexHint>& hints,
     std::uint32_t degree_cap, SideVertexScratch& scratch) {
   const VertexId n = g.NumVertices();
   SideVertexCounts out;
-  scratch.strong.assign(n, false);
+  scratch.strong.assign(n, false);  // kvcc-lint: reserved
   PairVerdictCache pairs(g, k, scratch);
   for (VertexId u = 0; u < n; ++u) {
     if (!hints.empty()) {

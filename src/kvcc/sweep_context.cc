@@ -2,6 +2,9 @@
 
 namespace kvcc {
 
+// kvcc-lint: no-alloc — warm rebind; the epoch bump invalidates all
+// per-vertex state in O(1), and the resizes below are grow-only (covered by
+// the warm GLOBAL-CUT assertion in tests/memory_tracker_test.cc).
 void SweepContext::Bind(const Graph& g, std::uint32_t k,
                         const std::vector<bool>& strong,
                         const std::vector<std::vector<VertexId>>& groups,
@@ -20,27 +23,32 @@ void SweepContext::Bind(const Graph& g, std::uint32_t k,
   // Grow-only resizes; new entries carry stamp 0, which never equals a live
   // epoch. Steady state (graph no larger than any predecessor): no work.
   if (vertex_epoch_.size() < g.NumVertices()) {
-    vertex_epoch_.resize(g.NumVertices(), 0);
-    swept_.resize(g.NumVertices());
-    cause_.resize(g.NumVertices());
-    deposit_.resize(g.NumVertices());
+    vertex_epoch_.resize(g.NumVertices(), 0);  // kvcc-lint: reserved
+    swept_.resize(g.NumVertices());            // kvcc-lint: reserved
+    cause_.resize(g.NumVertices());            // kvcc-lint: reserved
+    deposit_.resize(g.NumVertices());          // kvcc-lint: reserved
   }
   if (group_epoch_.size() < groups.size()) {
-    group_epoch_.resize(groups.size(), 0);
-    group_deposit_.resize(groups.size());
-    group_processed_.resize(groups.size());
+    group_epoch_.resize(groups.size(), 0);   // kvcc-lint: reserved
+    group_deposit_.resize(groups.size());    // kvcc-lint: reserved
+    group_processed_.resize(groups.size());  // kvcc-lint: reserved
   }
   worklist_.clear();
 }
 
+// kvcc-lint: no-alloc — the worklist is bounded by NumVertices() (each
+// vertex is enqueued at most once per Bind), so it stays within its
+// high-water capacity in steady state.
 void SweepContext::Enqueue(VertexId v, SweepCause cause) {
   TouchVertex(v);
   if (swept_[v]) return;
   swept_[v] = true;
   cause_[v] = cause;
-  worklist_.push_back(v);
+  worklist_.push_back(v);  // kvcc-lint: reserved
 }
 
+// kvcc-lint: no-alloc — Algorithm 4's sweep loop is pure worklist pops and
+// counter updates; all growth happens through Enqueue's reserved push.
 void SweepContext::Sweep(VertexId v, SweepCause cause) {
   Enqueue(v, cause);
   // Algorithm 4, iteratively: each popped vertex deposits on its neighbors

@@ -1,0 +1,387 @@
+// Tests for the kvcc-lint static checker itself: for every rule family a
+// known-bad snippet must be flagged and the annotated/fixed twin must pass.
+// The linter is part of the CI gate that protects the byte-identity
+// invariant, so its own behavior is pinned here like any other component.
+#include "kvcc_lint.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace kvcc {
+namespace lint {
+namespace {
+
+std::vector<Finding> Lint(const std::string& source,
+                         const std::string& path = "src/kvcc/sample.cc") {
+  return LintSource(path, source);
+}
+
+bool HasRule(const std::vector<Finding>& findings, Rule rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [rule](const Finding& f) { return f.rule == rule; });
+}
+
+// ---------------------------------------------------------------------------
+// R1: unordered iteration.
+// ---------------------------------------------------------------------------
+
+TEST(LintR1Test, FlagsRangeForOverUnorderedMember) {
+  const auto findings = Lint(R"cc(
+    #include <unordered_map>
+    struct S {
+      std::unordered_map<int, int> index;
+    };
+    int Sum(const S& s) {
+      int total = 0;
+      for (const auto& [k, v] : s.index) total += v;
+      return total;
+    }
+  )cc");
+  ASSERT_TRUE(HasRule(findings, Rule::kUnorderedIteration));
+  EXPECT_EQ(findings[0].line, 8);
+  EXPECT_NE(findings[0].message.find("index"), std::string::npos);
+}
+
+TEST(LintR1Test, FlagsNestedUnorderedElementType) {
+  // The outer type is vector, but the elements iterated are unordered maps
+  // (the stoer_wagner shape).
+  const auto findings = Lint(R"cc(
+    #include <unordered_map>
+    #include <vector>
+    std::vector<std::unordered_map<int, long>> weight;
+    long Total(int u) {
+      long t = 0;
+      for (const auto& [w, value] : weight[u]) t += value;
+      return t;
+    }
+  )cc");
+  EXPECT_TRUE(HasRule(findings, Rule::kUnorderedIteration));
+}
+
+TEST(LintR1Test, OrderedIndependentAnnotationSilences) {
+  const auto findings = Lint(R"cc(
+    #include <unordered_set>
+    std::unordered_set<int> seen;
+    int Count() {
+      int n = 0;
+      // Pure accumulation; every visit order yields the same sum.
+      // kvcc-lint: ordered-independent
+      for (int v : seen) n += v;
+      return n;
+    }
+  )cc");
+  EXPECT_FALSE(HasRule(findings, Rule::kUnorderedIteration));
+}
+
+TEST(LintR1Test, SameLineAnnotationSilences) {
+  const auto findings = Lint(R"cc(
+    #include <unordered_set>
+    std::unordered_set<int> seen;
+    int Count() {
+      int n = 0;
+      for (int v : seen) n += v;  // kvcc-lint: ordered-independent
+      return n;
+    }
+  )cc");
+  EXPECT_FALSE(HasRule(findings, Rule::kUnorderedIteration));
+}
+
+TEST(LintR1Test, IgnoresOrderedContainers) {
+  const auto findings = Lint(R"cc(
+    #include <map>
+    #include <vector>
+    std::map<int, int> ordered;
+    std::vector<int> vec;
+    int Walk() {
+      int n = 0;
+      for (const auto& [k, v] : ordered) n += v;
+      for (int v : vec) n += v;
+      return n;
+    }
+  )cc");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintR1Test, ClassicForLoopOverUnorderedSizeIsFine) {
+  // Only range-for iteration is order-sensitive; size()/count() are not.
+  const auto findings = Lint(R"cc(
+    #include <unordered_map>
+    std::unordered_map<int, int> index;
+    bool Empty() { return index.size() == 0; }
+  )cc");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintR1Test, CrossFileHarvestFindsHeaderMembers) {
+  // LintPaths harvests unordered declarations from all inputs before
+  // checking, so a member declared in a header trips in the .cc. Exercised
+  // via extra_unordered_names, the mechanism LintPaths uses.
+  LintConfig config;
+  config.extra_unordered_names = {"jobs_"};
+  const auto findings = LintSource("src/kvcc/sample.cc", R"cc(
+    int Drain(S& s) {
+      int n = 0;
+      for (const auto& [id, job] : s.jobs_) n += id;
+      return n;
+    }
+  )cc",
+                                   config);
+  EXPECT_TRUE(HasRule(findings, Rule::kUnorderedIteration));
+}
+
+// ---------------------------------------------------------------------------
+// R2: nondeterministic inputs in determinism-critical layers.
+// ---------------------------------------------------------------------------
+
+TEST(LintR2Test, FlagsRandAndTime) {
+  const auto findings = Lint(R"cc(
+    #include <cstdlib>
+    #include <ctime>
+    int Jitter() {
+      srand(static_cast<unsigned>(time(nullptr)));
+      return rand();
+    }
+  )cc");
+  ASSERT_TRUE(HasRule(findings, Rule::kNondeterminism));
+  int hits = 0;
+  for (const auto& f : findings) {
+    if (f.rule == Rule::kNondeterminism) ++hits;
+  }
+  EXPECT_EQ(hits, 3);  // srand, time, rand.
+}
+
+TEST(LintR2Test, FlagsRandomDeviceAndMt19937) {
+  const auto findings = Lint(R"cc(
+    #include <random>
+    unsigned Seeded() {
+      std::random_device rd;
+      std::mt19937 gen(rd());
+      return gen();
+    }
+  )cc");
+  EXPECT_TRUE(HasRule(findings, Rule::kNondeterminism));
+}
+
+TEST(LintR2Test, FlagsPointerKeyedContainers) {
+  const auto findings = Lint(R"cc(
+    #include <unordered_map>
+    struct Node;
+    std::unordered_map<Node*, int> rank;
+  )cc");
+  ASSERT_TRUE(HasRule(findings, Rule::kNondeterminism));
+  EXPECT_NE(findings[0].message.find("pointer-valued key"),
+            std::string::npos);
+}
+
+TEST(LintR2Test, OutOfScopePathsAreExempt) {
+  // Generators under src/gen/ legitimately use seeds however they like;
+  // R2 is scoped to src/kvcc, src/flow, src/graph.
+  const auto findings = Lint(R"cc(
+    int Jitter() { return rand(); }
+  )cc",
+                            "src/gen/sample.cc");
+  EXPECT_FALSE(HasRule(findings, Rule::kNondeterminism));
+}
+
+TEST(LintR2Test, ProjectRngAndValueKeysAreFine) {
+  const auto findings = Lint(R"cc(
+    #include "util/random.h"
+    #include <unordered_map>
+    std::unordered_map<int, int> by_id;
+    unsigned Draw(kvcc::Rng& rng) {
+      return static_cast<unsigned>(rng.Next());
+    }
+  )cc");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintR2Test, MemberNamedTimeIsNotFlagged) {
+  const auto findings = Lint(R"cc(
+    struct Stats { double time_total = 0; double time() { return 0; } };
+    double Get(Stats& s) { return s.time(); }
+  )cc");
+  EXPECT_FALSE(HasRule(findings, Rule::kNondeterminism));
+}
+
+// ---------------------------------------------------------------------------
+// R3: no-alloc warm paths.
+// ---------------------------------------------------------------------------
+
+TEST(LintR3Test, FlagsAllocationInsideNoAllocFunction) {
+  const auto findings = Lint(R"cc(
+    #include <vector>
+    // kvcc-lint: no-alloc
+    void Warm(std::vector<int>& scratch) {
+      scratch.resize(100);
+      int* leak = new int[4];
+      (void)leak;
+    }
+  )cc");
+  int hits = 0;
+  for (const auto& f : findings) {
+    if (f.rule == Rule::kNoAlloc) ++hits;
+  }
+  EXPECT_EQ(hits, 2);  // resize + new.
+}
+
+TEST(LintR3Test, GrowthNeedsReservedJustification) {
+  const auto bad = Lint(R"cc(
+    #include <vector>
+    // kvcc-lint: no-alloc
+    void Warm(std::vector<int>& out) {
+      out.push_back(1);
+    }
+  )cc");
+  EXPECT_TRUE(HasRule(bad, Rule::kNoAlloc));
+
+  const auto good = Lint(R"cc(
+    #include <vector>
+    // kvcc-lint: no-alloc
+    void Warm(std::vector<int>& out) {
+      out.push_back(1);  // kvcc-lint: reserved
+    }
+  )cc");
+  EXPECT_FALSE(HasRule(good, Rule::kNoAlloc));
+}
+
+TEST(LintR3Test, UnannotatedFunctionsMayAllocate) {
+  const auto findings = Lint(R"cc(
+    #include <vector>
+    void Setup(std::vector<int>& scratch) {
+      scratch.resize(100);
+      scratch.push_back(1);
+    }
+  )cc");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintR3Test, RegionEndsAtFunctionCloseBrace) {
+  const auto findings = Lint(R"cc(
+    #include <vector>
+    // kvcc-lint: no-alloc
+    void Warm(std::vector<int>& v) { int n = 0; (void)n; (void)v; }
+    void Cold(std::vector<int>& v) { v.push_back(1); }
+  )cc");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintR3Test, DanglingNoAllocAnnotationIsAnError) {
+  const auto findings = Lint(R"cc(
+    int x = 0;
+    // kvcc-lint: no-alloc
+  )cc");
+  EXPECT_TRUE(HasRule(findings, Rule::kBadAnnotation));
+}
+
+// ---------------------------------------------------------------------------
+// R4: cancellation-blind entry points.
+// ---------------------------------------------------------------------------
+
+TEST(LintR4Test, FlagsTokenNeverUsed) {
+  const auto findings = Lint(R"cc(
+    class CancelToken;
+    int Enumerate(int k, const CancelToken* cancel) {
+      return k * 2;
+    }
+  )cc");
+  ASSERT_TRUE(HasRule(findings, Rule::kCancellationBlind));
+  EXPECT_NE(findings[0].message.find("cancel"), std::string::npos);
+}
+
+TEST(LintR4Test, PollingOrForwardingCounts) {
+  const auto findings = Lint(R"cc(
+    class CancelToken;
+    void Inner(const CancelToken* cancel);
+    void Poll(const CancelToken* cancel) {
+      if (cancel && cancel->Cancelled()) return;
+    }
+    void Forward(const CancelToken* cancel) {
+      Inner(cancel);
+    }
+  )cc");
+  EXPECT_FALSE(HasRule(findings, Rule::kCancellationBlind));
+}
+
+TEST(LintR4Test, StoringInCtorInitListCounts) {
+  const auto findings = Lint(R"cc(
+    class CancelToken;
+    struct Job {
+      explicit Job(const CancelToken* cancel) : cancel_(cancel) {}
+      const CancelToken* cancel_;
+    };
+  )cc");
+  EXPECT_FALSE(HasRule(findings, Rule::kCancellationBlind));
+}
+
+TEST(LintR4Test, DeclarationsAreNotChecked) {
+  const auto findings = Lint(R"cc(
+    class CancelToken;
+    int Enumerate(int k, const CancelToken* cancel = nullptr);
+  )cc");
+  EXPECT_FALSE(HasRule(findings, Rule::kCancellationBlind));
+}
+
+TEST(LintR4Test, CancelOkAnnotationSilences) {
+  const auto findings = Lint(R"cc(
+    class CancelToken;
+    // Leaf too short to poll; caller polls at the batch boundary.
+    // kvcc-lint: cancel-ok
+    int Leaf(int k, const CancelToken* cancel) {
+      return k;
+    }
+  )cc");
+  EXPECT_FALSE(HasRule(findings, Rule::kCancellationBlind));
+}
+
+// ---------------------------------------------------------------------------
+// R0: annotation hygiene + infrastructure.
+// ---------------------------------------------------------------------------
+
+TEST(LintR0Test, UnknownDirectiveIsFlagged) {
+  const auto findings = Lint(R"cc(
+    int x = 0;  // kvcc-lint: orderd-independent
+  )cc");
+  ASSERT_TRUE(HasRule(findings, Rule::kBadAnnotation));
+  EXPECT_NE(findings[0].message.find("orderd-independent"),
+            std::string::npos);
+}
+
+TEST(LintR0Test, ProseMentionOfAnnotationSyntaxIsNotAnAnnotation) {
+  // Documentation that quotes the syntax mid-sentence (the linter's own
+  // header does) must not parse as a live annotation.
+  const auto findings = Lint(R"cc(
+    // Silence the rule with `// kvcc-lint: bogus-directive` on the line.
+    int x = 0;
+  )cc");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintInfraTest, CommentsAndStringsAreNotCode) {
+  // rand() in a comment or string literal must not trip R2.
+  const auto findings = Lint(R"cc(
+    // A note that mentions rand() and time() freely.
+    const char* kHelp = "seed with rand() if you like";
+    int f() { return 0; }
+  )cc");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintInfraTest, FindingFormattingIsStable) {
+  Finding f{"src/kvcc/x.cc", 42, Rule::kUnorderedIteration, "msg"};
+  EXPECT_EQ(f.ToString(), "src/kvcc/x.cc:42: [R1-unordered-iteration] msg");
+}
+
+TEST(LintInfraTest, RuleTogglesDisableFamilies) {
+  LintConfig config;
+  config.r2_nondeterminism = false;
+  const auto findings = LintSource("src/kvcc/sample.cc",
+                                   "int f() { return rand(); }", config);
+  EXPECT_FALSE(HasRule(findings, Rule::kNondeterminism));
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace kvcc

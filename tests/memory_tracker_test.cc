@@ -61,6 +61,11 @@ TEST(MemoryTrackerTest, ArrayAndScalarFormsBalance) {
   EXPECT_LE(MemoryTracker::CurrentBytes(), before + 4096);
 }
 
+// The warm-path functions these tests exercise are also annotated
+// `no-alloc` for kvcc-lint (tools/kvcc_lint.h, rule R3), which rejects the
+// allocating code *shapes* statically; the tests below reject the runtime
+// *behavior*. Keep both in sync when the warm surface grows.
+//
 // The scratch-reuse pattern, sharpened into an allocation regression test:
 // with a warm GlobalCutScratch, a full serial GLOBAL-CUT on a k-connected
 // graph — sparse certificate, strong side-vertex detection (including its

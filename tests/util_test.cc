@@ -80,9 +80,12 @@ TEST(TimerTest, MeasuresElapsedTime) {
   Timer timer;
   const double t0 = timer.ElapsedSeconds();
   EXPECT_GE(t0, 0.0);
-  // Busy-wait a tiny amount.
-  volatile std::uint64_t sink = 0;
-  for (int i = 0; i < 2000000; ++i) sink += i;
+  // Busy-wait a tiny amount. (Plain read-modify-write on a volatile is
+  // deprecated in C++20, so keep the accumulator local and publish once.)
+  std::uint64_t acc = 0;
+  for (int i = 0; i < 2000000; ++i) acc += i;
+  volatile std::uint64_t sink = acc;
+  (void)sink;
   const double t1 = timer.ElapsedSeconds();
   EXPECT_GE(t1, t0);
   timer.Restart();

@@ -1,0 +1,100 @@
+// Command-line driver for kvcc-lint (see kvcc_lint.h for the rules).
+//
+// Usage:
+//   kvcc_lint [--rules=R1,R2,R3,R4] [--list-rules] <file-or-dir>...
+//
+// Exit status: 0 clean, 1 findings, 2 usage/IO error. Output is one
+// `path:line: [rule-id] message` line per finding, in (path, line) order,
+// so CI logs are stable and diffable.
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "kvcc_lint.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: kvcc_lint [--rules=R1,R2,R3,R4] [--list-rules] <path>...\n"
+      "  Lints .cc/.h files (directories recurse) against the project's\n"
+      "  determinism and scratch-discipline rules. --rules restricts which\n"
+      "  families run (annotation hygiene R0 always runs).\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  kvcc::lint::LintConfig config;
+  std::vector<std::string> paths;
+  bool rules_restricted = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      using kvcc::lint::Rule;
+      for (Rule rule :
+           {Rule::kBadAnnotation, Rule::kUnorderedIteration,
+            Rule::kNondeterminism, Rule::kNoAlloc, Rule::kCancellationBlind}) {
+        std::printf("%-24s %s\n", kvcc::lint::RuleId(rule),
+                    kvcc::lint::RuleDescription(rule));
+      }
+      return 0;
+    }
+    if (arg.rfind("--rules=", 0) == 0) {
+      if (!rules_restricted) {
+        config.r1_unordered_iteration = false;
+        config.r2_nondeterminism = false;
+        config.r3_no_alloc = false;
+        config.r4_cancellation_blind = false;
+        rules_restricted = true;
+      }
+      const std::string list = arg.substr(8);
+      for (std::size_t pos = 0; pos < list.size();) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        const std::string rule = list.substr(pos, comma - pos);
+        if (rule == "R1") {
+          config.r1_unordered_iteration = true;
+        } else if (rule == "R2") {
+          config.r2_nondeterminism = true;
+        } else if (rule == "R3") {
+          config.r3_no_alloc = true;
+        } else if (rule == "R4") {
+          config.r4_cancellation_blind = true;
+        } else {
+          std::fprintf(stderr, "kvcc_lint: unknown rule '%s'\n",
+                       rule.c_str());
+          return Usage();
+        }
+        pos = comma + 1;
+      }
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "kvcc_lint: unknown flag '%s'\n", arg.c_str());
+      return Usage();
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) return Usage();
+
+  std::vector<kvcc::lint::Finding> findings;
+  try {
+    findings = kvcc::lint::LintPaths(paths, config);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  for (const auto& finding : findings) {
+    std::printf("%s\n", finding.ToString().c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "kvcc_lint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}

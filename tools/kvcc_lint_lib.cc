@@ -1,0 +1,835 @@
+#include "kvcc_lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace kvcc {
+namespace lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Source preprocessing: strip comments and literals, harvest annotations.
+// ---------------------------------------------------------------------------
+
+// The linter's view of one file: `code` is the original text with comment
+// bodies and string/char-literal contents replaced by spaces (newlines kept,
+// so offsets map 1:1 to lines), and `directives` maps each line to the
+// `kvcc-lint:` directives attached to it. A directive written on a line with
+// code applies to that line; a directive on a comment-only line applies to
+// the next line that has code (so a justification can sit above the site).
+struct Preprocessed {
+  std::string code;
+  std::map<int, std::vector<std::string>> directives;
+};
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Extracts every directive list of the form `kvcc-lint: a, b` from one
+// comment body. Only a tag at the start of its comment line counts (modulo
+// leading whitespace and `*`/`/` continuation marks), so documentation that
+// merely *mentions* the annotation syntax mid-sentence does not parse as an
+// annotation.
+void ParseDirectives(const std::string& comment, std::vector<std::string>* out) {
+  const std::string kTag = "kvcc-lint:";
+  std::size_t pos = 0;
+  while ((pos = comment.find(kTag, pos)) != std::string::npos) {
+    bool at_line_start = true;
+    for (std::size_t back = pos; back-- > 0;) {
+      const char c = comment[back];
+      if (c == '\n') break;
+      if (c != ' ' && c != '\t' && c != '*' && c != '/') {
+        at_line_start = false;
+        break;
+      }
+    }
+    if (!at_line_start) {
+      pos += kTag.size();
+      continue;
+    }
+    pos += kTag.size();
+    // Directives are lower-case words/dashes, comma-separated.
+    while (pos < comment.size()) {
+      while (pos < comment.size() &&
+             (comment[pos] == ' ' || comment[pos] == ',')) {
+        ++pos;
+      }
+      std::string word;
+      while (pos < comment.size() &&
+             (IsIdentChar(comment[pos]) || comment[pos] == '-')) {
+        word.push_back(comment[pos]);
+        ++pos;
+      }
+      if (word.empty()) break;
+      out->push_back(word);
+      // Only a comma continues the directive list.
+      std::size_t peek = pos;
+      while (peek < comment.size() && comment[peek] == ' ') ++peek;
+      if (peek >= comment.size() || comment[peek] != ',') break;
+      pos = peek;
+    }
+  }
+}
+
+Preprocessed Preprocess(const std::string& source) {
+  Preprocessed result;
+  result.code.reserve(source.size());
+
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_delim;          // Delimiter of the active raw string.
+  std::string comment;            // Body of the comment being scanned.
+  int line = 1;
+  bool line_has_code = false;     // Did the current line emit non-space code?
+  // Directives seen on comment-only lines, pending attachment to the next
+  // line that has code.
+  std::vector<std::string> pending;
+
+  auto end_comment = [&](int at_line) {
+    std::vector<std::string> parsed;
+    ParseDirectives(comment, &parsed);
+    comment.clear();
+    if (parsed.empty()) return;
+    if (line_has_code) {
+      auto& dst = result.directives[at_line];
+      dst.insert(dst.end(), parsed.begin(), parsed.end());
+    } else {
+      pending.insert(pending.end(), parsed.begin(), parsed.end());
+    }
+  };
+
+  auto newline = [&] {
+    result.code.push_back('\n');
+    ++line;
+    line_has_code = false;
+  };
+
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const char c = source[i];
+    const char next = i + 1 < source.size() ? source[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          result.code.append("  ");
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          result.code.append("  ");
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !IsIdentChar(source[i - 1]))) {
+          // Raw string literal: R"delim( ... )delim".
+          std::size_t open = source.find('(', i + 2);
+          if (open == std::string::npos) {
+            result.code.push_back(c);
+            break;
+          }
+          raw_delim = ")" + source.substr(i + 2, open - (i + 2)) + "\"";
+          state = State::kRawString;
+          result.code.append("R\"");
+          line_has_code = true;
+          i = open;  // Loop increment lands on the char after '('.
+        } else if (c == '"') {
+          state = State::kString;
+          result.code.push_back('"');
+          line_has_code = true;
+        } else if (c == '\'') {
+          state = State::kChar;
+          result.code.push_back('\'');
+          line_has_code = true;
+        } else if (c == '\n') {
+          if (line_has_code && !pending.empty()) {
+            auto& dst = result.directives[line];
+            dst.insert(dst.end(), pending.begin(), pending.end());
+            pending.clear();
+          }
+          newline();
+        } else {
+          if (!std::isspace(static_cast<unsigned char>(c))) {
+            line_has_code = true;
+          }
+          result.code.push_back(c);
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          end_comment(line);
+          state = State::kCode;
+          if (line_has_code && !pending.empty()) {
+            auto& dst = result.directives[line];
+            dst.insert(dst.end(), pending.begin(), pending.end());
+            pending.clear();
+          }
+          newline();
+        } else {
+          comment.push_back(c);
+          result.code.push_back(' ');
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          end_comment(line);
+          state = State::kCode;
+          result.code.append("  ");
+          ++i;
+        } else if (c == '\n') {
+          // A block comment ending on a later line attaches its directives
+          // where it ends; parse incrementally per line so a directive on
+          // the comment's first line still lands near its site.
+          newline();
+          comment.push_back('\n');
+        } else {
+          comment.push_back(c);
+          result.code.push_back(' ');
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0' && next != '\n') {
+          result.code.append("  ");
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          result.code.push_back('"');
+        } else if (c == '\n') {
+          newline();  // Unterminated; recover.
+          state = State::kCode;
+        } else {
+          result.code.push_back(' ');
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0' && next != '\n') {
+          result.code.append("  ");
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          result.code.push_back('\'');
+        } else if (c == '\n') {
+          newline();
+          state = State::kCode;
+        } else {
+          result.code.push_back(' ');
+        }
+        break;
+      case State::kRawString:
+        if (c == '\n') {
+          newline();
+        } else if (c == ')' &&
+                   source.compare(i, raw_delim.size(), raw_delim) == 0) {
+          state = State::kCode;
+          result.code.push_back('"');
+          result.code.append(raw_delim.size() - 1, ' ');
+          i += raw_delim.size() - 1;
+        } else {
+          result.code.push_back(' ');
+        }
+        break;
+    }
+  }
+  if (state == State::kLineComment || state == State::kBlockComment) {
+    end_comment(line);
+  }
+  // Directives still pending at EOF attach to the last line so a dangling
+  // annotation is reported rather than silently dropped.
+  if (!pending.empty()) {
+    auto& dst = result.directives[line];
+    dst.insert(dst.end(), pending.begin(), pending.end());
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer over the stripped code.
+// ---------------------------------------------------------------------------
+
+struct Token {
+  std::string text;
+  int line = 0;
+  bool is_ident = false;
+};
+
+std::vector<Token> Tokenize(const std::string& code) {
+  std::vector<Token> tokens;
+  int line = 1;
+  for (std::size_t i = 0; i < code.size();) {
+    const char c = code[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (IsIdentChar(c)) {
+      std::size_t j = i;
+      while (j < code.size() && IsIdentChar(code[j])) ++j;
+      bool ident = std::isdigit(static_cast<unsigned char>(c)) == 0;
+      tokens.push_back({code.substr(i, j - i), line, ident});
+      i = j;
+      continue;
+    }
+    // Multi-char punctuation the rules care about.
+    if (c == ':' && i + 1 < code.size() && code[i + 1] == ':') {
+      tokens.push_back({"::", line, false});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < code.size() && code[i + 1] == '>') {
+      tokens.push_back({"->", line, false});
+      i += 2;
+      continue;
+    }
+    tokens.push_back({std::string(1, c), line, false});
+    ++i;
+  }
+  return tokens;
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers over the token stream.
+// ---------------------------------------------------------------------------
+
+class FileCheck {
+ public:
+  FileCheck(const std::string& path, const Preprocessed& pre,
+            std::vector<Token> tokens, const LintConfig& config,
+            const std::set<std::string>& unordered_names,
+            std::vector<Finding>* findings)
+      : path_(path),
+        pre_(pre),
+        tokens_(std::move(tokens)),
+        config_(config),
+        unordered_names_(unordered_names),
+        findings_(findings) {}
+
+  void Run();
+
+ private:
+  bool HasDirective(int line, const std::string& directive) const {
+    auto it = pre_.directives.find(line);
+    if (it == pre_.directives.end()) return false;
+    return std::find(it->second.begin(), it->second.end(), directive) !=
+           it->second.end();
+  }
+
+  void Report(Rule rule, int line, std::string message) {
+    findings_->push_back({path_, line, rule, std::move(message)});
+  }
+
+  // Index of the token matching the closer for the opener at `open_index`
+  // (whose text must be an opener like "(" / "{" / "<"). Returns
+  // tokens_.size() if unmatched.
+  std::size_t MatchForward(std::size_t open_index, const std::string& open,
+                           const std::string& close) const {
+    int depth = 0;
+    for (std::size_t i = open_index; i < tokens_.size(); ++i) {
+      if (tokens_[i].text == open) {
+        ++depth;
+      } else if (tokens_[i].text == close) {
+        if (--depth == 0) return i;
+      }
+    }
+    return tokens_.size();
+  }
+
+  // Matches a template argument list starting at the "<" at `open_index`,
+  // tolerating ">>" being split into two ">" tokens already (we tokenize
+  // single chars, so nesting works out naturally).
+  std::size_t MatchAngles(std::size_t open_index) const {
+    int depth = 0;
+    for (std::size_t i = open_index; i < tokens_.size(); ++i) {
+      const std::string& t = tokens_[i].text;
+      if (t == "<") {
+        ++depth;
+      } else if (t == ">") {
+        if (--depth == 0) return i;
+      } else if (t == ";" || t == "{") {
+        break;  // Not a template argument list after all (a < comparison).
+      }
+    }
+    return tokens_.size();
+  }
+
+  bool InR2Scope() const {
+    if (config_.r2_paths.empty()) return true;
+    for (const auto& fragment : config_.r2_paths) {
+      if (path_.find(fragment) != std::string::npos) return true;
+    }
+    return false;
+  }
+
+  void CheckAnnotations();
+  void CheckUnorderedIteration();
+  void CheckNondeterminism();
+  void CheckNoAlloc();
+  void CheckCancellationBlind();
+
+  const std::string& path_;
+  const Preprocessed& pre_;
+  std::vector<Token> tokens_;
+  const LintConfig& config_;
+  const std::set<std::string>& unordered_names_;
+  std::vector<Finding>* findings_;
+};
+
+// R0: every directive must be one the linter knows, so a typo cannot
+// silently waive a rule.
+void FileCheck::CheckAnnotations() {
+  static const std::set<std::string> kKnown = {
+      "ordered-independent", "no-alloc", "reserved", "cancel-ok"};
+  for (const auto& [line, directives] : pre_.directives) {
+    for (const auto& directive : directives) {
+      if (kKnown.count(directive) == 0) {
+        Report(Rule::kBadAnnotation, line,
+               "unknown kvcc-lint directive '" + directive +
+                   "' (known: ordered-independent, no-alloc, reserved, "
+                   "cancel-ok)");
+      }
+    }
+  }
+}
+
+// R1: range-for over an expression that names an unordered container.
+void FileCheck::CheckUnorderedIteration() {
+  for (std::size_t i = 0; i + 1 < tokens_.size(); ++i) {
+    if (!(tokens_[i].is_ident && tokens_[i].text == "for")) continue;
+    if (tokens_[i + 1].text != "(") continue;
+    const std::size_t close = MatchForward(i + 1, "(", ")");
+    if (close >= tokens_.size()) continue;
+    // Find the range-for ':' at paren depth 1 (skip '::' which tokenized
+    // separately, and ternaries are vanishingly rare in a for-header).
+    std::size_t colon = tokens_.size();
+    int depth = 0;
+    for (std::size_t j = i + 1; j < close; ++j) {
+      const std::string& t = tokens_[j].text;
+      if (t == "(" || t == "[" || t == "{") ++depth;
+      if (t == ")" || t == "]" || t == "}") --depth;
+      if (t == ":" && depth == 1) {
+        colon = j;
+        break;
+      }
+      if (t == ";") break;  // Classic three-clause for loop.
+    }
+    if (colon >= tokens_.size()) continue;
+    // The range expression: flag if it mentions a known unordered name or
+    // spells out the container type inline.
+    for (std::size_t j = colon + 1; j < close; ++j) {
+      const Token& tok = tokens_[j];
+      if (!tok.is_ident) continue;
+      const bool inline_type =
+          tok.text == "unordered_map" || tok.text == "unordered_set" ||
+          tok.text == "unordered_multimap" || tok.text == "unordered_multiset";
+      if (!inline_type && unordered_names_.count(tok.text) == 0) continue;
+      const int line = tokens_[i].line;
+      if (HasDirective(line, "ordered-independent") ||
+          HasDirective(tok.line, "ordered-independent")) {
+        break;
+      }
+      Report(Rule::kUnorderedIteration, line,
+             "range-for over unordered container '" + tok.text +
+                 "': iteration order is unspecified and can leak into "
+                 "results or stats; sort first, or justify with "
+                 "`// kvcc-lint: ordered-independent`");
+      break;
+    }
+  }
+}
+
+// R2: wall-clock / libc randomness and pointer-valued keys in the
+// determinism-critical layers.
+void FileCheck::CheckNondeterminism() {
+  if (!InR2Scope()) return;
+  static const std::set<std::string> kBannedCalls = {
+      "rand",   "srand",        "rand_r", "random",
+      "time",   "clock",        "drand48"};
+  static const std::set<std::string> kBannedTypes = {
+      "random_device", "mt19937", "mt19937_64", "minstd_rand",
+      "minstd_rand0",  "default_random_engine"};
+  static const std::set<std::string> kKeyedContainers = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset", "map", "set", "multimap", "multiset", "hash"};
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    const Token& tok = tokens_[i];
+    if (!tok.is_ident) continue;
+    const std::string& prev = i > 0 ? tokens_[i - 1].text : std::string();
+    const bool member = prev == "." || prev == "->";
+    // `std::` qualification is fine to flag; `foo::time` (another namespace)
+    // is not ours to judge — still flag, the annotation escape exists and
+    // no such name occurs in this codebase.
+    // A declaration (`double time()`) has a type identifier directly before
+    // the name; a call site is preceded by an operator, punctuation, or
+    // `return`. Only the call form is nondeterministic input.
+    const bool declaration =
+        i > 0 && tokens_[i - 1].is_ident && prev != "return";
+    if (!member && !declaration && kBannedCalls.count(tok.text) != 0 &&
+        i + 1 < tokens_.size() && tokens_[i + 1].text == "(") {
+      Report(Rule::kNondeterminism, tok.line,
+             "call to '" + tok.text +
+                 "()': nondeterministic input; randomness must come from "
+                 "util/random.h with a seed threaded from options");
+      continue;
+    }
+    if (!member && kBannedTypes.count(tok.text) != 0) {
+      Report(Rule::kNondeterminism, tok.line,
+             "use of 'std::" + tok.text +
+                 "': nondeterministic or stdlib-version-dependent generator; "
+                 "use kvcc::Rng from util/random.h instead");
+      continue;
+    }
+    // Pointer-valued key: container< T* , ...> or std::hash<T*>.
+    if (kKeyedContainers.count(tok.text) != 0 && i + 1 < tokens_.size() &&
+        tokens_[i + 1].text == "<") {
+      const std::size_t close = MatchAngles(i + 1);
+      if (close >= tokens_.size()) continue;
+      // First template argument: up to the ',' at angle depth 1 (or the
+      // closing '>').
+      std::size_t arg_end = close;
+      int depth = 0;
+      for (std::size_t j = i + 1; j < close; ++j) {
+        const std::string& t = tokens_[j].text;
+        if (t == "<" || t == "(" || t == "[") ++depth;
+        if (t == ">" || t == ")" || t == "]") --depth;
+        if (t == "," && depth == 1) {
+          arg_end = j;
+          break;
+        }
+      }
+      if (arg_end > i + 2 && tokens_[arg_end - 1].text == "*") {
+        Report(Rule::kNondeterminism, tok.line,
+               "pointer-valued key in '" + tok.text +
+                   "<...>': pointer order/hash varies per run and breaks "
+                   "byte-identical output; key by index or id instead");
+      }
+    }
+  }
+}
+
+// R3: `// kvcc-lint: no-alloc` attaches to the next function definition;
+// its body must stay off the allocator.
+void FileCheck::CheckNoAlloc() {
+  static const std::set<std::string> kAlwaysBad = {
+      "new",    "make_unique", "make_shared", "malloc",       "calloc",
+      "realloc", "strdup",     "resize",      "shrink_to_fit"};
+  // Growth calls that are allocation-free only when capacity was reserved
+  // ahead of the warm path; each site must say so.
+  static const std::set<std::string> kNeedsReserved = {
+      "push_back", "emplace_back", "insert", "emplace", "append", "assign",
+      "reserve"};
+  std::set<int> no_alloc_lines;
+  for (const auto& [line, directives] : pre_.directives) {
+    if (std::find(directives.begin(), directives.end(), "no-alloc") !=
+        directives.end()) {
+      no_alloc_lines.insert(line);
+    }
+  }
+  if (no_alloc_lines.empty()) return;
+
+  for (const int anchor : no_alloc_lines) {
+    // The annotated function's body: first '{' at or after the anchor line.
+    std::size_t open = tokens_.size();
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (tokens_[i].line >= anchor && tokens_[i].text == "{") {
+        open = i;
+        break;
+      }
+    }
+    if (open >= tokens_.size()) {
+      Report(Rule::kBadAnnotation, anchor,
+             "`no-alloc` annotation is not followed by a function body");
+      continue;
+    }
+    const std::size_t close = MatchForward(open, "{", "}");
+    for (std::size_t i = open; i < close && i < tokens_.size(); ++i) {
+      const Token& tok = tokens_[i];
+      if (!tok.is_ident) continue;
+      if (kAlwaysBad.count(tok.text) != 0) {
+        // `new` only as the operator, not e.g. an identifier fragment (the
+        // tokenizer already guarantees whole identifiers).
+        if (HasDirective(tok.line, "reserved")) continue;
+        Report(Rule::kNoAlloc, tok.line,
+               "'" + tok.text +
+                   "' inside a `no-alloc` function: this path is asserted "
+                   "allocation-free (see memory_tracker_test); hoist the "
+                   "allocation into scratch setup");
+      } else if (kNeedsReserved.count(tok.text) != 0) {
+        if (HasDirective(tok.line, "reserved")) continue;
+        Report(Rule::kNoAlloc, tok.line,
+               "'" + tok.text +
+                   "' inside a `no-alloc` function without a "
+                   "`// kvcc-lint: reserved` justification that capacity "
+                   "was pre-reserved");
+      }
+    }
+  }
+}
+
+// R4: a function definition accepting a CancelToken must mention the token
+// parameter somewhere in its initializer list or body.
+void FileCheck::CheckCancellationBlind() {
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    if (!(tokens_[i].is_ident && tokens_[i].text == "CancelToken")) continue;
+    // Parameter position: inside a '(' ... ')' group. Find the nearest
+    // unmatched '(' to the left.
+    int depth = 0;
+    std::size_t open = tokens_.size();
+    for (std::size_t j = i; j-- > 0;) {
+      const std::string& t = tokens_[j].text;
+      if (t == ")") ++depth;
+      if (t == "(") {
+        if (depth == 0) {
+          open = j;
+          break;
+        }
+        --depth;
+      }
+      if (t == ";" || t == "{" || t == "}") break;
+    }
+    if (open >= tokens_.size()) continue;
+    const std::size_t close = MatchForward(open, "(", ")");
+    if (close >= tokens_.size()) continue;
+    // Parameter name: next identifier after CancelToken (skipping *,&,const)
+    // before ',' or ')'.
+    std::string param;
+    int param_line = tokens_[i].line;
+    for (std::size_t j = i + 1; j < close; ++j) {
+      const Token& t = tokens_[j];
+      if (t.text == "," ) break;
+      if (t.is_ident && t.text != "const") {
+        param = t.text;
+        param_line = t.line;
+        break;
+      }
+      // `>` closes a smart-pointer wrapper (shared_ptr<CancelToken> tok).
+      if (!t.is_ident && t.text != "*" && t.text != "&" && t.text != ">") {
+        break;
+      }
+    }
+    // Definition or declaration? Scan past ')' through specifiers; a
+    // definition reaches '{' (possibly via a ctor-initializer ':').
+    std::size_t body_open = tokens_.size();
+    for (std::size_t j = close + 1; j < tokens_.size(); ++j) {
+      const std::string& t = tokens_[j].text;
+      if (t == "{") {
+        body_open = j;
+        break;
+      }
+      if (t == ";") break;  // Declaration only.
+      // const/noexcept/override/final/-> trailing return/ctor-init exprs
+      // all fine to skip; a '=' means `= 0`/`= default`/`= delete`.
+      if (t == "=") break;
+    }
+    if (body_open >= tokens_.size()) continue;
+    if (param.empty()) {
+      if (HasDirective(tokens_[i].line, "cancel-ok")) continue;
+      Report(Rule::kCancellationBlind, tokens_[i].line,
+             "function takes an unnamed CancelToken it can never poll; name "
+             "and use it, or justify with `// kvcc-lint: cancel-ok`");
+      continue;
+    }
+    const std::size_t body_close = MatchForward(body_open, "{", "}");
+    bool used = false;
+    // The ctor-initializer list between ')' and '{' counts as use (storing
+    // the token), as does any mention in the body.
+    for (std::size_t j = close + 1;
+         j < body_close && j < tokens_.size() && !used; ++j) {
+      used = tokens_[j].is_ident && tokens_[j].text == param;
+    }
+    if (!used) {
+      if (HasDirective(tokens_[i].line, "cancel-ok") ||
+          HasDirective(param_line, "cancel-ok")) {
+        continue;
+      }
+      Report(Rule::kCancellationBlind, tokens_[i].line,
+             "CancelToken parameter '" + param +
+                 "' is accepted but never polled or forwarded — this entry "
+                 "point is silently uncancellable; poll it at a loop/probe "
+                 "boundary, pass it down, or justify with "
+                 "`// kvcc-lint: cancel-ok`");
+    }
+    // Continue scanning after this parameter list (there may be more
+    // functions); the outer loop's ++i suffices.
+  }
+}
+
+void FileCheck::Run() {
+  CheckAnnotations();
+  if (config_.r1_unordered_iteration) CheckUnorderedIteration();
+  if (config_.r2_nondeterminism) CheckNondeterminism();
+  if (config_.r3_no_alloc) CheckNoAlloc();
+  if (config_.r4_cancellation_blind) CheckCancellationBlind();
+}
+
+// Harvests identifiers declared with an unordered container in their type
+// (variables, members, aliases — and functions returning one, whose call
+// results are equally unordered to iterate).
+void HarvestUnorderedNames(const std::vector<Token>& tokens,
+                           std::set<std::string>* names) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& tok = tokens[i];
+    if (!tok.is_ident) continue;
+    if (tok.text != "unordered_map" && tok.text != "unordered_set" &&
+        tok.text != "unordered_multimap" && tok.text != "unordered_multiset") {
+      continue;
+    }
+    // `using Alias = std::unordered_map<...>` — record the alias.
+    if (i >= 3 && tokens[i - 1].text == "::" &&
+        tokens[i - 2].text == "std") {
+      if (i >= 5 && tokens[i - 3].text == "=" && tokens[i - 4].is_ident &&
+          tokens[i - 5].text == "using") {
+        names->insert(tokens[i - 4].text);
+      }
+    }
+    // Skip to the end of the declaration statement and record the last
+    // identifier before a declarator terminator. Outer wrappers
+    // (std::vector<std::unordered_map<...>> weight) are handled naturally:
+    // the scan starts at the unordered token and still ends at `weight`.
+    std::string last_ident;
+    int angle = 0;
+    for (std::size_t j = i + 1; j < tokens.size(); ++j) {
+      const std::string& t = tokens[j].text;
+      if (t == "<") ++angle;
+      if (t == ">") --angle;
+      if (angle > 0) continue;
+      if (t == ";" || t == "=" || t == "{" || t == "(" || t == ")" ||
+          t == ",") {
+        if (!last_ident.empty()) names->insert(last_ident);
+        break;
+      }
+      if (tokens[j].is_ident && t != "const" && t != "std") {
+        last_ident = t;
+      }
+      if (t == "::") last_ident.clear();  // Qualifier, not the declarator.
+    }
+  }
+}
+
+}  // namespace
+
+const char* RuleId(Rule rule) {
+  switch (rule) {
+    case Rule::kBadAnnotation:
+      return "R0-bad-annotation";
+    case Rule::kUnorderedIteration:
+      return "R1-unordered-iteration";
+    case Rule::kNondeterminism:
+      return "R2-nondeterminism";
+    case Rule::kNoAlloc:
+      return "R3-no-alloc";
+    case Rule::kCancellationBlind:
+      return "R4-cancellation-blind";
+  }
+  return "unknown";
+}
+
+const char* RuleDescription(Rule rule) {
+  switch (rule) {
+    case Rule::kBadAnnotation:
+      return "unknown `kvcc-lint:` directive (typos cannot waive rules)";
+    case Rule::kUnorderedIteration:
+      return "range-for over unordered_map/unordered_set without an "
+             "`ordered-independent` justification";
+    case Rule::kNondeterminism:
+      return "rand()/time()/std::random_device/pointer-keys in "
+             "determinism-critical layers (src/kvcc, src/flow, src/graph)";
+    case Rule::kNoAlloc:
+      return "allocation or unjustified growth call inside a "
+             "`no-alloc`-annotated warm-path function";
+    case Rule::kCancellationBlind:
+      return "CancelToken accepted but never polled, forwarded, or stored";
+  }
+  return "unknown";
+}
+
+std::string Finding::ToString() const {
+  std::ostringstream os;
+  os << path << ":" << line << ": [" << RuleId(rule) << "] " << message;
+  return os.str();
+}
+
+std::vector<Finding> LintSource(const std::string& path,
+                                const std::string& source,
+                                const LintConfig& config) {
+  const Preprocessed pre = Preprocess(source);
+  std::vector<Token> tokens = Tokenize(pre.code);
+  std::set<std::string> unordered_names(config.extra_unordered_names.begin(),
+                                        config.extra_unordered_names.end());
+  HarvestUnorderedNames(tokens, &unordered_names);
+  std::vector<Finding> findings;
+  FileCheck(path, pre, std::move(tokens), config, unordered_names, &findings)
+      .Run();
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  return findings;
+}
+
+std::vector<Finding> LintPaths(const std::vector<std::string>& paths,
+                               const LintConfig& config) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const auto& path : paths) {
+    if (fs::is_directory(path)) {
+      for (const auto& entry : fs::recursive_directory_iterator(path)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext == ".cc" || ext == ".h" || ext == ".cpp" || ext == ".hpp") {
+          files.push_back(entry.path().generic_string());
+        }
+      }
+    } else if (fs::is_regular_file(path)) {
+      files.push_back(path);
+    } else {
+      throw std::runtime_error("kvcc_lint: no such file or directory: " +
+                               path);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  // First pass: harvest unordered declarations from every input, so a member
+  // declared in a header is recognized when iterated in a .cc file.
+  LintConfig effective = config;
+  std::map<std::string, std::string> contents;
+  std::set<std::string> global_names(config.extra_unordered_names.begin(),
+                                     config.extra_unordered_names.end());
+  for (const auto& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) throw std::runtime_error("kvcc_lint: cannot read: " + file);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    contents[file] = buffer.str();
+    const Preprocessed pre = Preprocess(contents[file]);
+    HarvestUnorderedNames(Tokenize(pre.code), &global_names);
+  }
+  effective.extra_unordered_names.assign(global_names.begin(),
+                                         global_names.end());
+
+  std::vector<Finding> findings;
+  for (const auto& file : files) {
+    auto file_findings = LintSource(file, contents[file], effective);
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+  return findings;
+}
+
+}  // namespace lint
+}  // namespace kvcc
