@@ -2,27 +2,50 @@
 
 namespace kvcc {
 
-ComponentLabeling LabelComponents(const Graph& g) {
+// Steady-state zero-allocation is asserted dynamically by
+// memory_tracker_test.WarmLabelComponentsIntoAllocatesNothing; the grow-only
+// resizes below run only when the graph outgrows the scratch watermark (a
+// cold-path event).
+// kvcc-lint: no-alloc
+void LabelComponentsInto(const Graph& g, CcScratch& scratch,
+                         ComponentLabeling& out) {
   const VertexId n = g.NumVertices();
-  ComponentLabeling out;
-  out.component_of.assign(n, static_cast<std::uint32_t>(-1));
-  std::vector<VertexId> queue;
+  if (scratch.visited_stamp.size() < n) {
+    scratch.visited_stamp.resize(n, 0);  // kvcc-lint: reserved
+  }
+  if (scratch.queue.capacity() < n) {
+    scratch.queue.reserve(n);  // kvcc-lint: reserved
+  }
+  // Allocation-free once capacity has grown to the watermark (shrinks never
+  // reallocate, and every element is overwritten below).
+  out.component_of.resize(n);  // kvcc-lint: reserved
+  out.count = 0;
+  const std::uint64_t epoch = ++scratch.epoch;
+  std::vector<VertexId>& queue = scratch.queue;
   for (VertexId start = 0; start < n; ++start) {
-    if (out.component_of[start] != static_cast<std::uint32_t>(-1)) continue;
+    if (scratch.visited_stamp[start] == epoch) continue;
     const std::uint32_t id = out.count++;
+    scratch.visited_stamp[start] = epoch;
     out.component_of[start] = id;
     queue.clear();
-    queue.push_back(start);
+    queue.push_back(start);  // kvcc-lint: reserved
     for (std::size_t head = 0; head < queue.size(); ++head) {
       const VertexId u = queue[head];
       for (VertexId w : g.Neighbors(u)) {
-        if (out.component_of[w] == static_cast<std::uint32_t>(-1)) {
+        if (scratch.visited_stamp[w] != epoch) {
+          scratch.visited_stamp[w] = epoch;
           out.component_of[w] = id;
-          queue.push_back(w);
+          queue.push_back(w);  // kvcc-lint: reserved
         }
       }
     }
   }
+}
+
+ComponentLabeling LabelComponents(const Graph& g) {
+  CcScratch scratch;
+  ComponentLabeling out;
+  LabelComponentsInto(g, scratch, out);
   return out;
 }
 

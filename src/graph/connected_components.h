@@ -1,4 +1,10 @@
 // Connected components of an undirected graph.
+//
+// Two labelings are provided: the serial BFS reference here (allocating
+// wrapper + a pooled-scratch variant for hot callers) and the flat-parallel
+// Afforest kernel in graph/preprocess.h. Both assign the same canonical
+// labels — component ids in increasing order of each component's smallest
+// vertex — so callers can swap them freely.
 #ifndef KVCC_GRAPH_CONNECTED_COMPONENTS_H_
 #define KVCC_GRAPH_CONNECTED_COMPONENTS_H_
 
@@ -15,8 +21,25 @@ struct ComponentLabeling {
   std::uint32_t count = 0;
 };
 
+/// Reusable scratch for LabelComponentsInto (epoch-stamped visited marks,
+/// SweepContext shape: stamps start at 0, epochs at 1, payload arrays only
+/// ever grow). One instance per worker serves every call without per-call
+/// clearing or allocation once warm.
+struct CcScratch {
+  std::uint64_t epoch = 0;
+  std::vector<std::uint64_t> visited_stamp;
+  std::vector<VertexId> queue;
+};
+
 /// BFS-based component labeling. O(n + m).
 ComponentLabeling LabelComponents(const Graph& g);
+
+/// LabelComponents into caller-owned storage: `out.component_of` is
+/// resized to n and fully rewritten, `scratch` supplies the BFS queue and
+/// the epoch-stamped visited marks. Allocation-free once both have grown
+/// to the largest graph seen.
+void LabelComponentsInto(const Graph& g, CcScratch& scratch,
+                         ComponentLabeling& out);
 
 /// Vertex sets of all connected components, each sorted ascending; the list
 /// is ordered by smallest contained vertex.

@@ -26,6 +26,15 @@ void GraphBuilder::SetLabelsFrom(const Graph& g) {
   for (VertexId v = 0; v < g.NumVertices(); ++v) labels_[v] = g.LabelOf(v);
 }
 
+void GraphBuilder::SetLabelsFromSubset(const Graph& g,
+                                       std::span<const VertexId> subset,
+                                       bool as_root) {
+  labels_.resize(subset.size());
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    labels_[i] = as_root ? subset[i] : g.LabelOf(subset[i]);
+  }
+}
+
 Graph GraphBuilder::Build() {
   Graph g;
   BuildInto(g);
@@ -36,7 +45,12 @@ void GraphBuilder::BuildInto(Graph& g) {
   if (!labels_.empty() && labels_.size() != num_vertices_) {
     throw std::invalid_argument("GraphBuilder: label count != vertex count");
   }
-  std::sort(edges_.begin(), edges_.end());
+  // Producers that emit edges in lexicographic order with u < v (e.g. the
+  // fused prune pass, which walks component vertices in ascending local id
+  // and keeps only upper-triangle neighbors) skip the O(m log m) sort.
+  if (!std::is_sorted(edges_.begin(), edges_.end())) {
+    std::sort(edges_.begin(), edges_.end());
+  }
   edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
 
   g.num_vertices_ = num_vertices_;

@@ -1,35 +1,145 @@
 #include "graph/k_core.h"
 
 #include <algorithm>
+#include <atomic>
+
+#include "graph/parallel_blocks.h"
 
 namespace kvcc {
+namespace {
 
-std::vector<VertexId> KCoreVertices(const Graph& g, std::uint32_t k) {
+// Serial peel rounds over pooled scratch. frontier/next were reserved to n
+// by the driver and the peel removes each vertex at most once, so every
+// growth call below stays within capacity.
+// kvcc-lint: no-alloc
+std::uint64_t PeelSerial(const Graph& g, std::uint32_t k, KCoreScratch& s) {
   const VertexId n = g.NumVertices();
-  std::vector<std::uint32_t> degree(n);
-  std::vector<bool> removed(n, false);
-  std::vector<VertexId> queue;
+  const std::uint64_t epoch = s.epoch;
+  s.frontier.clear();
   for (VertexId v = 0; v < n; ++v) {
-    degree[v] = g.Degree(v);
-    if (degree[v] < k) {
-      removed[v] = true;
-      queue.push_back(v);
+    const std::uint32_t d = g.Degree(v);
+    s.degree[v] = d;
+    if (d < k) {
+      s.removed_stamp[v] = epoch;
+      s.frontier.push_back(v);  // kvcc-lint: reserved
     }
   }
-  for (std::size_t head = 0; head < queue.size(); ++head) {
-    const VertexId u = queue[head];
-    for (VertexId w : g.Neighbors(u)) {
-      if (removed[w]) continue;
-      if (--degree[w] < k) {
-        removed[w] = true;
-        queue.push_back(w);
+  std::uint64_t rounds = 0;
+  while (!s.frontier.empty()) {
+    ++rounds;
+    s.next.clear();
+    for (const VertexId u : s.frontier) {
+      for (const VertexId w : g.Neighbors(u)) {
+        // Unconditional decrement, claim exactly at the k crossing: a
+        // vertex that started below k (claimed at init) never sees old
+        // == k again, and total decrements on w never exceed deg(w), so
+        // the counter cannot wrap.
+        const std::uint32_t old = s.degree[w]--;
+        if (old == k) {
+          s.removed_stamp[w] = epoch;
+          s.next.push_back(w);  // kvcc-lint: reserved
+        }
       }
     }
+    s.frontier.swap(s.next);
   }
-  std::vector<VertexId> survivors;
+  return rounds;
+}
+
+// Flat-parallel peel: same rounds, atomic degree decrements, per-slot next-
+// frontier bins. Round membership is the set of vertices whose cumulative
+// decrement count crosses k this round — a function of the previous rounds
+// only — so marks, survivors, and the round count match PeelSerial exactly;
+// only the (never observed) frontier order differs.
+std::uint64_t PeelParallel(const Graph& g, std::uint32_t k,
+                           exec::TaskScheduler& scheduler,
+                           exec::TaskPriority priority, KCoreScratch& s) {
+  const VertexId n = g.NumVertices();
+  const std::uint64_t epoch = s.epoch;
+  const std::size_t slots = scheduler.num_workers() + 1;
+  if (s.slot_next.size() < slots) s.slot_next.resize(slots);
+  for (auto& bin : s.slot_next) bin.clear();
+  detail::ForBlocks(scheduler, n, priority,
+                    [&](std::size_t begin, std::size_t end, unsigned slot) {
+                      for (std::size_t v = begin; v < end; ++v) {
+                        const std::uint32_t d =
+                            g.Degree(static_cast<VertexId>(v));
+                        s.degree[v] = d;
+                        if (d < k) {
+                          s.removed_stamp[v] = epoch;
+                          s.slot_next[slot].push_back(
+                              static_cast<VertexId>(v));
+                        }
+                      }
+                    });
+  s.frontier.clear();
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    s.frontier.insert(s.frontier.end(), s.slot_next[slot].begin(),
+                      s.slot_next[slot].end());
+  }
+  std::uint64_t rounds = 0;
+  while (!s.frontier.empty()) {
+    ++rounds;
+    for (auto& bin : s.slot_next) bin.clear();
+    detail::ForBlocks(
+        scheduler, s.frontier.size(), priority,
+        [&](std::size_t begin, std::size_t end, unsigned slot) {
+          for (std::size_t i = begin; i < end; ++i) {
+            const VertexId u = s.frontier[i];
+            for (const VertexId w : g.Neighbors(u)) {
+              // The fetch_sub claims are exactly-once (old == k fires for
+              // one decrementer); the claimant's plain mark store becomes
+              // visible through the ParallelFor join barrier.
+              const std::uint32_t old =
+                  std::atomic_ref<std::uint32_t>(s.degree[w])
+                      .fetch_sub(1, std::memory_order_relaxed);
+              if (old == k) {
+                s.removed_stamp[w] = epoch;
+                s.slot_next[slot].push_back(w);
+              }
+            }
+          }
+        });
+    s.frontier.clear();
+    for (std::size_t slot = 0; slot < slots; ++slot) {
+      s.frontier.insert(s.frontier.end(), s.slot_next[slot].begin(),
+                        s.slot_next[slot].end());
+    }
+  }
+  return rounds;
+}
+
+}  // namespace
+
+std::uint64_t KCoreVerticesInto(const Graph& g, std::uint32_t k,
+                                exec::TaskScheduler* scheduler,
+                                exec::TaskPriority priority,
+                                KCoreScratch& scratch,
+                                std::vector<VertexId>& survivors) {
+  const VertexId n = g.NumVertices();
+  if (scratch.removed_stamp.size() < n) scratch.removed_stamp.resize(n, 0);
+  if (scratch.degree.size() < n) scratch.degree.resize(n);
+  if (scratch.frontier.capacity() < n) scratch.frontier.reserve(n);
+  if (scratch.next.capacity() < n) scratch.next.reserve(n);
+  if (survivors.capacity() < n) survivors.reserve(n);
+  ++scratch.epoch;
+  const std::uint64_t rounds =
+      detail::UsePreprocessParallel(scheduler, n)
+          ? PeelParallel(g, k, *scheduler, priority, scratch)
+          : PeelSerial(g, k, scratch);
+  survivors.clear();
+  const std::uint64_t epoch = scratch.epoch;
   for (VertexId v = 0; v < n; ++v) {
-    if (!removed[v]) survivors.push_back(v);
+    if (scratch.removed_stamp[v] != epoch) survivors.push_back(v);
   }
+  return rounds;
+}
+
+std::vector<VertexId> KCoreVertices(const Graph& g, std::uint32_t k) {
+  KCoreScratch scratch;
+  std::vector<VertexId> survivors;
+  KCoreVerticesInto(g, k, nullptr, exec::TaskPriority::kNormal, scratch,
+                    survivors);
   return survivors;
 }
 

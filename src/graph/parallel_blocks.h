@@ -1,0 +1,58 @@
+// Block-chunked ParallelFor for the flat preprocessing kernels.
+//
+// The preprocessing kernels (bucket k-core peel, Afforest CC, fused prune)
+// are data-parallel over vertex or frontier ranges. Chunking the range into
+// fixed-size blocks keeps the per-index ParallelFor overhead (one shared
+// atomic claim per block, not per vertex) negligible, and the parallel
+// engagement rule is a pure function of the input graph so the serial/
+// parallel decision — like every other knob in this codebase — cannot
+// change results.
+#ifndef KVCC_GRAPH_PARALLEL_BLOCKS_H_
+#define KVCC_GRAPH_PARALLEL_BLOCKS_H_
+
+#include <algorithm>
+#include <cstddef>
+
+#include "exec/task_scheduler.h"
+
+namespace kvcc {
+namespace detail {
+
+/// Graphs below this vertex count run the serial kernel even when a
+/// multi-worker scheduler is available: the fork-join cost exceeds the
+/// traversal on small working graphs (the recursion tail), and the cutoff
+/// being a pure function of the input preserves replay determinism.
+inline constexpr std::size_t kPreprocessParallelCutoff = 2048;
+
+/// Indices per ParallelFor block (one shared-counter claim per block).
+inline constexpr std::size_t kPreprocessBlock = 4096;
+
+/// True when the preprocessing kernels should take their parallel path.
+inline bool UsePreprocessParallel(exec::TaskScheduler* scheduler,
+                                  std::size_t n) {
+  return scheduler != nullptr && scheduler->num_workers() > 1 &&
+         n >= kPreprocessParallelCutoff;
+}
+
+/// Runs body(begin, end, slot) over contiguous blocks of [0, count).
+/// Slots follow ParallelFor's contract: size per-slot scratch to
+/// num_workers() + 1.
+template <typename Body>
+void ForBlocks(exec::TaskScheduler& scheduler, std::size_t count,
+               exec::TaskPriority priority, Body&& body) {
+  const std::size_t blocks =
+      (count + kPreprocessBlock - 1) / kPreprocessBlock;
+  scheduler.ParallelFor(
+      blocks,
+      [&](std::size_t block, unsigned slot) {
+        const std::size_t begin = block * kPreprocessBlock;
+        const std::size_t end = std::min(count, begin + kPreprocessBlock);
+        body(begin, end, slot);
+      },
+      priority);
+}
+
+}  // namespace detail
+}  // namespace kvcc
+
+#endif  // KVCC_GRAPH_PARALLEL_BLOCKS_H_

@@ -1,0 +1,264 @@
+#include "graph/preprocess.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "graph/parallel_blocks.h"
+#include "util/random.h"
+
+namespace kvcc {
+namespace {
+
+// Label of masked-out vertices; alive labels stay < n so this never
+// collides (and it doubles as kInvalidVertex for callers).
+constexpr std::uint32_t kNoComp = static_cast<std::uint32_t>(-1);
+
+// Neighbor positions linked before sampling (Afforest phase A).
+constexpr std::size_t kNeighborRounds = 2;
+
+// Sampling engages only on graphs large enough for the skip set to pay for
+// the snapshot pass; both constants are pure functions of nothing, so the
+// sampled skip set replays identically for a given graph.
+constexpr std::size_t kSampleMinVertices = 4096;
+constexpr std::size_t kSampleCount = 1024;
+constexpr std::uint64_t kSampleSeed = 0xaff04e57c0a1e5ceULL;
+
+inline std::uint32_t LoadComp(const std::uint32_t& slot) {
+  return std::atomic_ref<const std::uint32_t>(slot).load(
+      std::memory_order_relaxed);
+}
+
+inline void StoreComp(std::uint32_t& slot, std::uint32_t value) {
+  std::atomic_ref<std::uint32_t>(slot).store(value, std::memory_order_relaxed);
+}
+
+// Min-wins link: hook the larger of the two current roots under the
+// smaller. Returns true on a successful hook (one union root retired).
+inline bool Link(VertexId u, VertexId v, std::uint32_t* comp) {
+  std::uint32_t p1 = LoadComp(comp[u]);
+  std::uint32_t p2 = LoadComp(comp[v]);
+  while (p1 != p2) {
+    const std::uint32_t high = std::max(p1, p2);
+    const std::uint32_t low = std::min(p1, p2);
+    const std::uint32_t p_high = LoadComp(comp[high]);
+    if (p_high == low) break;
+    if (p_high == high) {
+      std::uint32_t expected = high;
+      if (std::atomic_ref<std::uint32_t>(comp[high])
+              .compare_exchange_strong(expected, low,
+                                       std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    p1 = LoadComp(comp[LoadComp(comp[high])]);
+    p2 = LoadComp(comp[low]);
+  }
+  return false;
+}
+
+// Path-compress v's parent chain to the current root. Run in link-free
+// phases only, so the chase terminates at a stable root.
+inline void Compress(VertexId v, std::uint32_t* comp) {
+  std::uint32_t p = LoadComp(comp[v]);
+  std::uint32_t gp = LoadComp(comp[p]);
+  while (p != gp) {
+    StoreComp(comp[v], gp);
+    p = gp;
+    gp = LoadComp(comp[p]);
+  }
+}
+
+// Runs body(begin, end, slot) over [0, count): one inline call on the
+// serial path (slot 0), block-parallel otherwise.
+template <typename Body>
+void ForAll(exec::TaskScheduler* scheduler, bool parallel,
+            exec::TaskPriority priority, std::size_t count, Body&& body) {
+  if (parallel) {
+    detail::ForBlocks(*scheduler, count, priority, body);
+  } else if (count > 0) {
+    body(std::size_t{0}, count, 0u);
+  }
+}
+
+}  // namespace
+
+std::uint64_t AfforestComponentsInto(const Graph& g, const PeelMask* mask,
+                                     exec::TaskScheduler* scheduler,
+                                     exec::TaskPriority priority,
+                                     AfforestScratch& scratch,
+                                     ComponentLabeling& out) {
+  const VertexId n = g.NumVertices();
+  const bool parallel = detail::UsePreprocessParallel(scheduler, n);
+  const std::size_t slots = parallel ? scheduler->num_workers() + 1 : 1;
+  out.component_of.resize(n);
+  out.count = 0;
+  if (scratch.skip.size() < n) scratch.skip.resize(n, 0);
+  if (scratch.relabel.size() < n) scratch.relabel.resize(n);
+  if (scratch.slot_hooks.size() < slots) scratch.slot_hooks.resize(slots);
+  std::fill(scratch.slot_hooks.begin(), scratch.slot_hooks.end(), 0);
+  std::uint32_t* comp = out.component_of.data();
+
+  // Every vertex its own parent; masked-out vertices are parked on kNoComp
+  // and never touched again (they are skipped as sources and as neighbors).
+  ForAll(scheduler, parallel, priority, n,
+         [&](std::size_t begin, std::size_t end, unsigned) {
+           for (std::size_t v = begin; v < end; ++v) {
+             comp[v] = (mask != nullptr &&
+                        mask->Removed(static_cast<VertexId>(v)))
+                           ? kNoComp
+                           : static_cast<std::uint32_t>(v);
+           }
+         });
+
+  // Phase A: link the first kNeighborRounds alive neighbors of every alive
+  // vertex, then compress. Any alive edge missed here (because it sits at a
+  // later position) is linked in phase B from its non-skipped endpoint.
+  for (std::size_t r = 0; r < kNeighborRounds; ++r) {
+    ForAll(scheduler, parallel, priority, n,
+           [&](std::size_t begin, std::size_t end, unsigned slot) {
+             std::uint64_t hooks = 0;
+             for (std::size_t i = begin; i < end; ++i) {
+               const VertexId v = static_cast<VertexId>(i);
+               if (mask != nullptr && mask->Removed(v)) continue;
+               const auto nbrs = g.Neighbors(v);
+               if (r < nbrs.size()) {
+                 const VertexId w = nbrs[r];
+                 if (mask == nullptr || mask->Alive(w)) {
+                   hooks += Link(v, w, comp) ? 1 : 0;
+                 }
+               }
+             }
+             scratch.slot_hooks[slot] += hooks;
+           });
+  }
+  const auto compress_all = [&] {
+    ForAll(scheduler, parallel, priority, n,
+           [&](std::size_t begin, std::size_t end, unsigned) {
+             for (std::size_t v = begin; v < end; ++v) {
+               if (mask == nullptr ||
+                   mask->Alive(static_cast<VertexId>(v))) {
+                 Compress(static_cast<VertexId>(v), comp);
+               }
+             }
+           });
+  };
+  compress_all();
+
+  // Sample the (compressed, hence deterministic) labels to find the most
+  // frequent component; its members can skip phase B entirely — their
+  // remaining edges are either internal (redundant) or linked from the
+  // other endpoint. The snapshot into `skip` happens after the compress
+  // barrier, so the skip set does not depend on phase-B timing.
+  std::uint32_t skip_comp = kNoComp;
+  if (n >= kSampleMinVertices) {
+    if (scratch.sample.capacity() < kSampleCount) {
+      scratch.sample.reserve(kSampleCount);
+    }
+    scratch.sample.clear();
+    Rng rng(kSampleSeed ^ static_cast<std::uint64_t>(n));
+    for (std::size_t i = 0; i < kSampleCount; ++i) {
+      const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+      if (mask == nullptr || mask->Alive(v)) {
+        scratch.sample.push_back(comp[v]);
+      }
+    }
+    if (!scratch.sample.empty()) {
+      std::sort(scratch.sample.begin(), scratch.sample.end());
+      std::size_t best_len = 0, run = 1;
+      for (std::size_t i = 1; i <= scratch.sample.size(); ++i) {
+        if (i < scratch.sample.size() &&
+            scratch.sample[i] == scratch.sample[i - 1]) {
+          ++run;
+        } else {
+          if (run > best_len) {  // ties keep the earlier (smaller) value
+            best_len = run;
+            skip_comp = scratch.sample[i - 1];
+          }
+          run = 1;
+        }
+      }
+    }
+  }
+  const bool has_skip = skip_comp != kNoComp;
+  if (has_skip) {
+    ForAll(scheduler, parallel, priority, n,
+           [&](std::size_t begin, std::size_t end, unsigned) {
+             for (std::size_t v = begin; v < end; ++v) {
+               scratch.skip[v] = comp[v] == skip_comp ? 1 : 0;
+             }
+           });
+  }
+
+  // Phase B: finish the remaining neighbor positions of every alive,
+  // non-skipped vertex, then compress. After this barrier comp[v] is the
+  // minimum vertex of v's component (see the header's determinism note).
+  ForAll(scheduler, parallel, priority, n,
+         [&](std::size_t begin, std::size_t end, unsigned slot) {
+           std::uint64_t hooks = 0;
+           for (std::size_t i = begin; i < end; ++i) {
+             const VertexId v = static_cast<VertexId>(i);
+             if (mask != nullptr && mask->Removed(v)) continue;
+             if (has_skip && scratch.skip[i] != 0) continue;
+             const auto nbrs = g.Neighbors(v);
+             for (std::size_t j = kNeighborRounds; j < nbrs.size(); ++j) {
+               const VertexId w = nbrs[j];
+               if (mask == nullptr || mask->Alive(w)) {
+                 hooks += Link(v, w, comp) ? 1 : 0;
+               }
+             }
+           }
+           scratch.slot_hooks[slot] += hooks;
+         });
+  compress_all();
+
+  // Canonical relabel: scan ascending, number roots in order. Because
+  // comp[v] <= v for alive vertices, a root's dense id is always assigned
+  // before any member reads it — and the resulting ids match the BFS
+  // labeling (components numbered by smallest contained vertex).
+  for (VertexId v = 0; v < n; ++v) {
+    const std::uint32_t root = comp[v];
+    if (root == kNoComp) continue;
+    if (root == v) scratch.relabel[v] = out.count++;
+    comp[v] = scratch.relabel[root];
+  }
+
+  std::uint64_t hooks = 0;
+  for (const std::uint64_t h : scratch.slot_hooks) hooks += h;
+  return hooks;
+}
+
+void GroupSurvivorsByComponent(FusedPruneScratch& scratch) {
+  // Counting sort over the canonical labels. Survivors are scanned
+  // ascending, so each component's member list comes out ascending too.
+  const std::uint32_t count = scratch.labeling.count;
+  scratch.comp_offsets.assign(count + 1, 0);
+  for (const VertexId v : scratch.survivors) {
+    ++scratch.comp_offsets[scratch.labeling.component_of[v] + 1];
+  }
+  for (std::uint32_t c = 0; c < count; ++c) {
+    scratch.comp_offsets[c + 1] += scratch.comp_offsets[c];
+  }
+  scratch.comp_cursor.assign(scratch.comp_offsets.begin(),
+                             scratch.comp_offsets.end() - 1);
+  scratch.comp_vertices.resize(scratch.survivors.size());
+  for (const VertexId v : scratch.survivors) {
+    scratch.comp_vertices[scratch.comp_cursor[scratch.labeling
+                                                  .component_of[v]]++] = v;
+  }
+}
+
+PruneCounters FusedPrune(const Graph& g, std::uint32_t k,
+                         exec::TaskScheduler* scheduler,
+                         exec::TaskPriority priority,
+                         FusedPruneScratch& scratch) {
+  PruneCounters counters;
+  counters.kcore_bucket_rounds = KCoreVerticesInto(
+      g, k, scheduler, priority, scratch.kcore, scratch.survivors);
+  const PeelMask mask = scratch.kcore.Mask();
+  counters.cc_hooks = AfforestComponentsInto(g, &mask, scheduler, priority,
+                                             scratch.cc, scratch.labeling);
+  GroupSurvivorsByComponent(scratch);
+  return counters;
+}
+
+}  // namespace kvcc

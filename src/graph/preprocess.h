@@ -1,0 +1,110 @@
+// Flat-parallel preprocessing kernels: Afforest connected components and
+// the fused k-core + component-split prune pass.
+//
+// The Afforest kernel (Sutton–Ben-Nun–Barak, IPDPS 2018) replaces BFS
+// labeling with CAS label-linking: every vertex starts as its own parent,
+// edges hook the larger of two tree roots under the smaller, and a
+// compression pass flattens parent chains. Two properties make its output
+// — not just its answer — deterministic here:
+//
+//   1. Parent values only ever decrease, and the minimum vertex of a
+//      component can never be hooked under anything (hooking it would need
+//      a smaller member). After each phase's join barrier + compression,
+//      comp[v] is exactly the minimum vertex id reachable from v through
+//      the edges linked so far — independent of thread interleaving.
+//   2. The final canonical relabel scans vertices ascending and assigns
+//      dense ids to roots in order, which reproduces the BFS labeling of
+//      connected_components.h exactly (BFS also numbers components by
+//      their smallest vertex).
+//
+// The sampling phase (skip the most frequent component when finishing the
+// remaining edges) is seeded from util/random.h as a pure function of the
+// graph size, so the sampled skip set — and therefore the work profile —
+// replays identically too.
+#ifndef KVCC_GRAPH_PREPROCESS_H_
+#define KVCC_GRAPH_PREPROCESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/task_scheduler.h"
+#include "graph/connected_components.h"
+#include "graph/graph.h"
+#include "graph/k_core.h"
+
+namespace kvcc {
+
+/// Reusable scratch for AfforestComponentsInto (arrays only ever grow;
+/// slot_hooks is sized num_workers() + 1 on parallel runs, 1 on serial).
+struct AfforestScratch {
+  std::vector<std::uint8_t> skip;        // sampled-component snapshot
+  std::vector<std::uint32_t> sample;     // sampled comp values
+  std::vector<std::uint32_t> relabel;    // root -> dense canonical id
+  std::vector<std::uint64_t> slot_hooks; // per-slot successful hooks
+};
+
+/// Afforest-style connected components into caller-owned storage.
+///
+/// Vertices removed by `mask` (pass nullptr for "all alive") get label
+/// kInvalidVertex; alive vertices get canonical component ids in [0,
+/// out.count) ordered by smallest contained vertex — byte-identical to
+/// LabelComponentsInto restricted to the alive subgraph, at every thread
+/// count. Runs the flat-parallel kernel when `scheduler` has more than one
+/// worker and the graph is large enough, the same single-threaded code
+/// otherwise.
+/// \return Successful hooks — always (alive vertices) - out.count, since
+///   each hook retires exactly one union root (KvccStats::cc_hooks).
+std::uint64_t AfforestComponentsInto(const Graph& g, const PeelMask* mask,
+                                     exec::TaskScheduler* scheduler,
+                                     exec::TaskPriority priority,
+                                     AfforestScratch& scratch,
+                                     ComponentLabeling& out);
+
+/// Replay-identical counters produced by one FusedPrune call.
+struct PruneCounters {
+  std::uint64_t kcore_bucket_rounds = 0;  ///< peel rounds (peel depth)
+  std::uint64_t cc_hooks = 0;             ///< Afforest hooks (survivors-comps)
+};
+
+/// All pooled state of one FusedPrune call; owning it in EnumScratch keeps
+/// the per-work-item prune allocation-free once warm. After FusedPrune
+/// returns, the caller reads:
+///   survivors      sorted k-core vertices,
+///   labeling       canonical component labels (masked = kInvalidVertex),
+///   comp_sizes     vertices per component,
+///   comp_offsets / comp_vertices   component members (CSR layout, each
+///                  component's vertex list sorted ascending; components
+///                  ordered by smallest contained vertex).
+struct FusedPruneScratch {
+  KCoreScratch kcore;
+  AfforestScratch cc;
+  std::vector<VertexId> survivors;
+  ComponentLabeling labeling;
+  std::vector<std::uint64_t> comp_offsets;
+  std::vector<std::uint64_t> comp_cursor;
+  std::vector<VertexId> comp_vertices;
+};
+
+/// Fills comp_offsets / comp_cursor / comp_vertices from an already
+/// computed (survivors, labeling) pair — the grouping stage of FusedPrune,
+/// exposed so a caller that ran the peel and the component kernel itself
+/// (e.g. the enumeration step, which books their counters separately) can
+/// reuse it. Counting sort: components ordered by canonical id (= smallest
+/// contained vertex), members ascending.
+void GroupSurvivorsByComponent(FusedPruneScratch& scratch);
+
+/// The fused prune pass: k-core peel and component split in one traversal
+/// of g, with no intermediate core subgraph materialized. The peel's
+/// removal marks feed the Afforest kernel as a mask, and the component
+/// grouping is a counting sort over the canonical labels — so the grouped
+/// output lists each component's vertices ascending, components ordered by
+/// smallest contained vertex: exactly ConnectedComponents(core) modulo the
+/// core-relabeling. Byte-identical across thread counts.
+PruneCounters FusedPrune(const Graph& g, std::uint32_t k,
+                         exec::TaskScheduler* scheduler,
+                         exec::TaskPriority priority,
+                         FusedPruneScratch& scratch);
+
+}  // namespace kvcc
+
+#endif  // KVCC_GRAPH_PREPROCESS_H_

@@ -12,6 +12,17 @@
 // what makes any parallel interleaving's merged-and-sorted output identical
 // to the serial run's.
 //
+// Preprocessing inside the step (peel + component split) runs the flat
+// kernels of graph/k_core.h and graph/preprocess.h. With
+// KvccOptions::fused_prune (the default) the step never materializes the
+// whole k-core as an intermediate Graph: the peel's removal marks mask the
+// Afforest component kernel, and each component's induced subgraph is built
+// directly from the working graph through the pooled GraphBuilder —
+// emitting upper-triangle edges in lexicographic order so BuildInto takes
+// its sorted fast path. The staged reference path (fused_prune off)
+// materializes core-then-components exactly like the pre-fusion code and
+// must stay byte-identical; preprocessing_test pins the equivalence.
+//
 // The emit callback is also the streaming-delivery tap (kvcc/stream.h):
 // the drivers either buffer emitted components for a sorted KvccResult
 // (EnumerateKVccs, KvccEngine::Wait) or forward them to a ComponentSink
@@ -28,13 +39,17 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "graph/connected_components.h"
 #include "graph/graph.h"
+#include "graph/graph_builder.h"
 #include "graph/k_core.h"
+#include "graph/preprocess.h"
 #include "kvcc/global_cut.h"
+#include "kvcc/job_control.h"
 #include "kvcc/kvcc_enum.h"
 #include "kvcc/options.h"
 #include "kvcc/side_vertex.h"
@@ -51,13 +66,21 @@ struct WorkItem {
 /// Per-worker mutable scratch. Workers never share an EnumScratch, so the
 /// hot path runs without atomics or locks, and a long-lived engine keeps
 /// the probe oracle (CutOracle, including its flow-network topology),
-/// certificate, and sweep buffers warm across every job it serves. A
-/// default-constructed scratch is always valid.
+/// certificate, sweep buffers, and the prune-pipeline scratch warm across
+/// every job it serves. A default-constructed scratch is always valid.
 struct EnumScratch {
   GlobalCutScratch cut_scratch;
   // NeighborsOfSet working set.
   std::vector<bool> nbr_in_set;
   std::vector<bool> nbr_touched;
+  // Fused prune pipeline: peel marks + Afforest labels + component
+  // grouping, the direct component-subgraph builder, and its output pool
+  // (cycled through BuildInto, so the warm path stays off the allocator).
+  FusedPruneScratch prune;
+  GraphBuilder sub_builder;
+  Graph sub_pool;
+  std::vector<VertexId> local_id;  // cur vertex -> component-local id
+  std::vector<VertexId> removed;   // peel casualties (hint invalidation)
 };
 
 /// Vertices of g with at least one neighbor in `sources` (the 1-hop
@@ -90,16 +113,16 @@ inline const std::vector<bool>& NeighborsOfSet(
 /// `spawn` as child items; counters accumulate into `stats`. `root` is
 /// non-null only for the initial item: the step then reads the caller's
 /// graph in place (no identity-label copy) and derived subgraphs seed their
-/// label chain at the root via InducedSubgraphAsRoot. `scheduler` (may be
-/// null: fully serial) is handed down into GLOBAL-CUT so a single hard
-/// subproblem can fan its flow probes out to idle workers as deterministic
-/// wavefronts — the missing parallelism level when the recursion tree is
-/// too shallow to feed the pool on its own. `cancel` (may be null:
-/// uncancellable) is handed down too; GLOBAL-CUT polls it at its probe and
-/// wavefront boundaries and unwinds this step by throwing JobCancelled —
-/// the driver is responsible for the whole-item boundary check *before*
-/// calling in, and for catching JobCancelled and reporting the outcome
-/// with the job's partial stats attached.
+/// label chain at the root via subset labeling. `scheduler` (may be null:
+/// fully serial) is handed down into the preprocessing kernels and into
+/// GLOBAL-CUT so a single hard subproblem can fan out to idle workers —
+/// the missing parallelism level when the recursion tree is too shallow to
+/// feed the pool on its own. `cancel` (may be null: uncancellable) is
+/// handed down too; GLOBAL-CUT polls it at its probe and wavefront
+/// boundaries and unwinds this step by throwing JobCancelled — the driver
+/// is responsible for the whole-item boundary check *before* calling in,
+/// and for catching JobCancelled and reporting the outcome with the job's
+/// partial stats attached.
 template <typename Emit, typename Spawn>
 void ProcessItem(WorkItem&& item, const Graph* root, std::uint32_t k,
                  const KvccOptions& options, bool maintain,
@@ -107,33 +130,172 @@ void ProcessItem(WorkItem&& item, const Graph* root, std::uint32_t k,
                  exec::TaskScheduler* scheduler, const CancelToken* cancel,
                  Emit&& emit, Spawn&& spawn) {
   const bool as_root = root != nullptr;
-  const Graph& cur = as_root ? *root : item.graph;
+  const Graph* cur = as_root ? root : &item.graph;
+  const exec::TaskPriority task_priority = ToTaskPriority(options.priority);
+  FusedPruneScratch& prune = scratch.prune;
 
-  // --- k-core peel (Alg. 1 line 2) ---
-  const std::vector<VertexId> survivors = KCoreVertices(cur, k);
+  // --- k-core peel (Alg. 1 line 2), bucket kernel ---
+  stats.kcore_bucket_rounds += KCoreVerticesInto(
+      *cur, k, scheduler, task_priority, prune.kcore, prune.survivors);
+  const std::vector<VertexId>& survivors = prune.survivors;
   ++stats.kcore_rounds;
-  stats.kcore_removed_vertices += cur.NumVertices() - survivors.size();
+  stats.kcore_removed_vertices += cur->NumVertices() - survivors.size();
   if (survivors.size() <= k) return;  // A k-VCC needs > k vertices.
+  const bool full_core = survivors.size() == cur->NumVertices();
 
   // Peeling invalidates side-vertex verdicts within 2 hops of a removed
   // vertex (common-neighbor counts may have dropped).
   std::vector<bool> peel_touched;
   const bool have_hints = maintain && !item.hints.empty();
-  if (have_hints && survivors.size() != cur.NumVertices()) {
-    std::vector<bool> survives(cur.NumVertices(), false);
-    for (VertexId v : survivors) survives[v] = true;
-    std::vector<VertexId> removed;
-    removed.reserve(cur.NumVertices() - survivors.size());
-    for (VertexId v = 0; v < cur.NumVertices(); ++v) {
-      if (!survives[v]) removed.push_back(v);
+  if (have_hints && !full_core) {
+    const PeelMask mask = prune.kcore.Mask();
+    std::vector<VertexId>& removed = scratch.removed;
+    if (removed.capacity() < cur->NumVertices()) {
+      removed.reserve(cur->NumVertices());
     }
-    peel_touched = TwoHopBall(cur, removed);
+    removed.clear();
+    for (VertexId v = 0; v < cur->NumVertices(); ++v) {
+      if (mask.Removed(v)) removed.push_back(v);
+    }
+    peel_touched = TwoHopBall(*cur, removed);
   }
 
-  // --- materialize the k-core ---
-  // When nothing was peeled the graph already *is* its k-core: reuse the
-  // owned graph (or keep reading the root in place) instead of copying.
-  const bool full_core = survivors.size() == cur.NumVertices();
+  // Maps a component subgraph's vertex i (= cur vertex cur_of(i)) to its
+  // carried hint, degrading peel-touched strong verdicts to recheck.
+  const auto build_hints = [&](auto&& cur_of, VertexId sub_n,
+                               std::vector<SideVertexHint>& out_hints) {
+    if (!have_hints) return;
+    out_hints.resize(sub_n);
+    for (VertexId i = 0; i < sub_n; ++i) {
+      const VertexId cur_v = cur_of(i);
+      SideVertexHint h = item.hints[cur_v];
+      if (h == SideVertexHint::kStrong && !peel_touched.empty() &&
+          peel_touched[cur_v]) {
+        h = SideVertexHint::kRecheck;
+      }
+      out_hints[i] = h;
+    }
+  };
+
+  // Shared recursion tail (Alg. 1 lines 5-9): GLOBAL-CUT on one component
+  // subgraph, then emit it as a k-VCC or partition along the cut.
+  const auto run_cut = [&](const Graph& sub, bool sub_is_root,
+                           const std::vector<SideVertexHint>& sub_hints) {
+    GlobalCutResult found = GlobalCut(sub, k, sub_hints, options, &stats,
+                                      &scratch.cut_scratch, scheduler,
+                                      cancel);
+    if (found.cut.empty()) {
+      // sub is k-vertex-connected and maximal within this branch: k-VCC.
+      std::vector<VertexId> ids;
+      ids.reserve(sub.NumVertices());
+      for (VertexId v = 0; v < sub.NumVertices(); ++v) {
+        ids.push_back(sub_is_root ? v : sub.LabelOf(v));
+      }
+      std::sort(ids.begin(), ids.end());
+      emit(std::move(ids));
+      ++stats.kvccs_found;
+      return;
+    }
+
+    // --- overlapped partition (Alg. 1 line 9) ---
+    ++stats.overlap_partitions;
+    // The strong-side verdicts live in the cut scratch (GlobalCutResult
+    // documents this); they stay valid until the next GlobalCut call, and
+    // every use below happens before this call returns.
+    const std::vector<bool>& strong_side = scratch.cut_scratch.side.strong;
+    const std::vector<bool>* cut_touched = nullptr;
+    if (maintain && found.strong_side_valid) {
+      cut_touched = &NeighborsOfSet(sub, found.cut, scratch);
+    }
+    for (PartitionPiece& piece :
+         OverlapPartition(sub, found.cut, sub_is_root)) {
+      std::vector<SideVertexHint> child_hints;
+      if (maintain && found.strong_side_valid) {
+        child_hints.resize(piece.graph.NumVertices());
+        for (VertexId i = 0; i < piece.graph.NumVertices(); ++i) {
+          const VertexId sub_v = piece.vertices[i];
+          if (!strong_side[sub_v]) {
+            child_hints[i] = SideVertexHint::kNotStrong;  // Lemma 15.
+          } else if ((*cut_touched)[sub_v]) {
+            child_hints[i] = SideVertexHint::kRecheck;
+          } else {
+            child_hints[i] = SideVertexHint::kStrong;  // Lemma 16.
+          }
+        }
+      }
+      spawn(WorkItem{std::move(piece.graph), std::move(child_hints)});
+    }
+  };
+
+  if (options.fused_prune) {
+    // --- fused component split (Alg. 1 line 3) ---
+    // The peel marks mask the Afforest kernel, and each component's
+    // subgraph is built straight from `cur` — no whole-core intermediate.
+    const PeelMask mask = prune.kcore.Mask();
+    stats.cc_hooks += AfforestComponentsInto(
+        *cur, &mask, scheduler, task_priority, prune.cc, prune.labeling);
+    GroupSurvivorsByComponent(prune);
+    const std::uint32_t ncomp = prune.labeling.count;
+    const bool single_component = ncomp == 1;
+    if (!full_core && ncomp > 1) {
+      // Only this shape would have materialized a whole-core Graph that no
+      // component reuses on the staged path.
+      ++stats.prune_fused_passes;
+    }
+    for (std::uint32_t c = 0; c < ncomp; ++c) {
+      const std::span<const VertexId> comp{
+          prune.comp_vertices.data() + prune.comp_offsets[c],
+          static_cast<std::size_t>(prune.comp_offsets[c + 1] -
+                                   prune.comp_offsets[c])};
+      if (comp.size() <= k) continue;  // Cannot contain a k-VCC (Def. 2).
+      std::vector<SideVertexHint> sub_hints;
+      build_hints([&](VertexId i) { return comp[i]; },
+                  static_cast<VertexId>(comp.size()), sub_hints);
+      if (full_core && single_component) {
+        // The working graph already is the single component: reuse it
+        // (read the root in place / adopt the owned graph) — the same
+        // zero-copy fast path the staged code takes.
+        if (as_root) {
+          run_cut(*root, /*sub_is_root=*/true, sub_hints);
+        } else {
+          const Graph sub_owned = std::move(item.graph);  // `cur` dies.
+          run_cut(sub_owned, /*sub_is_root=*/false, sub_hints);
+        }
+        continue;
+      }
+      // Direct induced-subgraph build: component members get local ids in
+      // ascending cur order, and only upper-triangle (lw > i) alive
+      // neighbors are emitted — lexicographically sorted, so BuildInto
+      // skips its edge sort. An alive neighbor of a component member is in
+      // the same component by definition, so local_id[w] is always bound.
+      std::vector<VertexId>& local = scratch.local_id;
+      if (local.size() < cur->NumVertices()) local.resize(cur->NumVertices());
+      for (std::size_t i = 0; i < comp.size(); ++i) {
+        local[comp[i]] = static_cast<VertexId>(i);
+      }
+      GraphBuilder& builder = scratch.sub_builder;
+      builder.EnsureVertex(static_cast<VertexId>(comp.size()) - 1);
+      for (std::size_t i = 0; i < comp.size(); ++i) {
+        const VertexId li = static_cast<VertexId>(i);
+        for (const VertexId w : cur->Neighbors(comp[i])) {
+          if (mask.Removed(w)) continue;
+          const VertexId lw = local[w];
+          if (lw > li) builder.AddEdge(li, lw);
+        }
+      }
+      builder.SetLabelsFromSubset(*cur, comp, as_root);
+      builder.BuildInto(scratch.sub_pool);
+      run_cut(scratch.sub_pool, /*sub_is_root=*/false, sub_hints);
+    }
+    return;
+  }
+
+  // --- staged reference path (fused_prune off) ---
+  // Materialize the whole k-core, BFS-label its components, then induce
+  // each component from the core. Kept as the ablation baseline the fused
+  // path is tested against; cc_hooks is booked in closed form (each hook
+  // of the union kernel retires exactly one root, so the total is always
+  // survivors - components).
   Graph core_owned;
   const Graph* core = nullptr;
   bool core_as_root = false;
@@ -144,14 +306,14 @@ void ProcessItem(WorkItem&& item, const Graph* root, std::uint32_t k,
     core_owned = std::move(item.graph);  // `cur` is dead from here on.
     core = &core_owned;
   } else {
-    core_owned = as_root ? cur.InducedSubgraphAsRoot(survivors)
-                         : cur.InducedSubgraph(survivors);
+    core_owned = as_root ? cur->InducedSubgraphAsRoot(survivors)
+                         : cur->InducedSubgraph(survivors);
     core = &core_owned;
   }
 
-  // --- connected components (Alg. 1 line 3) ---
   const std::vector<std::vector<VertexId>> components =
       ConnectedComponents(*core);
+  stats.cc_hooks += survivors.size() - components.size();
   const bool single_component = components.size() == 1;
   for (const std::vector<VertexId>& comp : components) {
     if (comp.size() <= k) continue;  // Cannot contain a k-VCC (Def. 2).
@@ -177,65 +339,9 @@ void ProcessItem(WorkItem&& item, const Graph* root, std::uint32_t k,
 
     // core vertex comp[i] corresponds to cur vertex survivors[comp[i]].
     std::vector<SideVertexHint> sub_hints;
-    if (have_hints) {
-      sub_hints.resize(sub->NumVertices());
-      for (VertexId i = 0; i < sub->NumVertices(); ++i) {
-        const VertexId cur_v = survivors[comp[i]];
-        SideVertexHint h = item.hints[cur_v];
-        if (h == SideVertexHint::kStrong && !peel_touched.empty() &&
-            peel_touched[cur_v]) {
-          h = SideVertexHint::kRecheck;
-        }
-        sub_hints[i] = h;
-      }
-    }
-
-    // --- cut search (Alg. 1 line 5) ---
-    GlobalCutResult found = GlobalCut(*sub, k, sub_hints, options, &stats,
-                                      &scratch.cut_scratch, scheduler,
-                                      cancel);
-
-    if (found.cut.empty()) {
-      // sub is k-vertex-connected and maximal within this branch: k-VCC.
-      std::vector<VertexId> ids;
-      ids.reserve(sub->NumVertices());
-      for (VertexId v = 0; v < sub->NumVertices(); ++v) {
-        ids.push_back(sub_as_root ? v : sub->LabelOf(v));
-      }
-      std::sort(ids.begin(), ids.end());
-      emit(std::move(ids));
-      ++stats.kvccs_found;
-      continue;
-    }
-
-    // --- overlapped partition (Alg. 1 line 9) ---
-    ++stats.overlap_partitions;
-    // The strong-side verdicts live in the cut scratch (GlobalCutResult
-    // documents this); they stay valid until the next GlobalCut call, and
-    // every use below happens before this loop iteration ends.
-    const std::vector<bool>& strong_side = scratch.cut_scratch.side.strong;
-    const std::vector<bool>* cut_touched = nullptr;
-    if (maintain && found.strong_side_valid) {
-      cut_touched = &NeighborsOfSet(*sub, found.cut, scratch);
-    }
-    for (PartitionPiece& piece :
-         OverlapPartition(*sub, found.cut, sub_as_root)) {
-      std::vector<SideVertexHint> child_hints;
-      if (maintain && found.strong_side_valid) {
-        child_hints.resize(piece.graph.NumVertices());
-        for (VertexId i = 0; i < piece.graph.NumVertices(); ++i) {
-          const VertexId sub_v = piece.vertices[i];
-          if (!strong_side[sub_v]) {
-            child_hints[i] = SideVertexHint::kNotStrong;  // Lemma 15.
-          } else if ((*cut_touched)[sub_v]) {
-            child_hints[i] = SideVertexHint::kRecheck;
-          } else {
-            child_hints[i] = SideVertexHint::kStrong;  // Lemma 16.
-          }
-        }
-      }
-      spawn(WorkItem{std::move(piece.graph), std::move(child_hints)});
-    }
+    build_hints([&](VertexId i) { return survivors[comp[i]]; },
+                sub->NumVertices(), sub_hints);
+    run_cut(*sub, sub_as_root, sub_hints);
   }
 }
 

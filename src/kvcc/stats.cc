@@ -44,6 +44,9 @@ void KvccStats::Add(const KvccStats& other) {
   kvccs_found += other.kvccs_found;
   kcore_rounds += other.kcore_rounds;
   kcore_removed_vertices += other.kcore_removed_vertices;
+  kcore_bucket_rounds += other.kcore_bucket_rounds;
+  cc_hooks += other.cc_hooks;
+  prune_fused_passes += other.prune_fused_passes;
   certificate_edges_input += other.certificate_edges_input;
   certificate_edges_kept += other.certificate_edges_kept;
   side_groups_found += other.side_groups_found;
@@ -84,6 +87,9 @@ std::string KvccStats::ToJson() const {
       << ", \"kvccs_found\": " << kvccs_found
       << ", \"kcore_rounds\": " << kcore_rounds
       << ", \"kcore_removed_vertices\": " << kcore_removed_vertices
+      << ", \"kcore_bucket_rounds\": " << kcore_bucket_rounds
+      << ", \"cc_hooks\": " << cc_hooks
+      << ", \"prune_fused_passes\": " << prune_fused_passes
       << ", \"certificate_edges_input\": " << certificate_edges_input
       << ", \"certificate_edges_kept\": " << certificate_edges_kept
       << ", \"side_groups_found\": " << side_groups_found
@@ -118,6 +124,9 @@ std::string KvccStats::ToString() const {
       << " flow_calls=" << loc_cut_flow_calls
       << " partitions=" << overlap_partitions << " kvccs=" << kvccs_found
       << " kcore_removed=" << kcore_removed_vertices << "\n"
+      << "preprocess: bucket_rounds=" << kcore_bucket_rounds
+      << " cc_hooks=" << cc_hooks
+      << " fused_passes=" << prune_fused_passes << "\n"
       << "certificate: edges " << certificate_edges_input << " -> "
       << certificate_edges_kept << ", side_groups=" << side_groups_found
       << ", strong_side=" << strong_side_vertices_found

@@ -10,6 +10,9 @@
 
 #include "gen/fixtures.h"
 #include "gen/harary.h"
+#include "graph/connected_components.h"
+#include "graph/k_core.h"
+#include "graph/preprocess.h"
 #include "kvcc/cut_oracle.h"
 #include "kvcc/global_cut.h"
 #include "util/process_memory.h"
@@ -149,6 +152,69 @@ TEST(MemoryTrackerTest, WarmCutDisconnectsAllocatesNothing) {
   }
   EXPECT_EQ(MemoryTracker::PeakBytes(), baseline)
       << "steady-state cut verification touched the allocator";
+}
+
+// Warm-path preprocessing kernels (serial path, scheduler == nullptr):
+// once the pooled scratch has grown to a graph's high-water mark, repeat
+// calls on that graph must not touch the allocator. These are the per-
+// work-item kernels of the enumeration recursion, so a single decompose
+// run calls them thousands of times.
+TEST(MemoryTrackerTest, WarmLabelComponentsIntoAllocatesNothing) {
+  ASSERT_TRUE(MemoryTracker::Enabled());
+  const Graph g = TwoCliquesSharing(10, 2);
+  CcScratch scratch;
+  ComponentLabeling labeling;
+  for (int warm = 0; warm < 2; ++warm) {
+    LabelComponentsInto(g, scratch, labeling);
+  }
+  ASSERT_EQ(labeling.count, 1u);
+  MemoryTracker::ResetPeak();
+  const std::uint64_t baseline = MemoryTracker::CurrentBytes();
+  for (int round = 0; round < 10; ++round) {
+    LabelComponentsInto(g, scratch, labeling);
+  }
+  EXPECT_EQ(MemoryTracker::PeakBytes(), baseline)
+      << "steady-state component labeling touched the allocator";
+}
+
+TEST(MemoryTrackerTest, WarmKCoreVerticesIntoAllocatesNothing) {
+  ASSERT_TRUE(MemoryTracker::Enabled());
+  const Graph g = TwoCliquesSharing(10, 2);
+  KCoreScratch scratch;
+  std::vector<VertexId> survivors;
+  for (int warm = 0; warm < 2; ++warm) {
+    KCoreVerticesInto(g, 4, nullptr, exec::TaskPriority::kNormal, scratch,
+                      survivors);
+  }
+  ASSERT_FALSE(survivors.empty());
+  MemoryTracker::ResetPeak();
+  const std::uint64_t baseline = MemoryTracker::CurrentBytes();
+  for (int round = 0; round < 10; ++round) {
+    KCoreVerticesInto(g, 4, nullptr, exec::TaskPriority::kNormal, scratch,
+                      survivors);
+  }
+  EXPECT_EQ(MemoryTracker::PeakBytes(), baseline)
+      << "steady-state k-core peel touched the allocator";
+}
+
+// The whole fused prune — peel, masked Afforest, component grouping — on a
+// warm FusedPruneScratch. This is the kernel EnumScratch pools, so zero
+// steady-state allocation here is what makes the per-work-item prune free.
+TEST(MemoryTrackerTest, WarmFusedPruneAllocatesNothing) {
+  ASSERT_TRUE(MemoryTracker::Enabled());
+  const Graph g = TwoCliquesSharing(10, 2);
+  FusedPruneScratch scratch;
+  for (int warm = 0; warm < 2; ++warm) {
+    FusedPrune(g, 4, nullptr, exec::TaskPriority::kNormal, scratch);
+  }
+  ASSERT_FALSE(scratch.survivors.empty());
+  MemoryTracker::ResetPeak();
+  const std::uint64_t baseline = MemoryTracker::CurrentBytes();
+  for (int round = 0; round < 10; ++round) {
+    FusedPrune(g, 4, nullptr, exec::TaskPriority::kNormal, scratch);
+  }
+  EXPECT_EQ(MemoryTracker::PeakBytes(), baseline)
+      << "steady-state fused prune touched the allocator";
 }
 
 TEST(ProcessMemoryTest, RssReadable) {

@@ -45,8 +45,12 @@ int Usage() {
       "  decompose <graph> <k> [--variant=VCCE*|VCCE|VCCE-N|VCCE-G]\n"
       "            [--threads=N] [--probe-batch=B] [--no-intra-cut]\n"
       "            [--cut-oracle=dinic|localvc|hybrid]\n"
+      "            [--format=snap|internal]\n"
       "            [--deadline-ms=D] [--validate] [--stats] [--quiet]\n"
       "            (--threads: 1 = serial, 0 = all hardware threads;\n"
+      "             --format: snap = parallel whitespace edge-list loader\n"
+      "             (labels sorted by raw id, uses --threads), internal =\n"
+      "             serial loader with first-seen labels (default);\n"
       "             --probe-batch: probes per intra-cut wavefront, 0 =\n"
       "             adaptive; --no-intra-cut: disable intra-GLOBAL-CUT\n"
       "             probe parallelism; --cut-oracle: per-probe flow engine\n"
@@ -56,6 +60,7 @@ int Usage() {
       "  stream <graph> <k> [--variant=VCCE*|VCCE|VCCE-N|VCCE-G]\n"
       "         [--threads=N] [--stable-order] [--probe-batch=B]\n"
       "         [--no-intra-cut] [--cut-oracle=dinic|localvc|hybrid]\n"
+      "         [--format=snap|internal]\n"
       "         [--deadline-ms=D] [--stream-buffer=L]\n"
       "         [--priority=interactive|normal|bulk] [--stats]\n"
       "         (NDJSON: one {\"type\": \"component\", ...} line per k-VCC\n"
@@ -67,7 +72,7 @@ int Usage() {
       "          --threads defaults to 0 = all hardware threads)\n"
       "  batch <jobs-file> [--variant=...] [--threads=N] [--probe-batch=B]\n"
       "        [--no-intra-cut] [--cut-oracle=dinic|localvc|hybrid]\n"
-      "        [--deadline-ms=D]\n"
+      "        [--format=snap|internal] [--deadline-ms=D]\n"
       "        [--priority=interactive|normal|bulk] [--stats] [--quiet]\n"
       "        (jobs-file lines: \"<graph> <k> [variant]\"; '#' comments.\n"
       "         All jobs run concurrently on one shared engine; output\n"
@@ -145,8 +150,15 @@ bool ParsePriority(const std::string& value, JobPriority& priority) {
   return true;
 }
 
+/// Input-file loader selection (--format=).
+enum class GraphFormat {
+  kInternal,  ///< serial reader, labels in first-seen order (default)
+  kSnap,      ///< parallel whitespace reader, labels sorted by raw id
+};
+
 /// Flags shared by the decompose and stream subcommands: --variant=,
-/// --threads=, --probe-batch=, --no-intra-cut, --stats. Parsed into state
+/// --threads=, --probe-batch=, --format=, --no-intra-cut, --stats. Parsed
+/// into state
 /// that Options() applies *after* the whole command line is consumed, so a
 /// later --variant= cannot clobber the effect of an earlier flag (each
 /// subcommand likewise applies its own extra flags post-loop).
@@ -182,6 +194,18 @@ struct CommonEnumFlags {
       return ParsePriority(arg.substr(11), priority) ? Parse::kHandled
                                                      : Parse::kError;
     }
+    if (arg.rfind("--format=", 0) == 0) {
+      const std::string name = arg.substr(9);
+      if (name == "snap") {
+        format = GraphFormat::kSnap;
+      } else if (name == "internal") {
+        format = GraphFormat::kInternal;
+      } else {
+        std::cerr << "error: --format expects snap or internal\n";
+        return Parse::kError;
+      }
+      return Parse::kHandled;
+    }
     if (arg == "--no-intra-cut") {
       intra_cut = false;
       return Parse::kHandled;
@@ -211,7 +235,16 @@ struct CommonEnumFlags {
     return options;
   }
 
+  /// Loads a graph per --format. The snap path reuses --threads, so one
+  /// flag scales both loading and enumeration.
+  Graph LoadGraph(const std::string& path) const {
+    return format == GraphFormat::kSnap
+               ? ReadEdgeListFileParallel(path, threads)
+               : ReadEdgeListFile(path);
+  }
+
   KvccOptions variant = KvccOptions::VcceStar();
+  GraphFormat format = GraphFormat::kInternal;
   std::uint32_t threads;
   std::uint32_t probe_batch = 0;
   CutOracleKind cut_oracle = CutOracleKind::kHybrid;
@@ -247,7 +280,7 @@ int CmdDecompose(const std::vector<std::string>& args) {
     }
   }
   const bool stats = flags.stats;
-  const Graph g = ReadEdgeListFile(args[0]);
+  const Graph g = flags.LoadGraph(args[0]);
   const auto k = static_cast<std::uint32_t>(std::stoul(args[1]));
   KvccOptions options = flags.Options();
   options.num_threads = flags.threads;
@@ -307,7 +340,7 @@ int CmdStream(const std::vector<std::string>& args) {
     }
   }
   const bool stats = flags.stats;
-  const Graph g = ReadEdgeListFile(args[0]);
+  const Graph g = flags.LoadGraph(args[0]);
   std::uint32_t k = 0;
   if (!ParseUint(args[1], 0xffffffffUL, k) || k == 0) {
     std::cerr << "error: stream expects an integer k >= 1\n";
@@ -430,7 +463,7 @@ int CmdBatch(const std::vector<std::string>& args) {
   std::map<std::string, Graph> graphs;
   for (const BatchJobLine& job : jobs) {
     if (!graphs.count(job.graph_path)) {
-      graphs.emplace(job.graph_path, ReadEdgeListFile(job.graph_path));
+      graphs.emplace(job.graph_path, flags.LoadGraph(job.graph_path));
     }
   }
 

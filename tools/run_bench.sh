@@ -33,7 +33,7 @@ fi
 cmake --build "$BUILD_DIR" -j \
   --target bench_scalability_threads bench_batch_throughput \
            bench_stream_latency bench_cancellation bench_cut_oracle \
-           bench_micro_kvcc 2>/dev/null ||
+           bench_preprocessing bench_micro_kvcc 2>/dev/null ||
   cmake --build "$BUILD_DIR" -j
 
 BUILD_TYPE="$(build_type)"
@@ -72,6 +72,13 @@ rm -f "$OUT_FILE"
 # for Dinic vs LocalVC vs Hybrid on the hub-heavy and planted scenarios
 # (hard-fails if any engine's decomposition diverges from the baseline).
 "$BUILD_DIR/bench_cut_oracle" --json="$OUT_FILE" \
+  --build-type="$BUILD_TYPE" --commit="$GIT_COMMIT"
+
+# Preprocessing pipeline: bytes-on-disk to first GLOBAL-CUT for the fused
+# flat-parallel prune (parallel loader + Afforest + bucket peel) vs the
+# staged serial baseline (hard-fails on any output or counter divergence
+# across pipelines or thread counts).
+"$BUILD_DIR/bench_preprocessing" --threads=1,2,8 --json="$OUT_FILE" \
   --build-type="$BUILD_TYPE" --commit="$GIT_COMMIT"
 
 # google-benchmark micro suite, if it was built. The report is wrapped in
@@ -114,6 +121,12 @@ if ! grep -q '"bench": "cut_oracle"' "$OUT_FILE" ||
    ! grep -q '"scenario": "hub_heavy"' "$OUT_FILE" ||
    ! grep -q '"probe_edges_touched"' "$OUT_FILE"; then
   echo "run_bench.sh: snapshot is missing the cut-oracle entry" >&2
+  exit 1
+fi
+if ! grep -q '"bench": "preprocessing"' "$OUT_FILE" ||
+   ! grep -q '"first_cut_ms"' "$OUT_FILE" ||
+   ! grep -q '"speedup_vs_staged"' "$OUT_FILE"; then
+  echo "run_bench.sh: snapshot is missing the preprocessing-pipeline entry" >&2
   exit 1
 fi
 echo "perf snapshot written to $OUT_FILE (Release @ $GIT_COMMIT)"
