@@ -140,16 +140,18 @@ class KvccEngine {
   /// Built on the same delivery channel as SubmitStreaming. The job is
   /// detached from the Wait table: completion, stats, and errors are all
   /// observed through the stream (Next() rethrows job errors), and
-  /// destroying the stream mid-flight abandons the remaining components
-  /// without blocking — and fires the job's cancel token, so the
-  /// remaining recursion short-circuits at the next task / probe
-  /// boundary instead of draining (bookkeeping is still reclaimed
-  /// normally). With options.stream_buffer_limit > 0 the channel is
-  /// bounded: a producer that runs `limit` components ahead of Next()
-  /// blocks until the consumer catches up, the stream is abandoned, or
-  /// the job is cancelled. The stream must not outlive the engine.
+  /// destroying the stream mid-flight abandons the remaining components,
+  /// fires the job's cancel token — so the remaining recursion
+  /// short-circuits at the next task / probe boundary instead of
+  /// draining (bookkeeping is still reclaimed normally) — and then joins
+  /// the job, returning once its final task has retired. With
+  /// options.stream_buffer_limit > 0 the channel is bounded: a producer
+  /// that runs `limit` components ahead of Next() blocks until the
+  /// consumer catches up, the stream is abandoned, or the job is
+  /// cancelled. The stream must not outlive the engine.
   /// \param g The graph to decompose; borrowed, must stay alive until the
-  ///   stream reports completion or the engine is destroyed.
+  ///   stream reports completion or is destroyed (abandonment joins the
+  ///   job, so either event means no worker reads the graph anymore).
   /// \param k Connectivity parameter (>= 1).
   /// \param options Algorithm options (num_threads ignored; stable_order
   ///   selects ordered delivery; stream_buffer_limit bounds the channel;

@@ -143,6 +143,49 @@ std::uint32_t KvccHierarchy::CohesionOf(VertexId v) const {
   return v < cohesion_.size() ? cohesion_[v] : 0;
 }
 
+std::vector<std::uint64_t> KvccHierarchy::PathOf(VertexId v) const {
+  std::vector<std::uint64_t> sizes;
+  const auto contains = [&](std::size_t index) {
+    const std::vector<VertexId>& vs = nodes[index].vertices;
+    return std::binary_search(vs.begin(), vs.end(), v);
+  };
+  std::size_t current = HierarchyNode::kNoParent;
+  if (!levels.empty()) {
+    for (std::size_t index : levels[0]) {
+      if (contains(index)) {
+        current = index;
+        break;
+      }
+    }
+  }
+  while (current != HierarchyNode::kNoParent) {
+    sizes.push_back(nodes[current].vertices.size());
+    std::size_t next = HierarchyNode::kNoParent;
+    for (std::size_t child : nodes[current].children) {
+      if (contains(child)) {
+        next = child;
+        break;
+      }
+    }
+    current = next;
+  }
+  return sizes;
+}
+
+std::uint64_t KvccHierarchy::MemoryBytes() const {
+  std::uint64_t bytes = sizeof(KvccHierarchy);
+  for (const HierarchyNode& node : nodes) {
+    bytes += sizeof(HierarchyNode);
+    bytes += node.vertices.size() * sizeof(VertexId);
+    bytes += node.children.size() * sizeof(std::size_t);
+  }
+  for (const std::vector<std::size_t>& level : levels) {
+    bytes += level.size() * sizeof(std::size_t);
+  }
+  bytes += cohesion_.size() * sizeof(std::uint32_t);
+  return bytes;
+}
+
 KvccHierarchy BuildKvccHierarchy(const Graph& g, std::uint32_t max_level,
                                  const KvccOptions& options) {
   KvccHierarchy hierarchy;

@@ -74,6 +74,26 @@ struct KvccHierarchy {
   /// it).
   std::uint32_t CohesionOf(VertexId v) const;
 
+  /// \brief Sizes of the components containing v, level 1 first.
+  ///
+  /// Since k-VCCs at one level may overlap (in up to k-1 vertices), a
+  /// vertex can sit in several components of a level; the path follows
+  /// the first containing node in construction order at every level,
+  /// which is deterministic for a given build. Used by kvccd's
+  /// membership responses, so a cached hierarchy answers them
+  /// byte-identically to a fresh one.
+  /// \param v A vertex id of the input graph.
+  /// \return One size per level from 1 to CohesionOf(v); empty if no
+  /// component holds v.
+  std::vector<std::uint64_t> PathOf(VertexId v) const;
+
+  /// \brief Approximate heap footprint of the hierarchy, in bytes.
+  ///
+  /// The byte-budget currency of kvccd's result cache.
+  /// \return The estimate (element counts, not capacities, so it is
+  /// reproducible across builds).
+  std::uint64_t MemoryBytes() const;
+
  private:
   /// \cond INTERNAL
   friend KvccHierarchy BuildKvccHierarchy(const Graph&, std::uint32_t,

@@ -34,6 +34,14 @@ void ResultStream::Abandon() {
   // and a producer blocked on a bounded channel wakes and drops.
   channel_->cancel.RequestCancel();
   channel_->cv.notify_all();
+  // Join the job before returning. A detached SubmitStream job reads the
+  // caller's Graph through a raw pointer in its root task; if Abandon()
+  // returned while that task was still running, the caller could destroy
+  // the graph under it. `complete` is published by the job's final task
+  // (after every task has retired), so waiting for it here makes
+  // "stream destroyed" imply "no worker touches the job's inputs".
+  std::unique_lock<std::mutex> lock(channel_->mutex);
+  channel_->cv.wait(lock, [&] { return channel_->complete; });
 }
 
 std::optional<StreamedComponent> ResultStream::Next() {

@@ -128,8 +128,12 @@ struct StreamChannel {
 /// and the job's cancel token is requested, so its remaining recursion
 /// short-circuits at the next task / probe boundary and the workers
 /// return promptly instead of draining the whole tree (the partial
-/// bookkeeping is still reclaimed normally). A stream must not outlive
-/// its engine.
+/// bookkeeping is still reclaimed normally). Abandonment then joins the
+/// job — it blocks until the final task has retired — so once the stream
+/// is gone the caller may destroy the graph it submitted: a detached
+/// SubmitStream job reads that graph in place, and the join is what
+/// makes the detachment memory-safe. A stream must not outlive its
+/// engine.
 class ResultStream {
  public:
   /// \brief Streams are movable but not copyable (one consumer per job).
@@ -142,7 +146,8 @@ class ResultStream {
   ResultStream& operator=(const ResultStream&) = delete;
 
   /// \brief Abandons the stream if it was not fully drained (see class
-  /// comment); never blocks on the job.
+  /// comment): cancels the job and joins it, blocking until its final
+  /// task retires so the submitted graph may be destroyed afterwards.
   ~ResultStream();
 
   /// \brief Blocks until the next component is available and returns it;

@@ -1,0 +1,63 @@
+#include "server/admission.h"
+
+namespace kvcc {
+namespace server {
+
+AdmissionController::AdmissionController(const AdmissionLimits& limits)
+    : limits_(limits) {}
+
+bool AdmissionController::TryAdmit(JobPriority priority) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t cls = static_cast<std::size_t>(priority);
+  const std::uint32_t total = running_[0] + running_[1] + running_[2];
+  std::uint32_t class_cap = 0;
+  switch (priority) {
+    case JobPriority::kInteractive: class_cap = limits_.max_interactive;
+      break;
+    case JobPriority::kNormal: class_cap = limits_.max_normal; break;
+    case JobPriority::kBulk: class_cap = limits_.max_bulk; break;
+  }
+  bool admit = true;
+  if (class_cap != 0 && running_[cls] >= class_cap) admit = false;
+  if (limits_.max_total != 0 && total >= limits_.max_total) admit = false;
+  if (priority == JobPriority::kBulk && limits_.max_total != 0 &&
+      limits_.bulk_reserve != 0) {
+    // Bulk never takes the last bulk_reserve total slots.
+    const std::uint32_t bulk_ceiling =
+        limits_.max_total > limits_.bulk_reserve
+            ? limits_.max_total - limits_.bulk_reserve
+            : 0;
+    if (total >= bulk_ceiling) admit = false;
+  }
+  if (!admit) {
+    ++jobs_shed_;
+    if (priority == JobPriority::kBulk) ++bulk_shed_;
+    return false;
+  }
+  ++running_[cls];
+  return true;
+}
+
+void AdmissionController::Release(JobPriority priority) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t cls = static_cast<std::size_t>(priority);
+  if (running_[cls] > 0) --running_[cls];
+}
+
+std::uint32_t AdmissionController::Running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_[0] + running_[1] + running_[2];
+}
+
+std::uint64_t AdmissionController::JobsShed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return jobs_shed_;
+}
+
+std::uint64_t AdmissionController::BulkShed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bulk_shed_;
+}
+
+}  // namespace server
+}  // namespace kvcc

@@ -1,0 +1,86 @@
+// Admission control for kvccd: per-class running-job caps plus a
+// shed-bulk-first total cap.
+//
+// kvccd admits a request before touching the engine; a rejected request
+// costs one "overloaded" error line and nothing else. The policy is
+// deliberately deterministic — admission depends only on the counts of
+// currently admitted jobs, never on time or load averages — so the
+// protocol tests can drive the controller to its limits and assert the
+// exact shed decisions (tests/kvccd_protocol_test.cc).
+#ifndef KVCC_SERVER_ADMISSION_H_
+#define KVCC_SERVER_ADMISSION_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "kvcc/options.h"
+
+/// \file
+/// \brief AdmissionController: deterministic per-class admission with
+/// bulk shed under pressure.
+
+namespace kvcc {
+namespace server {
+
+/// \brief Admission limits. A zero cap means "unlimited" for that knob.
+struct AdmissionLimits {
+  /// \brief Max running interactive jobs.
+  std::uint32_t max_interactive = 0;
+  /// \brief Max running normal jobs.
+  std::uint32_t max_normal = 0;
+  /// \brief Max running bulk jobs.
+  std::uint32_t max_bulk = 0;
+  /// \brief Max running jobs across all classes.
+  std::uint32_t max_total = 0;
+  /// \brief Headroom reserved for non-bulk work: with a total cap of T
+  /// and a reserve of R, bulk jobs are admitted only while fewer than
+  /// T - R jobs run in total. This is what makes bulk shed *first* as
+  /// the server fills: the last R total slots are never given to bulk.
+  std::uint32_t bulk_reserve = 0;
+};
+
+/// \brief Tracks running jobs per class and decides admission.
+///
+/// Thread-safe; TryAdmit/Release are a matched pair around each served
+/// job. Counters are monotone and replay-identical for a given request
+/// sequence.
+class AdmissionController {
+ public:
+  /// \brief Creates a controller with the given limits.
+  /// \param limits The caps; zeros mean unlimited.
+  explicit AdmissionController(const AdmissionLimits& limits);
+
+  /// \brief Tries to admit one job of class `priority`.
+  /// \param priority The job's latency class.
+  /// \return True and counts the job as running, or false (shed) without
+  ///   side effects beyond the shed counter.
+  bool TryAdmit(JobPriority priority);
+
+  /// \brief Releases a previously admitted job of class `priority`.
+  /// \param priority The class passed to the matching TryAdmit.
+  void Release(JobPriority priority);
+
+  /// \brief Jobs currently admitted and not yet released.
+  /// \return The total running count.
+  std::uint32_t Running() const;
+
+  /// \brief Requests rejected by TryAdmit so far (all classes).
+  /// \return The shed count (monotone).
+  std::uint64_t JobsShed() const;
+
+  /// \brief Bulk-class requests rejected so far.
+  /// \return The bulk shed count (monotone).
+  std::uint64_t BulkShed() const;
+
+ private:
+  AdmissionLimits limits_;
+  mutable std::mutex mutex_;
+  std::uint32_t running_[3] = {0, 0, 0};  // indexed by JobPriority
+  std::uint64_t jobs_shed_ = 0;
+  std::uint64_t bulk_shed_ = 0;
+};
+
+}  // namespace server
+}  // namespace kvcc
+
+#endif  // KVCC_SERVER_ADMISSION_H_

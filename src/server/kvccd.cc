@@ -1,0 +1,310 @@
+#include "server/kvccd.h"
+
+#include <algorithm>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "graph/graph_io.h"
+#include "kvcc/hierarchy.h"
+#include "kvcc/job_control.h"
+
+namespace kvcc {
+namespace server {
+namespace {
+
+/// Pairs every TryAdmit with its Release, whatever path the handler
+/// takes out.
+class AdmissionGuard {
+ public:
+  AdmissionGuard(AdmissionController& admission, JobPriority priority)
+      : admission_(admission),
+        priority_(priority),
+        admitted_(admission.TryAdmit(priority)) {}
+  ~AdmissionGuard() {
+    if (admitted_) admission_.Release(priority_);
+  }
+  AdmissionGuard(const AdmissionGuard&) = delete;
+  AdmissionGuard& operator=(const AdmissionGuard&) = delete;
+
+  bool admitted() const { return admitted_; }
+
+ private:
+  AdmissionController& admission_;
+  JobPriority priority_;
+  bool admitted_;
+};
+
+const char* PriorityName(JobPriority priority) {
+  switch (priority) {
+    case JobPriority::kInteractive: return "interactive";
+    case JobPriority::kBulk: return "bulk";
+    case JobPriority::kNormal: break;
+  }
+  return "normal";
+}
+
+}  // namespace
+
+KvccdServer::KvccdServer(const KvccdConfig& config)
+    : config_(config),
+      engine_(config.engine_threads),
+      cache_(config.cache_bytes),
+      admission_(config.admission) {}
+
+void KvccdServer::ServeConnection(Transport& transport) {
+  std::string line;
+  while (transport.ReadLine(line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;  // blank keep-alive line
+    }
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    std::string detail;
+    if (line.size() > kMaxRequestBytes) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      if (!transport.WriteLine(ErrorLine(
+              "overlong", "request exceeds " +
+                              std::to_string(kMaxRequestBytes) + " bytes"))) {
+        return;
+      }
+      continue;
+    }
+    if (!IsValidUtf8(line)) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      if (!transport.WriteLine(
+              ErrorLine("invalid-utf8", "request is not valid UTF-8"))) {
+        return;
+      }
+      continue;
+    }
+    JsonValue json;
+    if (!ParseJson(line, json, detail)) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      if (!transport.WriteLine(ErrorLine("malformed", detail))) return;
+      continue;
+    }
+    Request request;
+    if (!ParseRequest(json, request, detail)) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      if (!transport.WriteLine(ErrorLine("bad-request", detail))) return;
+      continue;
+    }
+    if (!Dispatch(transport, request)) return;
+  }
+}
+
+bool KvccdServer::Dispatch(Transport& transport, const Request& request) {
+  if (request.op == Request::Op::kPing) {
+    return transport.WriteLine(PongLine());
+  }
+  if (request.op == Request::Op::kStats) {
+    return transport.WriteLine(StatsLine());
+  }
+
+  Graph g;
+  std::string error;
+  if (!ResolveGraph(request, g, error)) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return transport.WriteLine(ErrorLine("graph", error));
+  }
+
+  AdmissionGuard guard(admission_, request.options.priority);
+  if (!guard.admitted()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return transport.WriteLine(ErrorLine(
+        "overloaded", std::string("admission limit reached for class '") +
+                          PriorityName(request.options.priority) +
+                          "'; retry later"));
+  }
+  switch (request.op) {
+    case Request::Op::kDecompose:
+      return HandleDecompose(transport, request, g);
+    case Request::Op::kHierarchy:
+      return HandleHierarchy(transport, request, g);
+    case Request::Op::kMembership:
+      return HandleMembership(transport, request, g);
+    case Request::Op::kPing:
+    case Request::Op::kStats:
+      break;  // handled above
+  }
+  return true;
+}
+
+bool KvccdServer::ResolveGraph(const Request& request, Graph& g,
+                               std::string& error) {
+  if (request.has_edges) {
+    VertexId num_vertices = 0;
+    for (const auto& [u, v] : request.edges) {
+      num_vertices = std::max({num_vertices, u + 1, v + 1});
+    }
+    g = Graph::FromEdges(num_vertices, request.edges);
+    return true;
+  }
+  try {
+    g = ReadEdgeListFile(request.graph_path);
+  } catch (const std::exception& e) {
+    error = e.what();
+    return false;
+  }
+  return true;
+}
+
+bool KvccdServer::EmitDecompose(Transport& transport, const Request& request,
+                                const ComponentList& components) {
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    if (!transport.WriteLine(ComponentLine(i, components[i]))) return false;
+  }
+  return transport.WriteLine(
+      DecomposeCompleteLine(request.k, components.size()));
+}
+
+bool KvccdServer::HandleDecompose(Transport& transport,
+                                  const Request& request, const Graph& g) {
+  const std::shared_ptr<const ComponentList> cached =
+      cache_.LookupComponents(g, request.k);
+  if (cached != nullptr) {
+    // Replay: regenerate the cold run's progress cadence from the
+    // component count, then the identical component and complete lines.
+    if (request.progress_every != 0) {
+      for (std::uint64_t d = request.progress_every; d <= cached->size();
+           d += request.progress_every) {
+        if (!transport.WriteLine(ProgressLine(d))) return false;
+      }
+    }
+    return EmitDecompose(transport, request, *cached);
+  }
+
+  KvccOptions options = request.options;
+  options.stream_buffer_limit = config_.stream_buffer_limit;
+  auto components = std::make_shared<ComponentList>();
+  std::uint64_t delivered = 0;
+  try {
+    ResultStream stream = engine_.SubmitStream(g, request.k, options);
+    for (;;) {
+      std::optional<StreamedComponent> component = stream.Next();
+      if (!component.has_value()) break;
+      components->push_back(std::move(component->vertices));
+      ++delivered;
+      // The cold run's only mid-compute output: a deterministic
+      // count-based heartbeat. Its write is where a gone client is
+      // noticed mid-job (returning destroys `stream`, which abandons the
+      // channel and fires the job's cancel token) and where a slow
+      // reader's transport backpressure reaches the engine.
+      if (request.progress_every != 0 &&
+          delivered % request.progress_every == 0) {
+        if (!transport.WriteLine(ProgressLine(delivered))) {
+          disconnect_cancels_.fetch_add(1, std::memory_order_relaxed);
+          return false;
+        }
+      }
+    }
+  } catch (const JobCancelled&) {
+    deadline_cancels_.fetch_add(1, std::memory_order_relaxed);
+    return transport.WriteLine(CancelledLine("decompose", delivered));
+  } catch (const std::exception& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return transport.WriteLine(ErrorLine("internal", e.what()));
+  }
+  std::sort(components->begin(), components->end());
+  cache_.InsertComponents(g, request.k, components);
+  return EmitDecompose(transport, request, *components);
+}
+
+std::shared_ptr<const KvccHierarchy> KvccdServer::ObtainHierarchy(
+    Transport& transport, const Request& request, const Graph& g,
+    std::uint32_t max_level, bool need_exhausted, const char* op,
+    bool& connection_alive) {
+  connection_alive = true;
+  std::shared_ptr<const KvccHierarchy> hierarchy =
+      cache_.LookupHierarchy(g, max_level, need_exhausted);
+  if (hierarchy != nullptr) return hierarchy;
+  try {
+    auto built = std::make_shared<KvccHierarchy>(
+        BuildKvccHierarchy(engine_, g, max_level, request.options));
+    const bool exhausted =
+        max_level == 0 || built->MaxLevel() < max_level;
+    cache_.InsertHierarchy(g, built, max_level, exhausted);
+    return built;
+  } catch (const JobCancelled&) {
+    deadline_cancels_.fetch_add(1, std::memory_order_relaxed);
+    connection_alive = transport.WriteLine(CancelledLine(op, 0));
+  } catch (const std::exception& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    connection_alive = transport.WriteLine(ErrorLine("internal", e.what()));
+  }
+  return nullptr;
+}
+
+bool KvccdServer::HandleHierarchy(Transport& transport,
+                                  const Request& request, const Graph& g) {
+  bool connection_alive = true;
+  const std::shared_ptr<const KvccHierarchy> hierarchy = ObtainHierarchy(
+      transport, request, g, request.max_k, request.max_k == 0, "hierarchy",
+      connection_alive);
+  if (hierarchy == nullptr) return connection_alive;
+  std::uint32_t levels = hierarchy->MaxLevel();
+  if (request.max_k != 0) levels = std::min(levels, request.max_k);
+  for (std::uint32_t k = 1; k <= levels; ++k) {
+    const std::vector<std::size_t>& nodes = hierarchy->NodesAtLevel(k);
+    std::uint64_t largest = 0;
+    for (const std::size_t index : nodes) {
+      largest =
+          std::max<std::uint64_t>(largest,
+                                  hierarchy->nodes[index].vertices.size());
+    }
+    if (!transport.WriteLine(LevelLine(k, nodes.size(), largest))) {
+      return false;
+    }
+  }
+  return transport.WriteLine(HierarchyCompleteLine(levels));
+}
+
+bool KvccdServer::HandleMembership(Transport& transport,
+                                   const Request& request, const Graph& g) {
+  if (request.vertex >= g.NumVertices()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return transport.WriteLine(
+        ErrorLine("bad-request", "vertex out of range"));
+  }
+  bool connection_alive = true;
+  const std::shared_ptr<const KvccHierarchy> hierarchy =
+      ObtainHierarchy(transport, request, g, /*max_level=*/0,
+                      /*need_exhausted=*/true, "membership",
+                      connection_alive);
+  if (hierarchy == nullptr) return connection_alive;
+  return transport.WriteLine(MembershipLine(
+      g.LabelOf(request.vertex), hierarchy->CohesionOf(request.vertex),
+      hierarchy->PathOf(request.vertex)));
+}
+
+std::string KvccdServer::StatsLine() const {
+  std::string line = "{\"type\":\"stats\",\"requests\":";
+  line += std::to_string(requests_.load(std::memory_order_relaxed));
+  line += ",\"errors\":";
+  line += std::to_string(errors_.load(std::memory_order_relaxed));
+  line += ",\"cache_hits\":";
+  line += std::to_string(cache_.Hits());
+  line += ",\"cache_misses\":";
+  line += std::to_string(cache_.Misses());
+  line += ",\"cache_evictions\":";
+  line += std::to_string(cache_.Evictions());
+  line += ",\"cache_entries\":";
+  line += std::to_string(cache_.Entries());
+  line += ",\"cache_bytes\":";
+  line += std::to_string(cache_.BytesUsed());
+  line += ",\"jobs_shed\":";
+  line += std::to_string(admission_.JobsShed());
+  line += ",\"bulk_shed\":";
+  line += std::to_string(admission_.BulkShed());
+  line += ",\"running\":";
+  line += std::to_string(admission_.Running());
+  line += ",\"disconnect_cancels\":";
+  line += std::to_string(disconnect_cancels_.load(std::memory_order_relaxed));
+  line += ",\"deadline_cancels\":";
+  line += std::to_string(deadline_cancels_.load(std::memory_order_relaxed));
+  line += "}";
+  return line;
+}
+
+}  // namespace server
+}  // namespace kvcc

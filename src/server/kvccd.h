@@ -1,0 +1,136 @@
+// kvccd: a long-lived k-VCC decomposition service.
+//
+// One KvccdServer owns one KvccEngine (persistent work-stealing pool),
+// one ResultCache, and one AdmissionController; any number of connection
+// threads call ServeConnection concurrently. The connection loop maps:
+//
+//   * request lines        -> KvccEngine::SubmitStream jobs (decompose)
+//                             or BuildKvccHierarchy jobs (hierarchy /
+//                             membership);
+//   * client disconnect    -> stream abandonment, which fires the job's
+//                             CancelToken (Engine::Cancel semantics);
+//   * slow readers         -> Transport::WriteLine backpressure, chained
+//                             to the engine's bounded stream channel;
+//   * admission caps       -> one "overloaded" error line, bulk shed
+//                             first (AdmissionController);
+//   * deadline expiry      -> one "cancelled" close line, connection
+//                             stays alive.
+//
+// The server is transport-agnostic (the Transport seam): production runs
+// TcpTransport connections (tools/kvccd_cli.cc), the protocol tests run
+// deterministic in-process loopback pairs. Protocol and byte-identity
+// guarantees are documented in docs/SERVING.md.
+#ifndef KVCC_SERVER_KVCCD_H_
+#define KVCC_SERVER_KVCCD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "kvcc/engine.h"
+#include "server/admission.h"
+#include "server/protocol.h"
+#include "server/result_cache.h"
+#include "server/transport.h"
+
+/// \file
+/// \brief KvccdServer: the kvccd request loop — admission, cache,
+/// engine, NDJSON rendering — behind the Transport seam.
+
+namespace kvcc {
+namespace server {
+
+/// \brief Configuration of one KvccdServer.
+struct KvccdConfig {
+  /// \brief Engine worker threads; 0 = one per hardware thread.
+  unsigned engine_threads = 1;
+  /// \brief Result-cache byte budget; 0 disables caching.
+  std::uint64_t cache_bytes = 64u << 20;
+  /// \brief Admission caps; zeros mean unlimited.
+  AdmissionLimits admission;
+  /// \brief KvccOptions::stream_buffer_limit applied to every decompose
+  /// job: bounds undelivered components, so a slow reader parks the
+  /// producing worker instead of growing server memory. 0 = unbounded.
+  std::uint32_t stream_buffer_limit = 64;
+};
+
+/// \brief The kvccd request loop. Thread-safe: one instance serves any
+/// number of concurrent connections.
+class KvccdServer {
+ public:
+  /// \brief Creates the server; the engine's worker pool starts
+  /// immediately.
+  /// \param config Engine, cache, and admission configuration.
+  explicit KvccdServer(const KvccdConfig& config = {});
+
+  /// \brief Serves one connection until the client disconnects.
+  ///
+  /// Reads request lines, writes response lines; returns when ReadLine
+  /// reports EOF or a response write fails (peer gone). Safe to call
+  /// from many threads concurrently.
+  /// \param transport The connection (borrowed for the call).
+  void ServeConnection(Transport& transport);
+
+  /// \brief The decomposition cache (for tests and monitoring).
+  /// \return The cache.
+  const ResultCache& Cache() const { return cache_; }
+
+  /// \brief The admission controller (for tests and monitoring).
+  /// \return The controller.
+  const AdmissionController& Admission() const { return admission_; }
+
+  /// \brief Streams abandoned because a mid-job response write failed —
+  /// each one fired the job's cancel token.
+  /// \return The count (monotone).
+  std::uint64_t DisconnectCancels() const {
+    return disconnect_cancels_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Jobs that ended with a "cancelled" close line because their
+  /// deadline elapsed.
+  /// \return The count (monotone).
+  std::uint64_t DeadlineCancels() const {
+    return deadline_cancels_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Renders the "stats" response line. Every field is a
+  /// deterministic function of the served request sequence (no
+  /// timestamps), so stats replay identically across identical runs.
+  /// \return The NDJSON line.
+  std::string StatsLine() const;
+
+ private:
+  // All handlers return false iff the connection is gone (stop serving).
+  bool Dispatch(Transport& transport, const Request& request);
+  bool HandleDecompose(Transport& transport, const Request& request,
+                       const Graph& g);
+  bool HandleHierarchy(Transport& transport, const Request& request,
+                       const Graph& g);
+  bool HandleMembership(Transport& transport, const Request& request,
+                        const Graph& g);
+  bool EmitDecompose(Transport& transport, const Request& request,
+                     const ComponentList& components);
+  bool ResolveGraph(const Request& request, Graph& g, std::string& error);
+  // Obtains the (cached or freshly built) hierarchy for a hierarchy /
+  // membership request. On null a terminal line was already written
+  // (cancelled / internal error); `connection_alive` reports whether that
+  // write reached the client.
+  std::shared_ptr<const KvccHierarchy> ObtainHierarchy(
+      Transport& transport, const Request& request, const Graph& g,
+      std::uint32_t max_level, bool need_exhausted, const char* op,
+      bool& connection_alive);
+
+  const KvccdConfig config_;
+  KvccEngine engine_;
+  ResultCache cache_;
+  AdmissionController admission_;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> disconnect_cancels_{0};
+  std::atomic<std::uint64_t> deadline_cancels_{0};
+};
+
+}  // namespace server
+}  // namespace kvcc
+
+#endif  // KVCC_SERVER_KVCCD_H_

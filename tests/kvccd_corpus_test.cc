@@ -1,0 +1,70 @@
+// Drives the checked-in malformed-request corpus (tests/support/
+// request_corpus.h) through a live connection: every hostile line must
+// produce exactly one "error" response with the expected code, and the
+// connection must still answer a ping afterwards. One connection serves
+// the whole corpus, so an entry that corrupts parser or connection state
+// breaks the entries after it too.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/kvccd.h"
+#include "server/transport.h"
+#include "support/request_corpus.h"
+
+namespace kvcc {
+namespace {
+
+using server::KvccdServer;
+using server::LoopbackPair;
+using server::MakeLoopbackPair;
+
+TEST(KvccdCorpusTest, EveryEntryYieldsOneErrorAndALiveConnection) {
+  KvccdServer daemon;
+  LoopbackPair pair = MakeLoopbackPair();
+  std::thread serving(
+      [&daemon, &pair] { daemon.ServeConnection(*pair.server); });
+
+  std::string line;
+  for (const testing::MalformedRequest& entry :
+       testing::MalformedRequestCorpus()) {
+    ASSERT_TRUE(pair.client->WriteLine(entry.line)) << entry.name;
+    ASSERT_TRUE(pair.client->ReadLine(line)) << entry.name;
+    const std::string prefix =
+        "{\"type\":\"error\",\"code\":\"" + entry.expected_code + "\"";
+    EXPECT_EQ(line.rfind(prefix, 0), 0u)
+        << entry.name << ": got " << line;
+    // Exactly one response line, and the connection still serves: the
+    // next read returns the pong, not a stray second error line.
+    ASSERT_TRUE(pair.client->WriteLine("{\"op\":\"ping\"}")) << entry.name;
+    ASSERT_TRUE(pair.client->ReadLine(line)) << entry.name;
+    EXPECT_EQ(line, "{\"type\":\"pong\"}") << entry.name;
+  }
+
+  pair.client->Close();
+  serving.join();
+}
+
+TEST(KvccdCorpusTest, CorpusCoversEveryErrorClass) {
+  // Guards the corpus itself: losing a whole failure class (say, every
+  // invalid-utf8 entry) should fail loudly, not silently shrink coverage.
+  std::vector<std::string> expected = {"malformed", "overlong",
+                                       "invalid-utf8", "bad-request"};
+  for (const std::string& code : expected) {
+    bool found = false;
+    for (const testing::MalformedRequest& entry :
+         testing::MalformedRequestCorpus()) {
+      if (entry.expected_code == code) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "no corpus entry for error class " << code;
+  }
+  EXPECT_GE(testing::MalformedRequestCorpus().size(), 30u);
+}
+
+}  // namespace
+}  // namespace kvcc

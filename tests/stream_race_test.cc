@@ -1,0 +1,111 @@
+// TSan-targeted race test for ResultStream abandonment: drop the stream
+// while (a) the producing worker is blocked on the full bounded channel
+// and (b) the job's deadline may fire in the same window. This is the
+// exact three-way collision kvccd's disconnect path creates — connection
+// thread abandoning, worker parked in the delivery section, deadline
+// thread firing the cancel token — and the window where an unsynchronized
+// channel teardown would race. The assertions are weak on purpose (no
+// crash, no hang, live hooks consistent); the sanitizer matrix is the
+// real judge.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "gen/fixtures.h"
+#include "graph/graph.h"
+#include "kvcc/engine.h"
+#include "kvcc/job_control.h"
+#include "kvcc/options.h"
+#include "kvcc/stream.h"
+
+namespace kvcc {
+namespace {
+
+/// `count` disjoint triangles: many small 2-VCCs, so the producer keeps
+/// delivering and reliably hits a capacity-1 channel.
+Graph DisjointTriangles(VertexId count) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId t = 0; t < count; ++t) {
+    const VertexId base = 3 * t;
+    edges.emplace_back(base, base + 1);
+    edges.emplace_back(base + 1, base + 2);
+    edges.emplace_back(base, base + 2);
+  }
+  return Graph::FromEdges(3 * count, edges);
+}
+
+TEST(StreamRaceTest, AbandonWhileProducerBlockedAndDeadlinePending) {
+  const Graph g = DisjointTriangles(32);
+  KvccEngine engine(2);
+  KvccOptions options;
+  options.stream_buffer_limit = 1;
+  options.deadline_ms = 1;  // may fire before, during, or after the drop
+
+  for (int iteration = 0; iteration < 20; ++iteration) {
+    ResultStream stream = engine.SubmitStream(g, 2, options);
+    // Spin (bounded, yielding) until the producer has provably reached
+    // the delivery section: a component is sitting in the full channel
+    // or a delivery has already blocked on it. The deadline may beat us
+    // to it and kill the job first — that interleaving is part of the
+    // test, so give up waiting after a bounded number of yields either
+    // way.
+    for (int spin = 0; spin < 100000; ++spin) {
+      if (stream.BufferedComponents() >= 1 ||
+          stream.BackpressureBlocks() > 0) {
+        break;
+      }
+      std::this_thread::yield();
+    }
+    if (iteration % 2 == 0) {
+      // Half the iterations consume one component first, so the drop
+      // also races with a producer *waking* from backpressure.
+      try {
+        (void)stream.Next();
+      } catch (const JobCancelled&) {
+        // Deadline won the race before the first delivery: fine.
+      }
+    }
+    // Drop the stream. Abandonment fires the cancel token while the
+    // producer may be parked in (or just waking from) the delivery
+    // section and the deadline timer may be firing concurrently.
+  }
+
+  // The engine outlives 20 abandoned jobs and still serves new work.
+  const KvccResult result = engine.Wait(engine.Submit(g, 2));
+  EXPECT_EQ(result.components.size(), 32u);
+}
+
+TEST(StreamRaceTest, AbandonStormAcrossThreads) {
+  // Eight consumer threads each running submit-park-abandon loops on one
+  // shared engine: abandonments, deadline fires, and backpressure wakes
+  // from different jobs interleave on the same worker pool.
+  const Graph g = DisjointTriangles(16);
+  KvccEngine engine(2);
+  std::vector<std::thread> consumers;
+  consumers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    consumers.emplace_back([&engine, &g] {
+      KvccOptions options;
+      options.stream_buffer_limit = 1;
+      options.deadline_ms = 1;
+      for (int iteration = 0; iteration < 5; ++iteration) {
+        ResultStream stream = engine.SubmitStream(g, 2, options);
+        for (int spin = 0; spin < 10000; ++spin) {
+          if (stream.BufferedComponents() >= 1 ||
+              stream.BackpressureBlocks() > 0) {
+            break;
+          }
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (std::thread& t : consumers) t.join();
+  const KvccResult result = engine.Wait(engine.Submit(g, 2));
+  EXPECT_EQ(result.components.size(), 16u);
+}
+
+}  // namespace
+}  // namespace kvcc

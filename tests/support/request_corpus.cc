@@ -1,0 +1,128 @@
+#include "support/request_corpus.h"
+
+#include "server/protocol.h"
+
+namespace kvcc {
+namespace testing {
+
+const std::vector<MalformedRequest>& MalformedRequestCorpus() {
+  static const std::vector<MalformedRequest>* corpus = [] {
+    auto* c = new std::vector<MalformedRequest>();
+    // --- truncated / structurally broken JSON -> "malformed" ---
+    c->push_back({"truncated-object", "{\"op\":\"ping\"", "malformed"});
+    c->push_back({"truncated-string", "{\"op\":\"pi", "malformed"});
+    c->push_back({"truncated-array",
+                  "{\"op\":\"decompose\",\"k\":2,\"edges\":[[0,1],[1",
+                  "malformed"});
+    c->push_back({"truncated-escape", "{\"op\":\"ping\\", "malformed"});
+    c->push_back({"bare-word", "ping", "malformed"});
+    c->push_back({"trailing-junk", "{\"op\":\"ping\"} extra", "malformed"});
+    c->push_back({"two-documents", "{\"op\":\"ping\"}{\"op\":\"ping\"}",
+                  "malformed"});
+    c->push_back({"lone-close-brace", "}", "malformed"});
+    c->push_back({"duplicate-key", "{\"op\":\"ping\",\"op\":\"stats\"}",
+                  "malformed"});
+    c->push_back({"control-char-in-string",
+                  std::string("{\"op\":\"pi\x01ng\"}"), "malformed"});
+    c->push_back({"lone-surrogate", "{\"op\":\"\\ud800\"}", "malformed"});
+    c->push_back({"leading-zero-number",
+                  "{\"op\":\"decompose\",\"k\":007}", "malformed"});
+    c->push_back({"bad-literal", "{\"op\":\"ping\",\"k\":tru}",
+                  "malformed"});
+    {
+      // 40 levels of array nesting: past the parser's depth cap.
+      std::string deep = "{\"op\":";
+      for (int i = 0; i < 40; ++i) deep.push_back('[');
+      for (int i = 0; i < 40; ++i) deep.push_back(']');
+      deep.push_back('}');
+      c->push_back({"nesting-too-deep", deep, "malformed"});
+    }
+
+    // --- overlong line -> "overlong" ---
+    {
+      std::string huge = "{\"op\":\"ping\",\"pad\":\"";
+      huge.append(kvcc::server::kMaxRequestBytes, 'x');
+      huge += "\"}";
+      c->push_back({"overlong-line", huge, "overlong"});
+    }
+
+    // --- invalid UTF-8 -> "invalid-utf8" ---
+    c->push_back({"stray-continuation-byte",
+                  std::string("{\"op\":\"ping\x80\"}"), "invalid-utf8"});
+    c->push_back({"truncated-multibyte",
+                  std::string("{\"op\":\"ping\xC3\"}"), "invalid-utf8"});
+    c->push_back({"overlong-encoding",
+                  std::string("{\"op\":\"\xC0\xAF\"}"), "invalid-utf8"});
+    c->push_back({"utf8-surrogate-bytes",
+                  std::string("{\"op\":\"\xED\xA0\x80\"}"),
+                  "invalid-utf8"});
+    c->push_back({"out-of-range-codepoint",
+                  std::string("{\"op\":\"\xF4\x90\x80\x80\"}"),
+                  "invalid-utf8"});
+
+    // --- valid JSON, invalid request -> "bad-request" ---
+    c->push_back({"not-an-object", "[1,2,3]", "bad-request"});
+    c->push_back({"missing-op", "{\"k\":2}", "bad-request"});
+    c->push_back({"unknown-op", "{\"op\":\"explode\"}", "bad-request"});
+    c->push_back({"op-wrong-type", "{\"op\":42}", "bad-request"});
+    c->push_back({"k-wrong-type",
+                  "{\"op\":\"decompose\",\"k\":\"two\",\"edges\":[[0,1]]}",
+                  "bad-request"});
+    c->push_back({"k-negative",
+                  "{\"op\":\"decompose\",\"k\":-1,\"edges\":[[0,1]]}",
+                  "bad-request"});
+    c->push_back({"k-fractional",
+                  "{\"op\":\"decompose\",\"k\":2.5,\"edges\":[[0,1]]}",
+                  "bad-request"});
+    c->push_back({"k-zero",
+                  "{\"op\":\"decompose\",\"k\":0,\"edges\":[[0,1]]}",
+                  "bad-request"});
+    c->push_back({"k-overflow",
+                  "{\"op\":\"decompose\",\"k\":4294967296,"
+                  "\"edges\":[[0,1]]}",
+                  "bad-request"});
+    c->push_back({"missing-k",
+                  "{\"op\":\"decompose\",\"edges\":[[0,1]]}",
+                  "bad-request"});
+    c->push_back({"missing-graph-source",
+                  "{\"op\":\"decompose\",\"k\":2}", "bad-request"});
+    c->push_back({"both-graph-sources",
+                  "{\"op\":\"decompose\",\"k\":2,\"graph\":\"g.txt\","
+                  "\"edges\":[[0,1]]}",
+                  "bad-request"});
+    c->push_back({"edges-wrong-shape",
+                  "{\"op\":\"decompose\",\"k\":2,\"edges\":[[0,1,2]]}",
+                  "bad-request"});
+    c->push_back({"edges-not-numbers",
+                  "{\"op\":\"decompose\",\"k\":2,"
+                  "\"edges\":[[\"a\",\"b\"]]}",
+                  "bad-request"});
+    c->push_back({"edge-endpoint-overflow",
+                  "{\"op\":\"decompose\",\"k\":2,"
+                  "\"edges\":[[0,4294967295]]}",
+                  "bad-request"});
+    c->push_back({"unknown-field",
+                  "{\"op\":\"ping\",\"shoe_size\":46}", "bad-request"});
+    c->push_back({"field-op-mismatch",
+                  "{\"op\":\"ping\",\"k\":2}", "bad-request"});
+    c->push_back({"unknown-variant",
+                  "{\"op\":\"decompose\",\"k\":2,\"edges\":[[0,1]],"
+                  "\"variant\":\"VCCE-X\"}",
+                  "bad-request"});
+    c->push_back({"unknown-priority",
+                  "{\"op\":\"decompose\",\"k\":2,\"edges\":[[0,1]],"
+                  "\"priority\":\"urgent\"}",
+                  "bad-request"});
+    c->push_back({"membership-missing-vertex",
+                  "{\"op\":\"membership\",\"edges\":[[0,1]]}",
+                  "bad-request"});
+    c->push_back({"empty-graph-path",
+                  "{\"op\":\"decompose\",\"k\":2,\"graph\":\"\"}",
+                  "bad-request"});
+    return c;
+  }();
+  return *corpus;
+}
+
+}  // namespace testing
+}  // namespace kvcc

@@ -1,0 +1,36 @@
+// A checked-in corpus of malformed kvccd request lines.
+//
+// Every entry is one wire line that must produce exactly one "error"
+// response and leave the connection alive — the protocol's promise for
+// arbitrary hostile input. The corpus is shared test data, not a fuzzer:
+// entries are hand-picked minimal representatives of each failure class
+// (truncated JSON, overlong lines, invalid UTF-8, wrong field types,
+// structural abuse), so a regression points at the exact class that
+// broke.
+#ifndef KVCC_TESTS_SUPPORT_REQUEST_CORPUS_H_
+#define KVCC_TESTS_SUPPORT_REQUEST_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+namespace kvcc {
+namespace testing {
+
+/// One malformed request line and the error class it must produce.
+struct MalformedRequest {
+  /// Short stable name for test failure messages.
+  std::string name;
+  /// The raw request line (may contain arbitrary bytes, no newline).
+  std::string line;
+  /// The "code" field the error response must carry ("malformed",
+  /// "overlong", "invalid-utf8", "bad-request").
+  std::string expected_code;
+};
+
+/// The full corpus, in a fixed deterministic order.
+const std::vector<MalformedRequest>& MalformedRequestCorpus();
+
+}  // namespace testing
+}  // namespace kvcc
+
+#endif  // KVCC_TESTS_SUPPORT_REQUEST_CORPUS_H_

@@ -33,7 +33,7 @@ fi
 cmake --build "$BUILD_DIR" -j \
   --target bench_scalability_threads bench_batch_throughput \
            bench_stream_latency bench_cancellation bench_cut_oracle \
-           bench_preprocessing bench_micro_kvcc 2>/dev/null ||
+           bench_preprocessing bench_serving bench_micro_kvcc 2>/dev/null ||
   cmake --build "$BUILD_DIR" -j
 
 BUILD_TYPE="$(build_type)"
@@ -79,6 +79,12 @@ rm -f "$OUT_FILE"
 # staged serial baseline (hard-fails on any output or counter divergence
 # across pipelines or thread counts).
 "$BUILD_DIR/bench_preprocessing" --threads=1,2,8 --json="$OUT_FILE" \
+  --build-type="$BUILD_TYPE" --commit="$GIT_COMMIT"
+
+# kvccd serving: cold decompose vs cache-served repeat through the full
+# protocol loop (hard-fails if a cached response is not byte-identical to
+# the cold run or the cached path is under the 10x serving gate).
+"$BUILD_DIR/bench_serving" --json="$OUT_FILE" \
   --build-type="$BUILD_TYPE" --commit="$GIT_COMMIT"
 
 # google-benchmark micro suite, if it was built. The report is wrapped in
@@ -127,6 +133,11 @@ if ! grep -q '"bench": "preprocessing"' "$OUT_FILE" ||
    ! grep -q '"first_cut_ms"' "$OUT_FILE" ||
    ! grep -q '"speedup_vs_staged"' "$OUT_FILE"; then
   echo "run_bench.sh: snapshot is missing the preprocessing-pipeline entry" >&2
+  exit 1
+fi
+if ! grep -q '"bench": "serving"' "$OUT_FILE" ||
+   ! grep -q '"byte_identical": true' "$OUT_FILE"; then
+  echo "run_bench.sh: snapshot is missing the kvccd serving entry" >&2
   exit 1
 fi
 echo "perf snapshot written to $OUT_FILE (Release @ $GIT_COMMIT)"
