@@ -123,6 +123,9 @@ class Graph {
 
  private:
   friend class GraphBuilder;
+  // The dynamic-graph delta merge (graph/delta_store.h) writes CSR rows
+  // into a reused Graph in place — the seam FromCsr/BuildInto lack.
+  friend class DeltaApplier;
 
   Graph InduceImpl(std::span<const VertexId> vertices, bool as_root) const;
 

@@ -57,6 +57,10 @@
 
 namespace kvcc {
 
+class VersionedGraph;
+class IncrementalKvcc;
+struct IncrementalOutcome;
+
 /// \brief One (graph, k) request for KvccEngine::RunBatch.
 ///
 /// The graph is borrowed: it must stay alive until the batch call returns.
@@ -214,6 +218,21 @@ class KvccEngine {
   /// \throws JobCancelled (or the job's own first error) for the first
   ///   failed job, after all jobs finished.
   std::vector<KvccResult> RunBatch(const std::vector<EngineJobSpec>& jobs);
+
+  /// \brief Catches an incremental decomposition state up to a
+  /// VersionedGraph's current version, running every dirty-region
+  /// re-enumeration (across all levels) as one batch on this engine's
+  /// pool.
+  ///
+  /// Equivalent to state.Update(graph, this) — see
+  /// IncrementalKvcc::Update (kvcc/incremental.h) for the dirty-region
+  /// contract; the patched hierarchy is byte-identical to a cold build
+  /// on the materialized graph at every worker count.
+  /// \param state The incremental state to advance (caller-serialized).
+  /// \param graph The versioned graph to catch up to.
+  /// \return Counters describing the work done.
+  IncrementalOutcome SubmitIncremental(IncrementalKvcc& state,
+                                       const VersionedGraph& graph);
 
  private:
   // Serial-emission-order key of one streamed component (stable_order

@@ -101,6 +101,9 @@ struct KvccHierarchy {
   friend KvccHierarchy BuildKvccHierarchy(KvccEngine&, const Graph&,
                                           std::uint32_t,
                                           const KvccOptions&);
+  // Incremental maintenance (kvcc/incremental.h) reassembles hierarchies
+  // from patched per-level lists, including the cohesion array.
+  friend class IncrementalKvcc;
   /// \endcond
   std::vector<std::uint32_t> cohesion_;  // per input vertex
 };

@@ -61,6 +61,9 @@ void KvccStats::Add(const KvccStats& other) {
   probes_localvc += other.probes_localvc;
   probes_localvc_fallback += other.probes_localvc_fallback;
   probe_edges_touched += other.probe_edges_touched;
+  delta_edges_applied += other.delta_edges_applied;
+  dirty_components += other.dirty_components;
+  incremental_reruns += other.incremental_reruns;
   tasks_cancelled += other.tasks_cancelled;
   cuts_cancelled += other.cuts_cancelled;
   stream_backpressure_blocks += other.stream_backpressure_blocks;
@@ -104,6 +107,9 @@ std::string KvccStats::ToJson() const {
       << ", \"probes_localvc\": " << probes_localvc
       << ", \"probes_localvc_fallback\": " << probes_localvc_fallback
       << ", \"probe_edges_touched\": " << probe_edges_touched
+      << ", \"delta_edges_applied\": " << delta_edges_applied
+      << ", \"dirty_components\": " << dirty_components
+      << ", \"incremental_reruns\": " << incremental_reruns
       << ", \"tasks_cancelled\": " << tasks_cancelled
       << ", \"cuts_cancelled\": " << cuts_cancelled
       << ", \"stream_backpressure_blocks\": " << stream_backpressure_blocks
@@ -140,6 +146,9 @@ std::string KvccStats::ToString() const {
       << "cut oracle: localvc=" << probes_localvc
       << " fallbacks=" << probes_localvc_fallback
       << " edges_touched=" << probe_edges_touched << "\n"
+      << "incremental: delta_edges=" << delta_edges_applied
+      << " dirty_components=" << dirty_components
+      << " reruns=" << incremental_reruns << "\n"
       << "job control: tasks_cancelled=" << tasks_cancelled
       << " cuts_cancelled=" << cuts_cancelled
       << " backpressure_blocks=" << stream_backpressure_blocks

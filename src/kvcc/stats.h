@@ -153,6 +153,23 @@ struct KvccStats {
   /// visible in wall-clock.
   std::uint64_t probe_edges_touched = 0;
 
+  // --- dynamic-graph maintenance counters (kvcc/incremental.h) ---
+  // Booked by IncrementalKvcc::Update. Replay-identical: a given
+  // mutation sequence produces the same totals at every thread count and
+  // with or without an engine — the dirty-region analysis is a pure
+  // function of (old levels, batch, new graph). They stay 0 on static
+  // enumeration runs.
+
+  /// \brief Effective edge deltas consumed by incremental updates
+  /// (inserts of absent edges + deletes of present ones).
+  std::uint64_t delta_edges_applied = 0;
+  /// \brief Old hierarchy components invalidated (not carried verbatim)
+  /// across all updates; strictly below the component total on localized
+  /// edits.
+  std::uint64_t dirty_components = 0;
+  /// \brief Dirty regions re-enumerated (full rebuilds count as one).
+  std::uint64_t incremental_reruns = 0;
+
   // --- job-control diagnostics (PR 5) ---
   // Like the wavefront counters these are *not* replay-identical: they
   // depend on when a cancel trigger or a slow consumer was observed, which

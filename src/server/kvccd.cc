@@ -50,7 +50,12 @@ KvccdServer::KvccdServer(const KvccdConfig& config)
     : config_(config),
       engine_(config.engine_threads),
       cache_(config.cache_bytes),
-      admission_(config.admission) {}
+      admission_(config.admission),
+      dynamic_state_(KvccOptions::VcceStar()) {
+  // Eagerly initialize the dynamic state (on the empty graph) so the
+  // first mutation takes the incremental path, not a cold rebuild.
+  dynamic_state_.Update(dynamic_graph_);
+}
 
 void KvccdServer::ServeConnection(Transport& transport) {
   std::string line;
@@ -101,11 +106,17 @@ bool KvccdServer::Dispatch(Transport& transport, const Request& request) {
     return transport.WriteLine(StatsLine());
   }
 
+  const bool dynamic_op = request.dynamic ||
+                          request.op == Request::Op::kInsertEdges ||
+                          request.op == Request::Op::kDeleteEdges ||
+                          request.op == Request::Op::kCompact;
   Graph g;
-  std::string error;
-  if (!ResolveGraph(request, g, error)) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
-    return transport.WriteLine(ErrorLine("graph", error));
+  if (!dynamic_op) {
+    std::string error;
+    if (!ResolveGraph(request, g, error)) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return transport.WriteLine(ErrorLine("graph", error));
+    }
   }
 
   AdmissionGuard guard(admission_, request.options.priority);
@@ -118,16 +129,122 @@ bool KvccdServer::Dispatch(Transport& transport, const Request& request) {
   }
   switch (request.op) {
     case Request::Op::kDecompose:
+      if (request.dynamic) return HandleDynamicDecompose(transport, request);
       return HandleDecompose(transport, request, g);
-    case Request::Op::kHierarchy:
-      return HandleHierarchy(transport, request, g);
-    case Request::Op::kMembership:
-      return HandleMembership(transport, request, g);
+    case Request::Op::kHierarchy: {
+      if (!request.dynamic) return HandleHierarchy(transport, request, g);
+      std::shared_ptr<const KvccHierarchy> hierarchy;
+      {
+        std::lock_guard<std::mutex> lock(dynamic_mutex_);
+        hierarchy = dynamic_state_.Hierarchy();
+      }
+      return RenderHierarchy(transport, request, *hierarchy);
+    }
+    case Request::Op::kMembership: {
+      if (!request.dynamic) return HandleMembership(transport, request, g);
+      std::shared_ptr<const Graph> dynamic_graph;
+      std::shared_ptr<const KvccHierarchy> hierarchy;
+      {
+        std::lock_guard<std::mutex> lock(dynamic_mutex_);
+        dynamic_graph = dynamic_state_.CurrentGraph();
+        hierarchy = dynamic_state_.Hierarchy();
+      }
+      return RenderMembership(transport, request, *dynamic_graph,
+                              *hierarchy);
+    }
+    case Request::Op::kInsertEdges:
+    case Request::Op::kDeleteEdges:
+      return HandleMutation(transport, request);
+    case Request::Op::kCompact:
+      return HandleCompact(transport);
     case Request::Op::kPing:
     case Request::Op::kStats:
       break;  // handled above
   }
   return true;
+}
+
+bool KvccdServer::HandleMutation(Transport& transport,
+                                 const Request& request) {
+  const bool insert = request.op == Request::Op::kInsertEdges;
+  std::uint64_t version = 0;
+  std::size_t applied = 0;
+  IncrementalOutcome outcome;
+  std::string internal_error;
+  {
+    std::lock_guard<std::mutex> lock(dynamic_mutex_);
+    const std::shared_ptr<const Graph> before =
+        dynamic_state_.CurrentGraph();
+    applied = insert ? dynamic_graph_.InsertEdges(request.edges)
+                     : dynamic_graph_.DeleteEdges(request.edges);
+    if (applied > 0) {
+      try {
+        outcome = engine_.SubmitIncremental(dynamic_state_, dynamic_graph_);
+      } catch (const std::exception& e) {
+        internal_error = e.what();
+      }
+      if (internal_error.empty()) {
+        cache_.RekeyAfterMutation(*before, *dynamic_state_.CurrentGraph(),
+                                  outcome.dirty_levels);
+        delta_edges_applied_.fetch_add(outcome.delta_edges_applied,
+                                       std::memory_order_relaxed);
+        dirty_components_.fetch_add(outcome.dirty_components,
+                                    std::memory_order_relaxed);
+        incremental_reruns_.fetch_add(outcome.incremental_reruns,
+                                      std::memory_order_relaxed);
+      }
+    }
+    version = dynamic_graph_.Version();
+  }
+  if (!internal_error.empty()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return transport.WriteLine(ErrorLine("internal", internal_error));
+  }
+  return transport.WriteLine(
+      UpdatedLine(insert ? "insert_edges" : "delete_edges", version, applied,
+                  outcome.dirty_components, outcome.incremental_reruns));
+}
+
+bool KvccdServer::HandleCompact(Transport& transport) {
+  std::uint64_t version = 0;
+  std::size_t folded = 0;
+  {
+    std::lock_guard<std::mutex> lock(dynamic_mutex_);
+    folded = dynamic_graph_.Compact();
+    version = dynamic_graph_.Version();
+  }
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+  return transport.WriteLine(CompactedLine(version, folded));
+}
+
+bool KvccdServer::HandleDynamicDecompose(Transport& transport,
+                                         const Request& request) {
+  std::shared_ptr<const Graph> g;
+  std::shared_ptr<const KvccHierarchy> hierarchy;
+  {
+    std::lock_guard<std::mutex> lock(dynamic_mutex_);
+    g = dynamic_state_.CurrentGraph();
+    hierarchy = dynamic_state_.Hierarchy();
+  }
+  std::shared_ptr<const ComponentList> components =
+      cache_.LookupComponents(*g, request.k);
+  if (components == nullptr) {
+    // The maintained hierarchy answers any k exactly (ComponentsAtLevel
+    // equals the cold enumeration's canonical output); cache the list so
+    // later replays hit.
+    components = std::make_shared<const ComponentList>(
+        hierarchy->ComponentsAtLevel(request.k));
+    cache_.InsertComponents(*g, request.k, components);
+  }
+  // Miss and hit render through the same path, so a post-mutation cold
+  // render and its cached replay are byte-identical.
+  if (request.progress_every != 0) {
+    for (std::uint64_t d = request.progress_every; d <= components->size();
+         d += request.progress_every) {
+      if (!transport.WriteLine(ProgressLine(d))) return false;
+    }
+  }
+  return EmitDecompose(transport, request, *components);
 }
 
 bool KvccdServer::ResolveGraph(const Request& request, Graph& g,
@@ -235,6 +352,39 @@ std::shared_ptr<const KvccHierarchy> KvccdServer::ObtainHierarchy(
   return nullptr;
 }
 
+bool KvccdServer::RenderHierarchy(Transport& transport,
+                                  const Request& request,
+                                  const KvccHierarchy& hierarchy) {
+  std::uint32_t levels = hierarchy.MaxLevel();
+  if (request.max_k != 0) levels = std::min(levels, request.max_k);
+  for (std::uint32_t k = 1; k <= levels; ++k) {
+    const std::vector<std::size_t>& nodes = hierarchy.NodesAtLevel(k);
+    std::uint64_t largest = 0;
+    for (const std::size_t index : nodes) {
+      largest =
+          std::max<std::uint64_t>(largest,
+                                  hierarchy.nodes[index].vertices.size());
+    }
+    if (!transport.WriteLine(LevelLine(k, nodes.size(), largest))) {
+      return false;
+    }
+  }
+  return transport.WriteLine(HierarchyCompleteLine(levels));
+}
+
+bool KvccdServer::RenderMembership(Transport& transport,
+                                   const Request& request, const Graph& g,
+                                   const KvccHierarchy& hierarchy) {
+  if (request.vertex >= g.NumVertices()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return transport.WriteLine(
+        ErrorLine("bad-request", "vertex out of range"));
+  }
+  return transport.WriteLine(MembershipLine(
+      g.LabelOf(request.vertex), hierarchy.CohesionOf(request.vertex),
+      hierarchy.PathOf(request.vertex)));
+}
+
 bool KvccdServer::HandleHierarchy(Transport& transport,
                                   const Request& request, const Graph& g) {
   bool connection_alive = true;
@@ -242,21 +392,7 @@ bool KvccdServer::HandleHierarchy(Transport& transport,
       transport, request, g, request.max_k, request.max_k == 0, "hierarchy",
       connection_alive);
   if (hierarchy == nullptr) return connection_alive;
-  std::uint32_t levels = hierarchy->MaxLevel();
-  if (request.max_k != 0) levels = std::min(levels, request.max_k);
-  for (std::uint32_t k = 1; k <= levels; ++k) {
-    const std::vector<std::size_t>& nodes = hierarchy->NodesAtLevel(k);
-    std::uint64_t largest = 0;
-    for (const std::size_t index : nodes) {
-      largest =
-          std::max<std::uint64_t>(largest,
-                                  hierarchy->nodes[index].vertices.size());
-    }
-    if (!transport.WriteLine(LevelLine(k, nodes.size(), largest))) {
-      return false;
-    }
-  }
-  return transport.WriteLine(HierarchyCompleteLine(levels));
+  return RenderHierarchy(transport, request, *hierarchy);
 }
 
 bool KvccdServer::HandleMembership(Transport& transport,
@@ -272,9 +408,7 @@ bool KvccdServer::HandleMembership(Transport& transport,
                       /*need_exhausted=*/true, "membership",
                       connection_alive);
   if (hierarchy == nullptr) return connection_alive;
-  return transport.WriteLine(MembershipLine(
-      g.LabelOf(request.vertex), hierarchy->CohesionOf(request.vertex),
-      hierarchy->PathOf(request.vertex)));
+  return RenderMembership(transport, request, g, *hierarchy);
 }
 
 std::string KvccdServer::StatsLine() const {
@@ -302,6 +436,16 @@ std::string KvccdServer::StatsLine() const {
   line += std::to_string(disconnect_cancels_.load(std::memory_order_relaxed));
   line += ",\"deadline_cancels\":";
   line += std::to_string(deadline_cancels_.load(std::memory_order_relaxed));
+  line += ",\"delta_edges_applied\":";
+  line +=
+      std::to_string(delta_edges_applied_.load(std::memory_order_relaxed));
+  line += ",\"dirty_components\":";
+  line += std::to_string(dirty_components_.load(std::memory_order_relaxed));
+  line += ",\"incremental_reruns\":";
+  line +=
+      std::to_string(incremental_reruns_.load(std::memory_order_relaxed));
+  line += ",\"compactions\":";
+  line += std::to_string(compactions_.load(std::memory_order_relaxed));
   line += "}";
   return line;
 }

@@ -16,6 +16,14 @@
 //   * deadline expiry      -> one "cancelled" close line, connection
 //                             stays alive.
 //
+// The server also owns one dynamic graph (VersionedGraph +
+// IncrementalKvcc): insert_edges / delete_edges / compact requests mutate
+// it, decompose / hierarchy / membership requests with "dynamic": true
+// read it. Mutations run the incremental re-decomposition and rekey the
+// result cache by the outcome's dirty-level set, so untouched
+// (fingerprint, k) entries keep hitting byte-identically across
+// mutations (docs/DYNAMIC.md).
+//
 // The server is transport-agnostic (the Transport seam): production runs
 // TcpTransport connections (tools/kvccd_cli.cc), the protocol tests run
 // deterministic in-process loopback pairs. Protocol and byte-identity
@@ -25,9 +33,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
+#include "graph/delta_store.h"
 #include "kvcc/engine.h"
+#include "kvcc/incremental.h"
 #include "server/admission.h"
 #include "server/protocol.h"
 #include "server/result_cache.h"
@@ -102,6 +113,9 @@ class KvccdServer {
  private:
   // All handlers return false iff the connection is gone (stop serving).
   bool Dispatch(Transport& transport, const Request& request);
+  bool HandleMutation(Transport& transport, const Request& request);
+  bool HandleCompact(Transport& transport);
+  bool HandleDynamicDecompose(Transport& transport, const Request& request);
   bool HandleDecompose(Transport& transport, const Request& request,
                        const Graph& g);
   bool HandleHierarchy(Transport& transport, const Request& request,
@@ -119,15 +133,32 @@ class KvccdServer {
       Transport& transport, const Request& request, const Graph& g,
       std::uint32_t max_level, bool need_exhausted, const char* op,
       bool& connection_alive);
+  // The rendering halves of hierarchy / membership, shared between the
+  // static (cache-or-build) and dynamic (incrementally maintained) paths.
+  bool RenderHierarchy(Transport& transport, const Request& request,
+                       const KvccHierarchy& hierarchy);
+  bool RenderMembership(Transport& transport, const Request& request,
+                        const Graph& g, const KvccHierarchy& hierarchy);
 
   const KvccdConfig config_;
   KvccEngine engine_;
   ResultCache cache_;
   AdmissionController admission_;
+  // The dynamic graph and its incrementally maintained hierarchy.
+  // dynamic_mutex_ serializes mutations and snapshots of the pair; the
+  // shared_ptrs handed out stay valid (and frozen) across later updates.
+  std::mutex dynamic_mutex_;
+  VersionedGraph dynamic_graph_;
+  IncrementalKvcc dynamic_state_;
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> disconnect_cancels_{0};
   std::atomic<std::uint64_t> deadline_cancels_{0};
+  // Dynamic-graph counters surfaced in StatsLine (replay-identical).
+  std::atomic<std::uint64_t> delta_edges_applied_{0};
+  std::atomic<std::uint64_t> dirty_components_{0};
+  std::atomic<std::uint64_t> incremental_reruns_{0};
+  std::atomic<std::uint64_t> compactions_{0};
 };
 
 }  // namespace server

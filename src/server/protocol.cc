@@ -375,6 +375,19 @@ bool ReadString(const JsonValue& json, std::string_view field,
   return true;
 }
 
+bool ReadBool(const JsonValue& json, std::string_view field, bool& out,
+              bool& present, std::string& error) {
+  const JsonValue* value = json.Find(field);
+  present = value != nullptr;
+  if (value == nullptr) return true;
+  if (value->type != JsonValue::Type::kBool) {
+    error = "field '" + std::string(field) + "' must be a boolean";
+    return false;
+  }
+  out = value->boolean;
+  return true;
+}
+
 bool FieldAllowed(std::string_view key, const char* const* allowed,
                   std::size_t count) {
   for (std::size_t i = 0; i < count; ++i) {
@@ -401,16 +414,19 @@ bool ParseRequest(const JsonValue& json, Request& out, std::string& error) {
   static const char* const kPingFields[] = {"op"};
   static const char* const kDecomposeFields[] = {
       "op",       "k",        "graph",          "edges",
-      "variant",  "priority", "deadline_ms",    "progress_every"};
+      "variant",  "priority", "deadline_ms",    "progress_every",
+      "dynamic"};
   static const char* const kHierarchyFields[] = {
       "op",    "max_k",    "graph",       "edges",
-      "variant", "priority", "deadline_ms"};
+      "variant", "priority", "deadline_ms", "dynamic"};
   static const char* const kMembershipFields[] = {
       "op",     "vertex",   "graph",       "edges",
-      "variant", "priority", "deadline_ms"};
+      "variant", "priority", "deadline_ms", "dynamic"};
+  static const char* const kMutationFields[] = {"op", "edges"};
   const char* const* allowed = kPingFields;
   std::size_t allowed_count = 1;
   bool needs_graph = true;
+  bool is_mutation = false;
   if (op == "ping") {
     out.op = Request::Op::kPing;
     needs_graph = false;
@@ -429,6 +445,16 @@ bool ParseRequest(const JsonValue& json, Request& out, std::string& error) {
     out.op = Request::Op::kMembership;
     allowed = kMembershipFields;
     allowed_count = sizeof(kMembershipFields) / sizeof(kMembershipFields[0]);
+  } else if (op == "insert_edges" || op == "delete_edges") {
+    out.op = op == "insert_edges" ? Request::Op::kInsertEdges
+                                  : Request::Op::kDeleteEdges;
+    allowed = kMutationFields;
+    allowed_count = sizeof(kMutationFields) / sizeof(kMutationFields[0]);
+    needs_graph = false;
+    is_mutation = true;
+  } else if (op == "compact") {
+    out.op = Request::Op::kCompact;
+    needs_graph = false;
   } else {
     error = "unknown op '" + op + "'";
     return false;
@@ -510,7 +536,20 @@ bool ParseRequest(const JsonValue& json, Request& out, std::string& error) {
                              static_cast<VertexId>(dv));
     }
   }
-  if (needs_graph && has_path == out.has_edges) {
+  if (is_mutation && !out.has_edges) {
+    error = "missing field 'edges'";
+    return false;
+  }
+
+  if (!ReadBool(json, "dynamic", out.dynamic, present, error)) return false;
+  if (out.dynamic) {
+    // The server's dynamic graph is the source; a request must not also
+    // carry its own.
+    if (has_path || out.has_edges) {
+      error = "dynamic requests take no 'graph' or 'edges' source";
+      return false;
+    }
+  } else if (needs_graph && has_path == out.has_edges) {
     error = has_path ? "give either 'graph' or 'edges', not both"
                      : "missing graph source ('graph' or 'edges')";
     return false;
@@ -638,6 +677,22 @@ std::string CancelledLine(std::string_view op, std::uint64_t delivered) {
 }
 
 std::string PongLine() { return "{\"type\":\"pong\"}"; }
+
+std::string UpdatedLine(std::string_view op, std::uint64_t version,
+                        std::uint64_t applied,
+                        std::uint64_t dirty_components,
+                        std::uint64_t reruns) {
+  return "{\"type\":\"updated\",\"op\":\"" + JsonEscape(op) +
+         "\",\"version\":" + std::to_string(version) +
+         ",\"applied\":" + std::to_string(applied) +
+         ",\"dirty_components\":" + std::to_string(dirty_components) +
+         ",\"reruns\":" + std::to_string(reruns) + "}";
+}
+
+std::string CompactedLine(std::uint64_t version, std::uint64_t folded) {
+  return "{\"type\":\"compacted\",\"version\":" + std::to_string(version) +
+         ",\"delta_folded\":" + std::to_string(folded) + "}";
+}
 
 }  // namespace server
 }  // namespace kvcc

@@ -98,15 +98,22 @@ std::string JsonEscape(std::string_view text);
 struct Request {
   /// \brief Request verb ("op" field).
   enum class Op : std::uint8_t {
-    kPing,        ///< liveness probe -> "pong"
-    kStats,       ///< server counters -> "stats"
-    kDecompose,   ///< k-VCC decomposition -> components + "complete"
-    kHierarchy,   ///< full dendrogram -> level lines + "complete"
-    kMembership,  ///< per-vertex cohesion path -> "membership"
+    kPing,         ///< liveness probe -> "pong"
+    kStats,        ///< server counters -> "stats"
+    kDecompose,    ///< k-VCC decomposition -> components + "complete"
+    kHierarchy,    ///< full dendrogram -> level lines + "complete"
+    kMembership,   ///< per-vertex cohesion path -> "membership"
+    kInsertEdges,  ///< mutate the dynamic graph -> "updated"
+    kDeleteEdges,  ///< mutate the dynamic graph -> "updated"
+    kCompact,      ///< fold the dynamic graph's delta -> "compacted"
   };
 
   /// \brief The request verb.
   Op op = Op::kPing;
+  /// \brief True when a decompose / hierarchy / membership request
+  /// targets the server's dynamic graph ("dynamic": true) instead of
+  /// carrying its own graph source.
+  bool dynamic = false;
   /// \brief Connectivity parameter (decompose; >= 1).
   std::uint32_t k = 0;
   /// \brief Deepest hierarchy level (hierarchy; 0 = until exhausted).
@@ -201,6 +208,24 @@ std::string CancelledLine(std::string_view op, std::uint64_t delivered);
 /// \brief Response to "ping".
 /// \return The NDJSON line.
 std::string PongLine();
+
+/// \brief Terminal line of a dynamic-graph mutation.
+/// \param op The mutation verb ("insert_edges" / "delete_edges").
+/// \param version Dynamic-graph version after the batch.
+/// \param applied Effective deltas applied (0 = the batch was a no-op).
+/// \param dirty_components Old hierarchy components invalidated by the
+///   incremental re-decomposition.
+/// \param reruns Dirty regions re-enumerated.
+/// \return The NDJSON line.
+std::string UpdatedLine(std::string_view op, std::uint64_t version,
+                        std::uint64_t applied,
+                        std::uint64_t dirty_components, std::uint64_t reruns);
+
+/// \brief Terminal line of a dynamic-graph compaction.
+/// \param version Dynamic-graph version (unchanged by compaction).
+/// \param folded Memtable deltas folded into the base.
+/// \return The NDJSON line.
+std::string CompactedLine(std::uint64_t version, std::uint64_t folded);
 
 }  // namespace server
 }  // namespace kvcc

@@ -154,6 +154,56 @@ void ResultCache::InsertHierarchy(
   EvictToBudgetLocked();
 }
 
+void ResultCache::RekeyAfterMutation(
+    const Graph& from, const Graph& to,
+    const std::vector<std::uint32_t>& dirty_levels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const LruList::iterator old_it = TouchEntryLocked(from, /*create=*/false);
+  if (old_it == lru_.end()) return;
+
+  // Survivors: every flat result whose level did not change, and the
+  // hierarchy when no level changed at all (identical levels => the
+  // rebuilt hierarchy is byte-identical).
+  std::map<std::uint32_t, std::shared_ptr<const ComponentList>> surviving;
+  for (const auto& [k, components] : old_it->flat) {
+    if (!std::binary_search(dirty_levels.begin(), dirty_levels.end(), k)) {
+      surviving.emplace(k, components);
+    }
+  }
+  std::shared_ptr<const KvccHierarchy> hierarchy;
+  std::uint32_t built_k = 0;
+  bool exhausted = false;
+  if (dirty_levels.empty()) {
+    hierarchy = old_it->hierarchy;
+    built_k = old_it->built_k;
+    exhausted = old_it->exhausted;
+  }
+
+  // Drop the old entry: the superseded graph version is no longer
+  // served. A rekey is not an eviction — counters stay untouched.
+  const auto bucket = index_.find(old_it->fingerprint);
+  std::vector<LruList::iterator>& slots = bucket->second;
+  slots.erase(std::find(slots.begin(), slots.end(), old_it));
+  if (slots.empty()) index_.erase(bucket);
+  bytes_used_ -= old_it->bytes;
+  lru_.erase(old_it);
+
+  if (surviving.empty() && hierarchy == nullptr) return;
+  const LruList::iterator it = TouchEntryLocked(to, /*create=*/true);
+  for (auto& [k, components] : surviving) {
+    // Merge, never clobber: a result already computed against `to` is at
+    // least as fresh as the migrated one.
+    it->flat.emplace(k, std::move(components));
+  }
+  if (hierarchy != nullptr && it->hierarchy == nullptr) {
+    it->hierarchy = std::move(hierarchy);
+    it->built_k = built_k;
+    it->exhausted = exhausted;
+  }
+  RechargeLocked(it);
+  EvictToBudgetLocked();
+}
+
 void ResultCache::EvictToBudgetLocked() {
   while (!lru_.empty() && bytes_used_ > byte_budget_) {
     const Entry& victim = lru_.back();

@@ -115,6 +115,24 @@ class ResultCache {
                        std::shared_ptr<const KvccHierarchy> hierarchy,
                        std::uint32_t built_k, bool exhausted);
 
+  /// \brief Migrates the still-valid results of `from`'s entry to `to`
+  /// after a dynamic-graph mutation.
+  ///
+  /// `dirty_levels` is IncrementalOutcome::dirty_levels: the exact set of
+  /// levels whose component list changed. Flat per-k results for every
+  /// other k are moved to (and merged into, never clobbering) the entry
+  /// for `to`, so untouched (fingerprint, k) pairs keep hitting without
+  /// recomputation; dirty ks are dropped — their next lookup misses. The
+  /// hierarchy migrates only when no level changed at all. The old
+  /// entry is removed (the superseded graph version is no longer served).
+  /// Counters: no hits/misses/evictions are charged for the rekey itself;
+  /// the byte budget is re-checked afterwards.
+  /// \param from The pre-mutation materialized graph.
+  /// \param to The post-mutation materialized graph.
+  /// \param dirty_levels Levels invalidated by the mutation, ascending.
+  void RekeyAfterMutation(const Graph& from, const Graph& to,
+                          const std::vector<std::uint32_t>& dirty_levels);
+
   /// \brief Lookups that returned a result.
   /// \return The hit count (monotone).
   std::uint64_t Hits() const;

@@ -342,5 +342,137 @@ TEST(KvccdProtocolTest, StatsCountersReplayIdentically) {
       << stats_lines[0];
 }
 
+TEST(KvccdProtocolTest, MalformedMutationLinesKeepConnectionAlive) {
+  KvccdServer daemon;
+  Connection conn(daemon);
+  const std::vector<std::pair<std::string, std::string>> probes = {
+      {"{\"op\":\"insert_edges\",\"edges\":[[0,1", "malformed"},
+      {"{\"op\":\"insert_edges\"}", "bad-request"},
+      {"{\"op\":\"delete_edges\",\"edges\":\"all\"}", "bad-request"},
+      {"{\"op\":\"compact\",\"k\":2}", "bad-request"},
+      {"{\"op\":\"decompose\",\"k\":2,\"dynamic\":true,"
+       "\"edges\":[[0,1]]}",
+       "bad-request"},
+  };
+  for (const auto& [request, code] : probes) {
+    const std::vector<std::string> response = conn.Roundtrip(request);
+    ASSERT_EQ(response.size(), 1u) << request;
+    EXPECT_EQ(response[0].rfind(
+                  "{\"type\":\"error\",\"code\":\"" + code + "\"", 0),
+              0u)
+        << request << " -> " << response[0];
+  }
+  // The connection survives every rejected mutation, and a well-formed
+  // one still lands.
+  const std::vector<std::string> updated = conn.Roundtrip(
+      "{\"op\":\"insert_edges\",\"edges\":[[0,1],[1,2],[0,2]]}");
+  ASSERT_EQ(updated.size(), 1u);
+  EXPECT_EQ(updated[0].rfind("{\"type\":\"updated\",\"op\":\"insert_edges\","
+                             "\"version\":1,\"applied\":3",
+                             0),
+            0u)
+      << updated[0];
+}
+
+TEST(KvccdProtocolTest, MutationInvalidatesExactlyTheDirtyCacheEntries) {
+  KvccdServer daemon;
+  Connection conn(daemon);
+  const Graph g = DisjointTriangles(3);  // vertices 0..8
+
+  // Load the dynamic graph and decompose it at k=1 and k=2.
+  const std::vector<std::string> loaded = conn.Roundtrip(
+      "{\"op\":\"insert_edges\",\"edges\":" + EdgesJson(g) + "}");
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].rfind("{\"type\":\"updated\",\"op\":\"insert_edges\","
+                            "\"version\":1,\"applied\":9",
+                            0),
+            0u)
+      << loaded[0];
+
+  const std::string decompose1 =
+      "{\"op\":\"decompose\",\"k\":1,\"dynamic\":true}";
+  const std::string decompose2 =
+      "{\"op\":\"decompose\",\"k\":2,\"dynamic\":true}";
+  const std::vector<std::string> cold2 = conn.Roundtrip(decompose2);
+  EXPECT_EQ(cold2, ExpectedDecomposeLines(g, 2));
+  const std::vector<std::string> cold1 = conn.Roundtrip(decompose1);
+  EXPECT_EQ(cold1, ExpectedDecomposeLines(g, 1));
+  const std::uint64_t hits_before = daemon.Cache().Hits();
+  EXPECT_EQ(conn.Roundtrip(decompose2), cold2);
+  EXPECT_EQ(daemon.Cache().Hits(), hits_before + 1);
+
+  // Hang a pendant vertex off triangle 0: level 1 changes (one connected
+  // component grows), level 2 does not (a degree-1 vertex joins no
+  // 2-VCC). The k=2 entry must migrate and keep hitting byte-identically;
+  // the k=1 entry must be dropped and re-derived.
+  const std::vector<std::string> pendant =
+      conn.Roundtrip("{\"op\":\"insert_edges\",\"edges\":[[0,9]]}");
+  ASSERT_EQ(pendant.size(), 1u);
+  EXPECT_EQ(pendant[0],
+            server::UpdatedLine("insert_edges", 2, 1,
+                                /*dirty_components=*/1, /*reruns=*/1));
+
+  const std::uint64_t hits_after_mutation = daemon.Cache().Hits();
+  const std::uint64_t misses_after_mutation = daemon.Cache().Misses();
+  EXPECT_EQ(conn.Roundtrip(decompose2), cold2);  // migrated entry
+  EXPECT_EQ(daemon.Cache().Hits(), hits_after_mutation + 1);
+  EXPECT_EQ(daemon.Cache().Misses(), misses_after_mutation);
+
+  // k=1 was dirty: its lookup misses and the fresh render reflects the
+  // pendant vertex.
+  const std::vector<std::string> fresh1 = conn.Roundtrip(decompose1);
+  EXPECT_EQ(daemon.Cache().Misses(), misses_after_mutation + 1);
+  EXPECT_NE(fresh1, cold1);
+  std::vector<std::pair<VertexId, VertexId>> mutated_edges = g.Edges();
+  mutated_edges.emplace_back(0, 9);
+  const Graph mutated = Graph::FromEdges(10, mutated_edges);
+  EXPECT_EQ(fresh1, ExpectedDecomposeLines(mutated, 1));
+
+  // Dynamic hierarchy and membership answer from the maintained state.
+  const KvccHierarchy h = BuildKvccHierarchy(mutated);
+  const std::vector<std::string> membership = conn.Roundtrip(
+      "{\"op\":\"membership\",\"vertex\":9,\"dynamic\":true}");
+  ASSERT_EQ(membership.size(), 1u);
+  EXPECT_EQ(membership[0],
+            server::MembershipLine(9, h.CohesionOf(9), h.PathOf(9)));
+}
+
+TEST(KvccdProtocolTest, CompactionPreservesDynamicServing) {
+  KvccdServer daemon;
+  Connection conn(daemon);
+  const Graph g = DisjointTriangles(2);
+  conn.Roundtrip("{\"op\":\"insert_edges\",\"edges\":" + EdgesJson(g) + "}");
+  const std::string decompose =
+      "{\"op\":\"decompose\",\"k\":2,\"dynamic\":true}";
+  const std::vector<std::string> before = conn.Roundtrip(decompose);
+  EXPECT_EQ(before, ExpectedDecomposeLines(g, 2));
+
+  const std::vector<std::string> compacted =
+      conn.Roundtrip("{\"op\":\"compact\"}");
+  ASSERT_EQ(compacted.size(), 1u);
+  EXPECT_EQ(compacted[0], server::CompactedLine(/*version=*/1,
+                                                /*folded=*/6));
+
+  // Serving is untouched by the fold, and the next mutation is still
+  // applied incrementally on top of the compacted base.
+  EXPECT_EQ(conn.Roundtrip(decompose), before);
+  const std::vector<std::string> updated =
+      conn.Roundtrip("{\"op\":\"delete_edges\",\"edges\":[[0,1]]}");
+  ASSERT_EQ(updated.size(), 1u);
+  EXPECT_EQ(updated[0].rfind("{\"type\":\"updated\",\"op\":\"delete_edges\","
+                             "\"version\":2,\"applied\":1",
+                             0),
+            0u)
+      << updated[0];
+  std::vector<std::pair<VertexId, VertexId>> remaining;
+  for (const auto& edge : g.Edges()) {
+    if (edge != std::make_pair<VertexId, VertexId>(0, 1)) {
+      remaining.push_back(edge);
+    }
+  }
+  const Graph mutated = Graph::FromEdges(6, remaining);
+  EXPECT_EQ(conn.Roundtrip(decompose), ExpectedDecomposeLines(mutated, 2));
+}
+
 }  // namespace
 }  // namespace kvcc

@@ -11,6 +11,7 @@
 #include "gen/fixtures.h"
 #include "gen/harary.h"
 #include "graph/connected_components.h"
+#include "graph/delta_store.h"
 #include "graph/k_core.h"
 #include "graph/preprocess.h"
 #include "kvcc/cut_oracle.h"
@@ -215,6 +216,65 @@ TEST(MemoryTrackerTest, WarmFusedPruneAllocatesNothing) {
   }
   EXPECT_EQ(MemoryTracker::PeakBytes(), baseline)
       << "steady-state fused prune touched the allocator";
+}
+
+// The dynamic-graph merge kernel (docs/DYNAMIC.md): once DeltaApplier's
+// counting-sort scratch and the output graph's CSR arrays have grown to a
+// batch shape's high-water mark, re-applying a batch of that shape must
+// not touch the allocator. This is what bounds per-mutation cost in kvccd
+// to the merge itself.
+TEST(MemoryTrackerTest, WarmDeltaApplyAllocatesNothing) {
+  ASSERT_TRUE(MemoryTracker::Enabled());
+  const Graph base = TwoCliquesSharing(6, 2);  // vertices 0..9
+  // A mixed batch: delete two present edges, insert two absent ones
+  // (u < v, absent/present as DeltaApplier requires).
+  const std::vector<EdgeDelta> batch = {
+      {0, 1, /*insert=*/false},
+      {0, 7, /*insert=*/true},
+      {1, 8, /*insert=*/true},
+      {2, 3, /*insert=*/false},
+  };
+  DeltaApplier applier;
+  Graph out;
+  for (int warm = 0; warm < 2; ++warm) {
+    applier.Apply(base, batch, out);
+  }
+  ASSERT_EQ(out.NumEdges(), base.NumEdges());  // two in, two out
+  MemoryTracker::ResetPeak();
+  const std::uint64_t baseline = MemoryTracker::CurrentBytes();
+  for (int round = 0; round < 10; ++round) {
+    applier.Apply(base, batch, out);
+  }
+  EXPECT_EQ(MemoryTracker::PeakBytes(), baseline)
+      << "steady-state delta application touched the allocator";
+  EXPECT_TRUE(out.HasEdge(0, 7));
+  EXPECT_FALSE(out.HasEdge(0, 1));
+}
+
+// The same property one layer up: a VersionedGraph's whole warm mutation
+// cycle — batch normalization, memtable append, buffer-recycled
+// materialization, compaction — runs allocation-free once the insert /
+// delete ping-pong has grown every buffer. Holding no snapshot across the
+// cycle is what lets the retired buffer be recycled.
+TEST(MemoryTrackerTest, WarmVersionedGraphMutationAllocatesNothing) {
+  ASSERT_TRUE(MemoryTracker::Enabled());
+  VersionedGraph vg(TwoCliquesSharing(6, 2));
+  const std::vector<std::pair<VertexId, VertexId>> extra = {
+      {0, 7}, {1, 8}, {2, 9}};
+  for (int warm = 0; warm < 3; ++warm) {
+    ASSERT_EQ(vg.InsertEdges(extra), extra.size());
+    ASSERT_EQ(vg.DeleteEdges(extra), extra.size());
+    vg.Compact();
+  }
+  MemoryTracker::ResetPeak();
+  const std::uint64_t baseline = MemoryTracker::CurrentBytes();
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(vg.InsertEdges(extra), extra.size());
+    EXPECT_EQ(vg.DeleteEdges(extra), extra.size());
+    vg.Compact();
+  }
+  EXPECT_EQ(MemoryTracker::PeakBytes(), baseline)
+      << "steady-state VersionedGraph mutation touched the allocator";
 }
 
 TEST(ProcessMemoryTest, RssReadable) {

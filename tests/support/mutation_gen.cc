@@ -1,0 +1,69 @@
+#include "support/mutation_gen.h"
+
+#include <algorithm>
+#include <iterator>
+
+namespace kvcc {
+namespace testing {
+
+MutationScript::MutationScript(const Graph& base, std::uint64_t seed)
+    : num_vertices_(base.NumVertices()), rng_(seed) {
+  for (const auto& edge : base.Edges()) edges_.insert(edge);
+}
+
+MutationStep MutationScript::Next() {
+  MutationStep step;
+  step.insert = edges_.empty() || rng_.NextBernoulli(0.55);
+  const std::size_t want = 1 + rng_.NextBounded(4);
+  if (step.insert) {
+    FillInserts(want, step);
+    if (step.edges.empty()) {
+      // Dense corner: no absent pair found, mutate the other way.
+      step.insert = false;
+      FillDeletes(want, step);
+    }
+  } else {
+    FillDeletes(want, step);
+  }
+  return step;
+}
+
+void MutationScript::FillInserts(std::size_t want, MutationStep& step) {
+  if (num_vertices_ < 2) num_vertices_ = 2;
+  for (std::size_t attempt = 0;
+       attempt < want * 8 && step.edges.size() < want; ++attempt) {
+    VertexId u;
+    VertexId v;
+    if (rng_.NextBernoulli(0.05)) {
+      v = num_vertices_;  // attach a fresh vertex
+      u = static_cast<VertexId>(rng_.NextBounded(num_vertices_));
+    } else {
+      u = static_cast<VertexId>(rng_.NextBounded(num_vertices_));
+      v = static_cast<VertexId>(rng_.NextBounded(num_vertices_));
+    }
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (!edges_.insert({u, v}).second) continue;
+    step.edges.push_back({u, v});
+    num_vertices_ = std::max(num_vertices_, static_cast<VertexId>(v + 1));
+  }
+}
+
+void MutationScript::FillDeletes(std::size_t want, MutationStep& step) {
+  for (std::size_t i = 0; i < want && !edges_.empty(); ++i) {
+    auto it = edges_.begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(
+                         rng_.NextBounded(edges_.size())));
+    step.edges.push_back(*it);
+    edges_.erase(it);
+  }
+}
+
+Graph MutationScript::Materialize() const {
+  std::vector<std::pair<VertexId, VertexId>> edges(edges_.begin(),
+                                                   edges_.end());
+  return Graph::FromEdges(num_vertices_, edges);
+}
+
+}  // namespace testing
+}  // namespace kvcc

@@ -1,0 +1,62 @@
+// Deterministic seeded mutation workloads for the dynamic-graph tests.
+//
+// A MutationScript owns an evolving edge set and emits normalized
+// insert/delete batches over it. Because the script tracks the exact
+// post-step edge set, a test can Materialize() the reference graph after
+// any prefix of steps and compare a cold decomposition of it against the
+// incrementally maintained state — the differential harness of
+// tests/incremental_test.cc.
+#ifndef KVCC_TESTS_SUPPORT_MUTATION_GEN_H_
+#define KVCC_TESTS_SUPPORT_MUTATION_GEN_H_
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace kvcc {
+namespace testing {
+
+// One mutation batch: all inserts or all deletes, normalized (u < v, no
+// duplicates, inserts absent from / deletes present in the edge set the
+// script held when the step was generated) — so every emitted edge is
+// effective and VersionedGraph's applied count equals edges.size().
+struct MutationStep {
+  bool insert = true;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+};
+
+class MutationScript {
+ public:
+  // Seeds the script with `base`'s edge set. Identical (base, seed)
+  // pairs replay identical step sequences.
+  MutationScript(const Graph& base, std::uint64_t seed);
+
+  // Generates the next step and commits it to the tracked edge set.
+  // Insert steps occasionally attach a fresh vertex; delete steps pick
+  // uniformly among present edges. Never returns an empty batch: an
+  // empty or complete edge set forces the other step kind.
+  MutationStep Next();
+
+  // The current edge set as a graph on vertices [0, NumVertices()).
+  Graph Materialize() const;
+
+  VertexId NumVertices() const { return num_vertices_; }
+  std::size_t NumEdges() const { return edges_.size(); }
+
+ private:
+  void FillInserts(std::size_t want, MutationStep& step);
+  void FillDeletes(std::size_t want, MutationStep& step);
+
+  std::set<std::pair<VertexId, VertexId>> edges_;
+  VertexId num_vertices_ = 0;
+  Rng rng_;
+};
+
+}  // namespace testing
+}  // namespace kvcc
+
+#endif  // KVCC_TESTS_SUPPORT_MUTATION_GEN_H_

@@ -119,6 +119,40 @@ const std::vector<MalformedRequest>& MalformedRequestCorpus() {
     c->push_back({"empty-graph-path",
                   "{\"op\":\"decompose\",\"k\":2,\"graph\":\"\"}",
                   "bad-request"});
+
+    // --- dynamic-graph mutation requests ---
+    c->push_back({"mutation-truncated-json",
+                  "{\"op\":\"insert_edges\",\"edges\":[[0,1",
+                  "malformed"});
+    c->push_back({"mutation-missing-edges", "{\"op\":\"insert_edges\"}",
+                  "bad-request"});
+    c->push_back({"mutation-edges-wrong-type",
+                  "{\"op\":\"delete_edges\",\"edges\":42}", "bad-request"});
+    c->push_back({"mutation-edge-wrong-shape",
+                  "{\"op\":\"insert_edges\",\"edges\":[[1]]}",
+                  "bad-request"});
+    c->push_back({"mutation-endpoint-overflow",
+                  "{\"op\":\"delete_edges\",\"edges\":[[0,4294967295]]}",
+                  "bad-request"});
+    c->push_back({"mutation-unknown-field",
+                  "{\"op\":\"insert_edges\",\"edges\":[],\"k\":2}",
+                  "bad-request"});
+    c->push_back({"compact-with-edges",
+                  "{\"op\":\"compact\",\"edges\":[]}", "bad-request"});
+    c->push_back({"dynamic-with-edges",
+                  "{\"op\":\"decompose\",\"k\":2,\"dynamic\":true,"
+                  "\"edges\":[[0,1]]}",
+                  "bad-request"});
+    c->push_back({"dynamic-with-graph",
+                  "{\"op\":\"hierarchy\",\"dynamic\":true,"
+                  "\"graph\":\"g.txt\"}",
+                  "bad-request"});
+    c->push_back({"dynamic-wrong-type",
+                  "{\"op\":\"decompose\",\"k\":2,\"dynamic\":1,"
+                  "\"edges\":[[0,1]]}",
+                  "bad-request"});
+    c->push_back({"dynamic-missing-k",
+                  "{\"op\":\"decompose\",\"dynamic\":true}", "bad-request"});
     return c;
   }();
   return *corpus;

@@ -8,6 +8,8 @@
 //   hierarchy   print the full k-VCC hierarchy (cohesive blocking)
 //   connectivity  report kappa(G) / test k-vertex-connectivity
 //   models      compare k-core / k-ECC / k-VCC on one graph
+//   update      replay an edge-mutation script against the incremental
+//               dynamic-graph engine (VersionedGraph + IncrementalKvcc)
 //   generate    write a synthetic dataset stand-in as an edge list
 //
 // Graphs are plain SNAP-style edge lists ('#'/'%' comments, "u v" lines).
@@ -24,11 +26,13 @@
 
 #include "ecc/kecc.h"
 #include "gen/dataset_suite.h"
+#include "graph/delta_store.h"
 #include "graph/graph_io.h"
 #include "graph/k_core.h"
 #include "kvcc/connectivity.h"
 #include "kvcc/engine.h"
 #include "kvcc/hierarchy.h"
+#include "kvcc/incremental.h"
 #include "kvcc/kvcc_enum.h"
 #include "kvcc/stream.h"
 #include "kvcc/validation.h"
@@ -83,6 +87,17 @@ int Usage() {
       "  hierarchy <graph> [max_k] [--threads=N]\n"
       "  connectivity <graph> [k]\n"
       "  models <graph> <k>\n"
+      "  update <graph> <mutations> [k] [--threads=N] [--check]\n"
+      "         [--stats] [--quiet]\n"
+      "         (mutations file lines: \"+ u v\" stages an insert,\n"
+      "          \"- u v\" a delete, \"apply\" runs the staged batch\n"
+      "          through the incremental engine, \"compact\" folds the\n"
+      "          delta memtable; '#' comments. Endpoints use the graph\n"
+      "          file's original ids; unseen ids grow the graph. Each\n"
+      "          apply prints the incremental outcome counters; with k,\n"
+      "          the final k-VCCs are printed. --check re-verifies every\n"
+      "          apply against a cold hierarchy build, exit 1 on any\n"
+      "          divergence)\n"
       "  generate <dataset> <out-file> [scale]\n"
       "  datasets\n";
   return 2;
@@ -567,6 +582,148 @@ int CmdModels(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Replays an edge-mutation script against the dynamic-graph stack:
+/// VersionedGraph (snapshot-isolated delta store) + IncrementalKvcc
+/// (dirty-region re-decomposition) on a shared engine. The same stack
+/// kvccd serves; docs/DYNAMIC.md describes the algorithm.
+int CmdUpdate(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  std::uint32_t k = 0;
+  std::uint32_t threads = 1;
+  bool check = false, stats = false, quiet = false;
+  bool have_k = false;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    if (args[i].rfind("--threads=", 0) == 0) {
+      if (!ParseThreads(args[i].substr(10), threads)) return 2;
+    } else if (args[i] == "--check") {
+      check = true;
+    } else if (args[i] == "--stats") {
+      stats = true;
+    } else if (args[i] == "--quiet") {
+      quiet = true;
+    } else if (!have_k && ParseUint(args[i], 0xffffffffUL, k) && k >= 1) {
+      have_k = true;
+    } else {
+      return Usage();
+    }
+  }
+
+  // The delta store works in root-id space; keep the file's original ids
+  // as a label table of our own so output matches the other subcommands.
+  const Graph loaded = ReadEdgeListFile(args[0]);
+  std::vector<VertexId> labels(loaded.NumVertices());
+  std::map<VertexId, VertexId> label_to_root;
+  for (VertexId v = 0; v < loaded.NumVertices(); ++v) {
+    labels[v] = loaded.LabelOf(v);
+    label_to_root[labels[v]] = v;
+  }
+  const auto resolve = [&](VertexId label) {
+    const auto [it, fresh] =
+        label_to_root.emplace(label, static_cast<VertexId>(labels.size()));
+    if (fresh) labels.push_back(label);
+    return it->second;
+  };
+
+  VersionedGraph vg(loaded.WithIdentityLabels());
+  IncrementalKvcc state;
+  KvccEngine engine(threads);
+  engine.SubmitIncremental(state, vg);  // initial (full) build
+
+  std::ifstream in(args[1]);
+  if (!in) {
+    std::cerr << "error: cannot open mutations file " << args[1] << "\n";
+    return 1;
+  }
+
+  std::vector<std::pair<VertexId, VertexId>> inserts, deletes;
+  std::size_t batch_no = 0;
+  std::size_t line_no = 0;
+  std::string line;
+  const auto apply = [&]() -> bool {
+    if (inserts.empty() && deletes.empty()) return true;
+    ++batch_no;
+    const std::size_t applied =
+        vg.InsertEdges(inserts) + vg.DeleteEdges(deletes);
+    inserts.clear();
+    deletes.clear();
+    const IncrementalOutcome outcome = engine.SubmitIncremental(state, vg);
+    std::cout << "batch " << batch_no << ": version=" << outcome.version
+              << " applied=" << applied
+              << " dirty_components=" << outcome.dirty_components
+              << " reruns=" << outcome.incremental_reruns
+              << " full_rebuild=" << (outcome.full_rebuild ? "yes" : "no")
+              << " dirty_levels=[";
+    for (std::size_t i = 0; i < outcome.dirty_levels.size(); ++i) {
+      std::cout << (i ? "," : "") << outcome.dirty_levels[i];
+    }
+    std::cout << "]\n";
+    if (check) {
+      const KvccHierarchy cold = BuildKvccHierarchy(*state.CurrentGraph());
+      const KvccHierarchy& warm = *state.Hierarchy();
+      const std::uint32_t top = std::max(cold.MaxLevel(), warm.MaxLevel());
+      for (std::uint32_t level = 1; level <= top; ++level) {
+        if (cold.ComponentsAtLevel(level) !=
+            warm.ComponentsAtLevel(level)) {
+          std::cerr << "check FAILED: batch " << batch_no << " level "
+                    << level
+                    << ": incremental result diverges from cold build\n";
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream fields(line);
+    std::string op;
+    if (!(fields >> op) || op[0] == '#' || op[0] == '%') continue;
+    if (op == "apply") {
+      if (!apply()) return 1;
+      continue;
+    }
+    if (op == "compact") {
+      if (!apply()) return 1;  // a compact closes any staged batch
+      std::cout << "compact: folded=" << vg.Compact()
+                << " version=" << vg.Version() << "\n";
+      continue;
+    }
+    VertexId u = 0, v = 0;
+    if ((op != "+" && op != "-") || !(fields >> u >> v) || u == v) {
+      std::cerr << "error: " << args[1] << ":" << line_no
+                << ": expected \"+ u v\", \"- u v\", \"apply\", or "
+                   "\"compact\"\n";
+      return 2;
+    }
+    auto& staged = op == "+" ? inserts : deletes;
+    staged.emplace_back(resolve(u), resolve(v));
+  }
+  if (!apply()) return 1;  // trailing staged ops apply at EOF
+
+  const Graph& g = *state.CurrentGraph();
+  const KvccHierarchy& hierarchy = *state.Hierarchy();
+  std::cerr << "final: |V|=" << g.NumVertices() << " |E|=" << g.NumEdges()
+            << " version=" << vg.Version() << " batches=" << batch_no
+            << "\n";
+  for (std::uint32_t level = 1; level <= hierarchy.MaxLevel(); ++level) {
+    std::cout << "level " << level << ": "
+              << hierarchy.NodesAtLevel(level).size() << " component(s)\n";
+  }
+  if (have_k && !quiet) {
+    const auto components = hierarchy.ComponentsAtLevel(k);
+    for (std::size_t i = 0; i < components.size(); ++i) {
+      std::cout << "component " << i << " (" << components[i].size()
+                << "):";
+      for (VertexId v : components[i]) std::cout << " " << labels[v];
+      std::cout << "\n";
+    }
+  }
+  if (check) std::cout << "check: OK (" << batch_no << " batches)\n";
+  if (stats) std::cerr << state.Stats().ToString();
+  return 0;
+}
+
 int CmdGenerate(const std::vector<std::string>& args) {
   if (args.size() < 2) return Usage();
   const double scale = args.size() > 2 ? std::atof(args[2].c_str()) : 1.0;
@@ -599,6 +756,7 @@ int main(int argc, char** argv) {
     if (command == "hierarchy") return CmdHierarchy(args);
     if (command == "connectivity") return CmdConnectivity(args);
     if (command == "models") return CmdModels(args);
+    if (command == "update") return CmdUpdate(args);
     if (command == "generate") return CmdGenerate(args);
     if (command == "datasets") return CmdDatasets();
   } catch (const std::exception& error) {

@@ -33,7 +33,8 @@ fi
 cmake --build "$BUILD_DIR" -j \
   --target bench_scalability_threads bench_batch_throughput \
            bench_stream_latency bench_cancellation bench_cut_oracle \
-           bench_preprocessing bench_serving bench_micro_kvcc 2>/dev/null ||
+           bench_preprocessing bench_serving bench_incremental \
+           bench_micro_kvcc 2>/dev/null ||
   cmake --build "$BUILD_DIR" -j
 
 BUILD_TYPE="$(build_type)"
@@ -87,6 +88,13 @@ rm -f "$OUT_FILE"
 "$BUILD_DIR/bench_serving" --json="$OUT_FILE" \
   --build-type="$BUILD_TYPE" --commit="$GIT_COMMIT"
 
+# Incremental re-decomposition: dirty-region update vs cold hierarchy
+# rebuild per single-edge mutation batch (hard-fails if the incremental
+# hierarchy ever diverges from a cold rebuild, if a localized edit
+# dirties the whole decomposition, or if the speedup is under 2x).
+"$BUILD_DIR/bench_incremental" --json="$OUT_FILE" \
+  --build-type="$BUILD_TYPE" --commit="$GIT_COMMIT"
+
 # google-benchmark micro suite, if it was built. The report is wrapped in
 # an envelope carrying OUR build stamp: the inner context's
 # "library_build_type" describes how the google-benchmark *library
@@ -138,6 +146,11 @@ fi
 if ! grep -q '"bench": "serving"' "$OUT_FILE" ||
    ! grep -q '"byte_identical": true' "$OUT_FILE"; then
   echo "run_bench.sh: snapshot is missing the kvccd serving entry" >&2
+  exit 1
+fi
+if ! grep -q '"bench": "incremental"' "$OUT_FILE" ||
+   ! grep -q '"dirty_components"' "$OUT_FILE"; then
+  echo "run_bench.sh: snapshot is missing the incremental entry" >&2
   exit 1
 fi
 echo "perf snapshot written to $OUT_FILE (Release @ $GIT_COMMIT)"
